@@ -1,0 +1,113 @@
+"""Ablation: which ingredients of the placement framework matter?
+
+Not a paper figure — an ablation of the design choices DESIGN.md calls out:
+
+* baseline placements (oblivious / round-robin / random) vs SmoothOperator;
+* balanced k-means vs plain k-means;
+* basis size |B| (top-m S-traces);
+* clusters-per-child h/q;
+* the Sec. 3.6 remapping pass on top of the placer.
+
+Reported as RPP-level sum-of-peaks on the DC3 test week (lower is better).
+"""
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_percent, format_table
+from repro.baselines import oblivious_placement, random_placement, round_robin_placement
+from repro.core import (
+    GreedyPeakPlacer,
+    PlacementConfig,
+    RemapConfig,
+    RemappingEngine,
+    WorkloadAwarePlacer,
+    scoped_placement,
+)
+from repro.infra import Level, NodePowerView
+from repro.traces import training_trace_set
+
+SCALE = dict(n_instances=1440, step_minutes=10)
+
+
+def _rpp_peaks(dc, assignment, traces):
+    return NodePowerView(dc.topology, assignment, traces).sum_of_peaks(Level.RPP)
+
+
+def _run():
+    dc = E.get_datacenter("DC3", **SCALE)
+    test = dc.test_traces()
+    training = training_trace_set(dc.records)
+    results = {}
+
+    results["oblivious (original)"] = _rpp_peaks(dc, dc.baseline, test)
+    results["round-robin"] = _rpp_peaks(
+        dc, round_robin_placement(dc.records, dc.topology), test
+    )
+    results["random"] = _rpp_peaks(
+        dc, random_placement(dc.records, dc.topology, seed=9), test
+    )
+
+    default = WorkloadAwarePlacer(PlacementConfig(seed=0)).place(dc.records, dc.topology)
+    results["SmoothOperator (default)"] = _rpp_peaks(dc, default.assignment, test)
+
+    small_basis = WorkloadAwarePlacer(
+        PlacementConfig(seed=0, top_m_services=3)
+    ).place(dc.records, dc.topology)
+    results["SmoothOperator (|B|=3)"] = _rpp_peaks(dc, small_basis.assignment, test)
+
+    coarse = WorkloadAwarePlacer(
+        PlacementConfig(seed=0, clusters_per_child=1)
+    ).place(dc.records, dc.topology)
+    results["SmoothOperator (h=q)"] = _rpp_peaks(dc, coarse.assignment, test)
+
+    fine = WorkloadAwarePlacer(
+        PlacementConfig(seed=0, clusters_per_child=4)
+    ).place(dc.records, dc.topology)
+    results["SmoothOperator (h=4q)"] = _rpp_peaks(dc, fine.assignment, test)
+
+    global_basis = WorkloadAwarePlacer(
+        PlacementConfig(seed=0, rebuild_basis_per_node=False)
+    ).place(dc.records, dc.topology)
+    results["SmoothOperator (global basis)"] = _rpp_peaks(dc, global_basis.assignment, test)
+
+    greedy = GreedyPeakPlacer().place(dc.records, dc.topology)
+    results["greedy marginal-peak"] = _rpp_peaks(dc, greedy, test)
+
+    scoped = scoped_placement(dc.records, dc.baseline, Level.SUITE,
+                              PlacementConfig(seed=0))
+    results["SmoothOperator (per-suite scope)"] = _rpp_peaks(dc, scoped, test)
+
+    remap = RemappingEngine(
+        RemapConfig(level=Level.RPP, max_swaps=40, candidate_nodes=6)
+    ).run(default.assignment, training)
+    results["SmoothOperator + remapping"] = _rpp_peaks(dc, remap.assignment, test)
+
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_placement(benchmark, emit_report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    baseline = results["oblivious (original)"]
+    rows = [
+        [name, f"{value:.0f}", format_percent(1.0 - value / baseline)]
+        for name, value in results.items()
+    ]
+    emit_report(
+        "ablation_placement",
+        format_table(
+            ["placement", "RPP sum-of-peaks (W)", "reduction vs oblivious"],
+            rows,
+            title="Ablation — placement ingredients (DC3, test week)",
+        ),
+    )
+
+    # The workload-aware placer must beat every trace-blind baseline.
+    smoop = results["SmoothOperator (default)"]
+    assert smoop < results["oblivious (original)"]
+    assert smoop < results["round-robin"]
+    assert smoop < results["random"]
+    # Remapping on top never hurts.
+    assert results["SmoothOperator + remapping"] <= smoop * 1.002

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the core computational kernels.
+
+These are honest pytest-benchmark timings (multiple rounds), useful for
+tracking performance of the hot paths: asynchrony scoring, balanced
+k-means, and tree aggregation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import balanced_kmeans, score_matrix
+from repro.infra import NodePowerView
+from repro.traces import TimeGrid, TraceSet
+
+
+@pytest.fixture(scope="module")
+def fleet_matrix():
+    rng = np.random.default_rng(0)
+    grid = TimeGrid.for_weeks(1, step_minutes=10)
+    matrix = rng.random((512, grid.n_samples)) * 200
+    return TraceSet(grid, [f"i{k}" for k in range(512)], matrix)
+
+
+@pytest.fixture(scope="module")
+def basis(fleet_matrix):
+    return fleet_matrix.subset([f"i{k}" for k in range(10)])
+
+
+@pytest.mark.benchmark(group="core-ops")
+def test_score_matrix_512x10(benchmark, fleet_matrix, basis):
+    scores = benchmark(score_matrix, fleet_matrix, basis)
+    assert scores.shape == (512, 10)
+
+
+@pytest.mark.benchmark(group="core-ops")
+def test_balanced_kmeans_512(benchmark, fleet_matrix, basis):
+    scores = score_matrix(fleet_matrix, basis)
+    result = benchmark(balanced_kmeans, scores, 8, seed=0, n_init=2, max_iter=30)
+    assert result.sizes().sum() == 512
+
+
+@pytest.mark.benchmark(group="core-ops")
+def test_aggregate_peak(benchmark, fleet_matrix):
+    value = benchmark(fleet_matrix.aggregate_peak)
+    assert value > 0
+
+
+@pytest.mark.benchmark(group="core-ops")
+def test_placement_end_to_end_small(benchmark):
+    """Time the full placer on a 150-instance fleet."""
+    from repro.core import PlacementConfig, WorkloadAwarePlacer
+    from repro.datasets import build_datacenter, small_demo_spec
+
+    dc = build_datacenter(
+        small_demo_spec(n_instances=150, seed=3), weeks=2, step_minutes=30
+    )
+    placer = WorkloadAwarePlacer(PlacementConfig(seed=0, kmeans_n_init=2))
+
+    result = benchmark(placer.place, dc.records, dc.topology)
+    assert len(result.assignment) == 150

@@ -1,0 +1,37 @@
+"""Figure 5: top power-consumer breakdown per datacenter.
+
+Paper: per-DC pie charts of the 30-day average power share of the top-10
+services (DC1 led by frontend 20.8% and cache 20.1%; DC2 by hadoop 25.9%;
+DC3 by frontend 21.5% and cache 19.0%).
+"""
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_percent, format_table
+
+
+def _run(full_scale):
+    return {
+        name: E.run_figure5(E.get_datacenter(name, **full_scale))
+        for name in E.DATACENTER_NAMES
+    }
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig05_breakdown(benchmark, emit_report, full_scale):
+    result = benchmark.pedantic(_run, args=(full_scale,), rounds=1, iterations=1)
+
+    blocks = []
+    for name, breakdown in result.items():
+        rows = [(service, format_percent(share)) for service, share in breakdown]
+        blocks.append(format_table(["service", "share"], rows, title=f"Figure 5 — {name}"))
+    emit_report("fig05_breakdown", "\n\n".join(blocks))
+
+    # Shape: DC1/DC3 are frontend+cache led; DC2 is hadoop led.
+    assert result["DC1"][0][0] in ("frontend", "cache")
+    assert result["DC2"][0][0] == "hadoop"
+    assert result["DC3"][0][0] in ("frontend", "cache")
+    # Top consumer holds a ~20-25% share, like the paper's pies.
+    for name in E.DATACENTER_NAMES:
+        assert 0.10 <= result[name][0][1] <= 0.35

@@ -1,0 +1,64 @@
+"""Figure 6: diurnal percentile bands for web / db / hadoop.
+
+Paper: web swings hard with a daytime peak; db peaks at night (backup
+compression); hadoop is constantly high.  Bands (p5-p95 ... p45-p55) show
+instance-level heterogeneity.
+"""
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_percent, format_table, sparkline
+from repro.traces import TraceSet, percentile_bands
+
+
+def _run(full_scale):
+    dc = E.get_datacenter("DC1", **full_scale)
+    services = ["frontend", "db_a", "batchjob"]
+    summary = E.run_figure6(dc, services=services)
+    traces = dc.training_traces()
+    medians = {}
+    for service in services:
+        ids = [r.instance_id for r in dc.records if r.service == service]
+        subset = traces.subset(ids)
+        band = percentile_bands(subset, bands=[(45, 55)])[0]
+        medians[service] = (band.lower + band.upper) / 2.0
+    return summary, medians
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_fig06_diurnal_bands(benchmark, emit_report, full_scale):
+    summary, medians = benchmark.pedantic(
+        _run, args=(full_scale,), rounds=1, iterations=1
+    )
+
+    rows = [
+        (
+            service,
+            f"{stats['median_peak']:.1f}",
+            f"{stats['median_valley']:.1f}",
+            format_percent(stats["diurnal_swing"]),
+            format_percent(stats["heterogeneity"]),
+        )
+        for service, stats in summary.items()
+    ]
+    table = format_table(
+        ["service", "median peak W", "median valley W", "diurnal swing", "p5-p95 spread"],
+        rows,
+        title="Figure 6 — diurnal patterns (DC1, training weeks)",
+    )
+    sparks = "\n".join(
+        f"{service:<10} {sparkline(values[:432])}"  # first 3 days
+        for service, values in medians.items()
+    )
+    emit_report("fig06_diurnal", table + "\n\nmedian power, first 3 days:\n" + sparks)
+
+    # Shape: web-like swings hard, hadoop barely, db in between; the paper's
+    # Figure 6 shows exactly this ordering.
+    assert summary["frontend"]["diurnal_swing"] > 0.3
+    assert summary["batchjob"]["diurnal_swing"] < 0.2
+    assert (
+        summary["frontend"]["diurnal_swing"]
+        > summary["db_a"]["diurnal_swing"]
+        > summary["batchjob"]["diurnal_swing"]
+    )

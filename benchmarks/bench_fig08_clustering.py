@@ -1,0 +1,65 @@
+"""Figure 8: k-means clusters in asynchrony-score space, projected by t-SNE.
+
+Paper: instances of one DC1 suite embedded into the |B|-dimensional
+asynchrony space separate into well-defined clusters of synchronous
+instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_table
+
+
+def _run(full_scale):
+    dc = E.get_datacenter("DC1", **full_scale)
+    return E.run_figure8(dc, suite_index=0, k=6, max_points=300)
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_fig08_clustering(benchmark, emit_report, full_scale):
+    figure = benchmark.pedantic(_run, args=(full_scale,), rounds=1, iterations=1)
+
+    sizes = figure.cluster_sizes()
+    rows = [
+        [f"cluster {i}", int(size)]
+        for i, size in enumerate(sizes)
+    ]
+    table = format_table(
+        ["cluster", "instances"],
+        rows,
+        title=(
+            "Figure 8 — balanced k-means over asynchrony-score vectors "
+            f"(basis: {', '.join(figure.basis_services[:6])}...)"
+        ),
+    )
+
+    # Quantify cluster separation in the 2-D t-SNE projection: the ratio of
+    # mean inter-centroid distance to mean within-cluster scatter.
+    centroids = np.vstack(
+        [figure.embedding[figure.labels == c].mean(axis=0) for c in range(len(sizes))]
+    )
+    scatter = np.mean(
+        [
+            np.linalg.norm(
+                figure.embedding[figure.labels == c] - centroids[c], axis=1
+            ).mean()
+            for c in range(len(sizes))
+        ]
+    )
+    inter = np.mean(
+        [
+            np.linalg.norm(centroids[i] - centroids[j])
+            for i in range(len(sizes))
+            for j in range(i + 1, len(sizes))
+        ]
+    )
+    separation = inter / scatter if scatter > 0 else float("inf")
+    emit_report(
+        "fig08_clustering",
+        table + f"\n\nt-SNE separation ratio (inter-centroid / within-cluster): {separation:.2f}",
+    )
+
+    assert sizes.max() - sizes.min() <= 1  # balanced clusters
+    assert separation > 1.0  # clusters visibly separate, as in the figure

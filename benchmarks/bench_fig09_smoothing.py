@@ -1,0 +1,55 @@
+"""Figure 9: children power traces before/after local re-placement.
+
+Paper: applying the placement to the subtree of one mid-level node leaves
+the parent's trace untouched while the children's traces become smoother,
+more balanced, and lower-peaked.
+"""
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_percent, format_table
+from repro.infra import Level
+
+
+def _run(full_scale):
+    dc = E.get_datacenter("DC3", **full_scale)
+    return E.run_figure9(dc, level=Level.SB)
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_fig09_smoothing(benchmark, emit_report, full_scale):
+    figure = benchmark.pedantic(_run, args=(full_scale,), rounds=1, iterations=1)
+
+    rows = []
+    for child in figure.child_peaks_before:
+        rows.append(
+            [
+                child.rsplit("/", 1)[-1],
+                f"{figure.child_peaks_before[child]:.0f}",
+                f"{figure.child_peaks_after[child]:.0f}",
+                f"{figure.child_std_before[child]:.0f}",
+                f"{figure.child_std_after[child]:.0f}",
+            ]
+        )
+    table = format_table(
+        ["child", "peak before W", "peak after W", "std before", "std after"],
+        rows,
+        title=f"Figure 9 — smoothing under {figure.node_name} (DC3, test week)",
+    )
+    summary = (
+        f"parent peak: {figure.parent_peak_before:.0f} -> "
+        f"{figure.parent_peak_after:.0f} W (unchanged)\n"
+        f"sum of child peaks: {figure.sum_child_peaks_before:.0f} -> "
+        f"{figure.sum_child_peaks_after:.0f} W "
+        f"({format_percent(figure.child_peak_reduction)} reduction)"
+    )
+    emit_report("fig09_smoothing", table + "\n\n" + summary)
+
+    # Shape: the parent's power is untouched; children's summed peaks drop;
+    # children get smoother (lower variance) on average.
+    assert figure.parent_peak_after == pytest.approx(figure.parent_peak_before)
+    assert figure.child_peak_reduction > 0
+    mean_std_before = sum(figure.child_std_before.values()) / len(figure.child_std_before)
+    mean_std_after = sum(figure.child_std_after.values()) / len(figure.child_std_after)
+    assert mean_std_after < mean_std_before

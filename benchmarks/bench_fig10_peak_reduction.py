@@ -1,0 +1,50 @@
+"""Figure 10 (+ headline): peak power reduction per level and extra servers.
+
+Paper: workload-aware placement reduces RPP-level sum-of-peaks by 2.3%,
+7.1% and 13.1% for DC1-3; reductions shrink at higher levels; RPP-level
+reductions translate into up to 13% more hostable machines.
+"""
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_percent, format_table
+from repro.infra import Level
+
+PAPER_RPP = {"DC1": 0.023, "DC2": 0.071, "DC3": 0.131}
+
+
+def _run(full_scale):
+    return E.run_figure10(**full_scale)
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_fig10_peak_reduction(benchmark, emit_report, full_scale):
+    result = benchmark.pedantic(_run, args=(full_scale,), rounds=1, iterations=1)
+
+    levels = [Level.SUITE, Level.MSB, Level.SB, Level.RPP]
+    rows = []
+    for name, reductions in result.items():
+        rows.append(
+            [name]
+            + [format_percent(reductions[level]) for level in levels]
+            + [format_percent(PAPER_RPP[name]), format_percent(reductions["extra_servers"])]
+        )
+    table = format_table(
+        ["DC", "SUITE", "MSB", "SB", "RPP", "paper RPP", "extra servers"],
+        rows,
+        title="Figure 10 — sum-of-peaks reduction by level (test week)",
+    )
+    emit_report("fig10_peak_reduction", table)
+
+    # Shape 1: the paper's DC ordering at the RPP level (DC1 < DC2 < DC3).
+    assert result["DC1"][Level.RPP] < result["DC2"][Level.RPP] < result["DC3"][Level.RPP]
+    # Shape 2: reductions grow toward the leaves within each DC.
+    for name, reductions in result.items():
+        assert reductions[Level.SUITE] <= reductions[Level.RPP] + 0.01
+    # Shape 3: rough magnitudes track the paper (within a factor of ~2).
+    for name in E.DATACENTER_NAMES:
+        assert result[name][Level.RPP] == pytest.approx(PAPER_RPP[name], abs=0.05)
+    # Headline: DC3 hosts ~10%+ more machines, DC1 only a few percent.
+    assert result["DC3"]["extra_servers"] > 0.08
+    assert result["DC1"]["extra_servers"] < result["DC3"]["extra_servers"]

@@ -1,0 +1,57 @@
+"""Figure 11: required power budget vs StatProf(u, δ) at every level.
+
+Paper: SmoOp(0,0) achieves >12% provisioning reduction everywhere, nearly
+always beats even StatProf(10, 0.1), and SmoOp(u, δ) always needs less than
+the StatProf(u, δ) counterpart.  In DC3: StatProf(10,0.1) -13%, SmoOp(0,0)
+-20%, SmoOp(10,0.1) -24%.
+"""
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_table
+from repro.baselines import FIGURE11_CONFIGS
+from repro.infra import Level
+
+LEVELS = [Level.DATACENTER, Level.SUITE, Level.MSB, Level.SB, Level.RPP]
+
+
+def _run(full_scale):
+    return {name: E.run_figure11(name, **full_scale) for name in E.DATACENTER_NAMES}
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_fig11_statprof(benchmark, emit_report, full_scale):
+    grids = benchmark.pedantic(_run, args=(full_scale,), rounds=1, iterations=1)
+
+    blocks = []
+    labels = []
+    for u, d in FIGURE11_CONFIGS:
+        labels += [f"StatProf({u:g}, {d:g})", f"SmoOp({u:g}, {d:g})"]
+    for name, grid in grids.items():
+        rows = [
+            [level] + [f"{grid[level][label]:.3f}" for label in labels]
+            for level in LEVELS
+        ]
+        blocks.append(
+            format_table(
+                ["level"] + labels,
+                rows,
+                title=f"Figure 11 — normalised required budget, {name}",
+            )
+        )
+    emit_report("fig11_statprof", "\n\n".join(blocks))
+
+    for name, grid in grids.items():
+        for level in LEVELS:
+            row = grid[level]
+            # SmoOp(u, δ) always requires less than StatProf(u, δ).
+            for u, d in FIGURE11_CONFIGS:
+                assert row[f"SmoOp({u:g}, {d:g})"] <= row[f"StatProf({u:g}, {d:g})"] + 1e-9
+    # SmoOp(0,0) achieves a >=8% reduction at the DC level in every DC
+    # (paper: >12% across its production fleets).
+    for name, grid in grids.items():
+        assert grid[Level.DATACENTER]["SmoOp(0, 0)"] < 0.92
+    # DC3: SmoOp(0,0) beats the most aggressive StatProf, as in the paper.
+    dc3_rpp = grids["DC3"][Level.RPP]
+    assert dc3_rpp["SmoOp(0, 0)"] <= dc3_rpp["StatProf(10, 0.1)"] + 0.02

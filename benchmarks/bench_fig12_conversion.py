@@ -1,0 +1,60 @@
+"""Figure 12: server conversion's impact over the test week.
+
+Paper: during Batch-heavy Phase the per-LC-server load is low, conversion
+servers run batch (Batch throughput above pre-SmoothOperator); during
+LC-heavy Phase they convert to LC, reducing per-LC-server load below what
+the original fleet would suffer while serving more traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_percent, sparkline
+
+
+def _run(full_scale):
+    return E.run_figure12("DC1", **full_scale)
+
+
+@pytest.mark.benchmark(group="figure12")
+def test_fig12_conversion(benchmark, emit_report, full_scale):
+    study = benchmark.pedantic(_run, args=(full_scale,), rounds=1, iterations=1)
+    comparison = study.comparison
+    pre = comparison.pre
+    conv = comparison.scenarios["conversion"]
+
+    lines = [
+        "Figure 12 — server conversion time series (DC1, test week)",
+        "=" * 60,
+        f"L_conv = {study.conversion_threshold:.3f}   "
+        f"e_conv = {study.extra_conversion}   e_th = {study.extra_throttle_funded}",
+        "",
+        "per-LC-server load:",
+        f"  pre  {sparkline(pre.per_server_load)}",
+        f"  conv {sparkline(conv.per_server_load)}",
+        "",
+        "batch throughput (normalised to pre mean):",
+        f"  pre  {sparkline(pre.batch_throughput)}",
+        f"  conv {sparkline(conv.batch_throughput)}",
+        "",
+        "LC served:",
+        f"  pre  {sparkline(pre.lc_served)}",
+        f"  conv {sparkline(conv.lc_served)}",
+        "",
+        f"LC improvement:    {format_percent(comparison.lc_improvement('conversion'))}",
+        f"Batch improvement: {format_percent(comparison.batch_improvement('conversion'))}",
+    ]
+    emit_report("fig12_conversion", "\n".join(lines))
+
+    # Shape 1: conversion servers flip with the phase.
+    assert conv.n_lc_active.max() > conv.n_lc_active.min()
+    # Shape 2: batch throughput exceeds pre during batch-heavy hours.
+    offpeak = study.offpeak_mask
+    assert conv.batch_throughput[offpeak].mean() > pre.batch_throughput[offpeak].mean()
+    # Shape 3: LC serves more in total (it absorbed extra traffic).
+    assert conv.lc_total() > pre.lc_total()
+    # Shape 4: per-LC-server load stays under the learned threshold.
+    assert conv.per_server_load.max() <= study.conversion_threshold + 1e-9
+    # Shape 5: power-safe throughout.
+    assert conv.overload_steps() == 0

@@ -1,0 +1,63 @@
+"""Figure 13: throughput improvement breakdown (LC and Batch, per DC).
+
+Paper: conversion alone trades the unlocked budget for up to 13% LC plus
+8% Batch throughput; adding proactive throttling/boosting buys an extra
+7.2/8.0/1.8 points of LC (DC3 gains least: fewest batch servers to borrow
+budget from) and small extra Batch points (1.6/1.2/2.4).
+"""
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_percent, format_table
+
+
+def _run(full_scale):
+    return E.run_figure13(**full_scale)
+
+
+@pytest.mark.benchmark(group="figure13")
+def test_fig13_throughput(benchmark, emit_report, full_scale):
+    result = benchmark.pedantic(_run, args=(full_scale,), rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            format_percent(row["lc_conversion"]),
+            format_percent(row["batch_conversion"]),
+            format_percent(row["lc_throttle_boost"]),
+            format_percent(row["batch_throttle_boost"]),
+            format_percent(row["lc_throttle_boost"] - row["lc_conversion"]),
+        ]
+        for name, row in result.items()
+    ]
+    table = format_table(
+        [
+            "DC",
+            "LC (conv)",
+            "Batch (conv)",
+            "LC (+thr/boost)",
+            "Batch (+thr/boost)",
+            "LC extra from thr/boost",
+        ],
+        rows,
+        title="Figure 13 — throughput improvement over pre-SmoothOperator",
+    )
+    emit_report("fig13_throughput", table)
+
+    for name, row in result.items():
+        # Conversion improves both LC and Batch throughput.
+        assert row["lc_conversion"] > 0
+        assert row["batch_conversion"] > 0
+        # Batch conversion gains stay single-digit (paper: up to 8%).
+        assert row["batch_conversion"] < 0.12
+        # Throttle/boost adds LC throughput on top of conversion.
+        assert row["lc_throttle_boost"] >= row["lc_conversion"]
+    # DC3 gains the least extra LC from throttling (fewest batch servers
+    # per LC server) — the paper's 1.8% vs 7.2/8.0%.
+    extra = {
+        name: row["lc_throttle_boost"] - row["lc_conversion"]
+        for name, row in result.items()
+    }
+    assert extra["DC3"] <= extra["DC1"] + 0.005
+    assert extra["DC3"] <= extra["DC2"] + 0.005

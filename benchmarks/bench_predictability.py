@@ -1,0 +1,48 @@
+"""Predictability validation: does the training average forecast the test
+week?  (The Sec. 3.3/5.1 premise, quantified.)
+
+The placement is derived from the Eq.-4 averaged training traces and
+deployed against the future.  This benchmark scores that implicit forecast
+on every instance of each datacenter: low MAPE and small peak-time error
+mean the "strong day-of-the-week patterns" assumption holds and placement
+decisions transfer.
+"""
+
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_percent, format_table
+from repro.traces import predictability_report
+
+
+def _run(full_scale):
+    return {
+        name: predictability_report(E.get_datacenter(name, **full_scale).records)
+        for name in E.DATACENTER_NAMES
+    }
+
+
+@pytest.mark.benchmark(group="predictability")
+def test_predictability(benchmark, emit_report, full_scale):
+    reports = benchmark.pedantic(_run, args=(full_scale,), rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            format_percent(report.mean_mape),
+            format_percent(report.mean_abs_peak_error),
+            f"{report.mean_peak_time_error_minutes:.0f} min",
+        ]
+        for name, report in reports.items()
+    ]
+    table = format_table(
+        ["DC", "mean MAPE", "mean |peak error|", "mean peak-time error"],
+        rows,
+        title="Week-ahead predictability of the synthetic fleets (train avg -> test week)",
+    )
+    emit_report("predictability", table)
+
+    for name, report in reports.items():
+        # The weekly-periodicity premise: errors stay small.
+        assert report.mean_mape < 0.30
+        assert report.mean_abs_peak_error < 0.20

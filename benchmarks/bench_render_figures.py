@@ -1,0 +1,26 @@
+"""Render the figure gallery — viewable HTML/SVG versions of the paper's
+figures, written to benchmarks/results/figures/."""
+
+import pytest
+
+from repro.analysis.gallery import render_all
+
+
+@pytest.mark.benchmark(group="figures")
+def test_render_figures(benchmark, emit_report, full_scale):
+    paths = benchmark.pedantic(
+        render_all,
+        args=("benchmarks/results/figures",),
+        kwargs=full_scale,
+        rounds=1,
+        iterations=1,
+    )
+    listing = "\n".join(str(p) for p in paths)
+    emit_report("figures_index", "Figure gallery:\n" + listing)
+
+    assert len(paths) == 8
+    for path in paths:
+        content = path.read_text()
+        assert "<svg" in content
+        assert "<table>" in content          # table view always ships
+        assert "prefers-color-scheme" in content  # dark mode selected

@@ -1,0 +1,60 @@
+"""Scaling characterisation: placement cost vs fleet size.
+
+The placer's hot path is O(levels × n × |B| × T) scoring plus balanced
+k-means per node; this benchmark measures wall-clock for the full pipeline
+(synthesis excluded) at three fleet sizes, confirming near-linear scaling —
+the property that made SmoothOperator deployable across fleets of tens of
+thousands of machines.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core import PlacementConfig, WorkloadAwarePlacer
+from repro.datasets import build_datacenter, dc3_spec
+
+SIZES = (480, 960, 1920)
+
+
+def _time_placement(n_instances: int) -> float:
+    dc = build_datacenter(dc3_spec(n_instances=n_instances), weeks=3, step_minutes=10)
+    placer = WorkloadAwarePlacer(PlacementConfig(seed=0))
+    started = time.perf_counter()
+    placer.place(dc.records, dc.topology)
+    return time.perf_counter() - started
+
+
+def _run():
+    return {n: _time_placement(n) for n in SIZES}
+
+
+@pytest.mark.benchmark(group="scale")
+def test_placement_scaling(benchmark, emit_report):
+    timings = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    base_n = SIZES[0]
+    base_t = timings[base_n]
+    rows = [
+        [
+            f"{n} instances",
+            f"{seconds:.2f}s",
+            f"{seconds / base_t:.2f}x",
+            f"{n / base_n:.0f}x",
+        ]
+        for n, seconds in timings.items()
+    ]
+    emit_report(
+        "scale",
+        format_table(
+            ["fleet", "placement time", "time ratio", "size ratio"],
+            rows,
+            title="Placement wall-clock vs fleet size (DC3 mix, 10-min traces)",
+        ),
+    )
+
+    # Sub-quadratic scaling: 4x the fleet must cost well under 16x the time.
+    assert timings[SIZES[-1]] <= base_t * (SIZES[-1] / base_n) ** 2 * 0.8
+    # And the full-scale fleet places in interactive time.
+    assert timings[1920] < 60.0

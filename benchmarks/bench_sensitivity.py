@@ -1,0 +1,83 @@
+"""Sensitivity: what drives the size of the placement win?
+
+The paper attributes the DC1 < DC2 < DC3 spread of Figure 10 to two fleet
+properties (Sec. 5.2.1): instance-level heterogeneity and how balanced the
+original placement already was.  This sweep varies exactly those two knobs
+on a fixed service mix and measures the RPP-level reduction surface.
+
+Findings (see EXPERIMENTS.md): the *original placement's mixing* dominates
+— a fully service-grouped baseline leaves ~4x more to gain than a
+half-mixed one.  Our random-jitter *heterogeneity* knob runs mildly in the
+opposite direction from the paper's narrative: uncorrelated per-instance
+jitter de-synchronises even the grouped baseline, shrinking the gap.  The
+paper's "heterogeneity" is better read as exploitable cross-pattern
+diversity, which in this substrate lives in the service mix, not the
+jitter.
+"""
+
+import pytest
+
+from repro.analysis.report import format_percent, format_table
+from repro.core import PlacementConfig, WorkloadAwarePlacer
+from repro.datasets.facebook import DatacenterSpec, build_datacenter
+from repro.datasets import dc3_spec
+from repro.infra import Level, NodePowerView
+
+HETEROGENEITIES = (0.5, 1.0, 1.5)
+MIXINGS = (0.0, 0.3, 0.6)
+
+
+def _reduction(heterogeneity: float, mixing: float) -> float:
+    base = dc3_spec(n_instances=480)
+    spec = DatacenterSpec(
+        name=f"sweep-h{heterogeneity}-m{mixing}",
+        composition=base.composition,
+        heterogeneity=heterogeneity,
+        baseline_mixing=mixing,
+        topology=base.topology,
+        n_instances=base.n_instances,
+        seed=base.seed,
+    )
+    dc = build_datacenter(spec, weeks=3, step_minutes=10)
+    placement = WorkloadAwarePlacer(PlacementConfig(seed=0)).place(
+        dc.records, dc.topology
+    )
+    test = dc.test_traces()
+    before = NodePowerView(dc.topology, dc.baseline, test).sum_of_peaks(Level.RPP)
+    after = NodePowerView(dc.topology, placement.assignment, test).sum_of_peaks(
+        Level.RPP
+    )
+    return 1.0 - after / before
+
+
+def _run():
+    return {
+        (h, m): _reduction(h, m) for h in HETEROGENEITIES for m in MIXINGS
+    }
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_sensitivity_surface(benchmark, emit_report):
+    surface = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        [f"heterogeneity {h:.1f}"]
+        + [format_percent(surface[(h, m)]) for m in MIXINGS]
+        for h in HETEROGENEITIES
+    ]
+    emit_report(
+        "sensitivity",
+        format_table(
+            ["(DC3 mix, 480 instances)"] + [f"mixing {m:.1f}" for m in MIXINGS],
+            rows,
+            title="RPP peak-reduction surface: heterogeneity x original-placement mixing",
+        ),
+    )
+
+    # More pre-mixed baselines leave less to gain (rows decrease left->right)
+    # — the knob that carries the DC1 < DC2 < DC3 calibration.
+    for h in HETEROGENEITIES:
+        assert surface[(h, 0.0)] >= surface[(h, 0.3)] >= surface[(h, 0.6)] - 0.005
+    # The fully-grouped column dominates the half-mixed one by a wide margin.
+    for h in HETEROGENEITIES:
+        assert surface[(h, 0.0)] > 2 * surface[(h, 0.6)]

@@ -1,0 +1,22 @@
+"""Table 1: qualitative comparison with prior approaches."""
+
+import pytest
+
+from repro.analysis import CAPABILITIES, TABLE1, table1_headers, table1_rows
+from repro.analysis.report import format_table
+
+
+def _run():
+    return table1_headers(), table1_rows()
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_comparison(benchmark, emit_report):
+    headers, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit_report(
+        "table1_comparison",
+        format_table(headers, rows, title="Table 1 — comparison with prior approaches"),
+    )
+    # SmoothOperator is the only approach checking every box.
+    full_support = [a.name for a in TABLE1 if all(a.supports(c) for c in CAPABILITIES)]
+    assert full_support == ["SmoothOperator"]

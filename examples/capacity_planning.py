@@ -1,0 +1,68 @@
+"""Capacity planning: how many servers fit, and what must be provisioned?
+
+An operator's two dual questions, answered with the library:
+
+1. **Given the infrastructure, how many more servers fit?**  Peak-provision
+   every node from the original placement, apply SmoothOperator, and run
+   the hierarchy-aware expansion plan (the paper's "13% more machines").
+2. **Given the fleet, how much budget must be provisioned?**  Compare
+   SmoothOperator's time-aligned aggregation against StatProf's
+   placement-blind statistical multiplexing (Figure 11).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import experiments as E
+from repro.analysis import format_percent, format_table
+from repro.baselines import FIGURE11_CONFIGS
+from repro.infra import Level, NodePowerView, node_headroom
+
+
+def expansion_question(name: str, scale) -> None:
+    dc = E.get_datacenter(name, **scale)
+    study = E.run_placement_study(dc)
+    plan = study.report.expansion
+
+    # Where did the headroom appear?
+    view = NodePowerView(dc.topology, study.optimized.assignment, dc.test_traces())
+    headroom = node_headroom(view)
+    rpp_headroom = [
+        headroom[n.name] for n in dc.topology.nodes_at_level(Level.RPP)
+    ]
+    print(
+        f"{name}: {plan.total_extra} extra servers fit "
+        f"({format_percent(plan.expansion_fraction)} of the fleet); "
+        f"mean RPP headroom {sum(rpp_headroom) / len(rpp_headroom):.0f} W"
+    )
+
+
+def provisioning_question(name: str, scale) -> None:
+    grid = E.run_figure11(name, **scale)
+    labels = []
+    for u, d in FIGURE11_CONFIGS:
+        labels += [f"StatProf({u:g}, {d:g})", f"SmoOp({u:g}, {d:g})"]
+    rows = [
+        [level] + [f"{grid[level][label]:.3f}" for label in labels]
+        for level in (Level.DATACENTER, Level.SB, Level.RPP)
+    ]
+    print()
+    print(
+        format_table(
+            ["level"] + labels,
+            rows,
+            title=f"{name} — normalised required budget (1.0 = per-instance peak provisioning)",
+        )
+    )
+
+
+def main() -> None:
+    scale = dict(n_instances=480, step_minutes=10)
+    print("Question 1 — how many more servers fit under the existing tree?\n")
+    for name in E.DATACENTER_NAMES:
+        expansion_question(name, scale)
+    print("\nQuestion 2 — how much budget must be provisioned for the fleet?")
+    provisioning_question("DC3", scale)
+
+
+if __name__ == "__main__":
+    main()

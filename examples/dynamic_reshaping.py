@@ -1,0 +1,72 @@
+"""Dynamic power profile reshaping: conversion + throttling/boosting (Sec. 4).
+
+Simulates a datacenter's held-out week under the paper's scenarios:
+
+* ``pre``            — original fleet, original traffic;
+* ``lc_only``        — unlocked headroom filled with LC-specific servers;
+* ``conversion``     — storage-disaggregated conversion servers that flip
+  between Batch (off-peak) and LC (peak) based on the learned L_conv;
+* ``throttle_boost`` — plus proactive batch throttling during LC-heavy
+  hours (funding extra conversion servers) and boosting off-peak.
+
+Run:  python examples/dynamic_reshaping.py [DC1|DC2|DC3]
+"""
+
+import sys
+
+from repro.analysis import experiments as E
+from repro.analysis import format_percent, format_table, sparkline
+
+
+def main(name: str = "DC1") -> None:
+    scale = dict(n_instances=480, step_minutes=10)
+    study = E.run_reshaping_study(E.get_datacenter(name, **scale))
+    comparison = study.comparison
+
+    print(
+        f"{name}: L_conv={study.conversion_threshold:.3f}, "
+        f"conversion servers={study.extra_conversion}, "
+        f"throttle-funded extras={study.extra_throttle_funded}\n"
+    )
+
+    rows = []
+    for scenario in ("lc_only", "conversion", "throttle_boost"):
+        result = comparison.scenarios[scenario]
+        rows.append(
+            [
+                scenario,
+                format_percent(comparison.lc_improvement(scenario)),
+                format_percent(comparison.batch_improvement(scenario)),
+                format_percent(result.dropped_fraction()),
+                str(result.overload_steps()),
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "LC gain", "Batch gain", "dropped", "overload steps"],
+            rows,
+            title="Throughput vs the pre-SmoothOperator datacenter (test week)",
+        )
+    )
+
+    pre = comparison.pre
+    tb = comparison.scenarios["throttle_boost"]
+    print("\nper-LC-server load (test week):")
+    print(f"  pre            {sparkline(pre.per_server_load)}")
+    print(f"  throttle_boost {sparkline(tb.per_server_load)}")
+    print("\nbatch throughput:")
+    print(f"  pre            {sparkline(pre.batch_throughput)}")
+    print(f"  throttle_boost {sparkline(tb.batch_throughput)}")
+    print("\npower slack (budget - draw):")
+    print(f"  pre            {sparkline(pre.power_slack())}")
+    print(f"  throttle_boost {sparkline(tb.power_slack())}")
+    print(
+        f"\nslack reduction from dynamic reshaping: "
+        f"{format_percent(comparison.slack_reduction('throttle_boost', baseline='lc_only_matched'))}"
+        f" (vs static extra servers); "
+        f"{format_percent(comparison.slack_reduction('throttle_boost'))} vs pre"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "DC1")

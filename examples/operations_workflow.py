@@ -1,0 +1,100 @@
+"""An operator's end-to-end workflow with persistence and auditing.
+
+Walks the artifact lifecycle a production deployment needs:
+
+1. synthesise (or ingest) telemetry and **persist the fleet** to disk;
+2. derive the placement and **persist topology + assignment** as JSON;
+3. reload everything in a "new process" and verify the round-trip;
+4. provision budgets, **audit breaker safety** on the held-out week;
+5. export node traces to CSV for external dashboards.
+
+Run:  python examples/operations_workflow.py [workdir]
+"""
+
+import pathlib
+import sys
+import tempfile
+
+from repro import SmoothOperator, build_datacenter, small_demo_spec
+from repro.analysis import format_percent, format_table
+from repro.infra import (
+    BreakerModel,
+    NodePowerView,
+    audit_view,
+    load_assignment,
+    load_topology,
+    save_assignment,
+    save_topology,
+)
+from repro.traces import (
+    TraceSet,
+    export_csv,
+    load_fleet,
+    save_fleet,
+    test_trace_set,
+)
+
+
+def main(workdir: str = "") -> None:
+    base = pathlib.Path(workdir) if workdir else pathlib.Path(tempfile.mkdtemp())
+    base.mkdir(parents=True, exist_ok=True)
+    print(f"artifacts -> {base}\n")
+
+    # --- 1. telemetry in, fleet persisted -----------------------------
+    dc = build_datacenter(small_demo_spec(), weeks=3, step_minutes=30)
+    save_fleet(dc.records, base / "fleet")
+    print(f"saved fleet: {len(dc.records)} instances -> {base / 'fleet'}")
+
+    # --- 2. placement derived and persisted ---------------------------
+    operator = SmoothOperator()
+    outcome = operator.optimize(dc.records, dc.topology)
+    report = operator.evaluate(
+        dc.records, dc.baseline, outcome.assignment, budget_margin=0.05
+    )
+    save_topology(dc.topology, base / "topology.json")  # includes budgets
+    save_assignment(outcome.assignment, base / "placement.json")
+    print(
+        f"saved placement: RPP reduction "
+        f"{format_percent(report.peak_reduction['rpp'])}, "
+        f"{report.expansion.total_extra} extra servers"
+    )
+
+    # --- 3. reload in a fresh context and verify ----------------------
+    fleet = load_fleet(base / "fleet")
+    topology = load_topology(base / "topology.json")
+    assignment = load_assignment(base / "placement.json", topology=topology)
+    assert len(fleet) == len(dc.records)
+    assert assignment.as_mapping() == outcome.assignment.as_mapping()
+    print("round-trip verified: fleet, topology (with budgets), assignment")
+
+    # --- 4. audit breaker safety on the held-out week -----------------
+    test_traces = test_trace_set(fleet)
+    view = NodePowerView(topology, assignment, test_traces)
+    trips = audit_view(view, BreakerModel(tolerance_minutes=120))
+    if trips:
+        rows = [
+            [name, len(events), f"{max(t.peak_overload_watts for t in events):.1f}"]
+            for name, events in trips.items()
+        ]
+        print()
+        print(
+            format_table(
+                ["node", "trip events", "worst overload (W)"],
+                rows,
+                title="Breaker audit (held-out week)",
+            )
+        )
+        print("-> excursions of this size are the power-capping system's job")
+    else:
+        print("breaker audit: clean — no sustained overloads on the test week")
+
+    # --- 5. export for external tooling --------------------------------
+    suite = topology.nodes_at_level("suite")[0]
+    suite_trace = view.node_trace(suite.name)
+    node_set = TraceSet.from_traces({suite.name.replace("/", "_"): suite_trace})
+    export_csv(node_set, base / "suite0_power.csv")
+    print(f"exported {suite.name} power trace -> {base / 'suite0_power.csv'}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "")

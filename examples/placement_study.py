@@ -1,0 +1,66 @@
+"""Placement study across the three datacenters of the paper (Sec. 5.2.1).
+
+Reproduces the Figure 10 experiment at a configurable scale: for each of
+DC1/DC2/DC3, derive the workload-aware placement, measure per-level peak
+reductions on the held-out week, and compare against round-robin and random
+baselines.
+
+Run:  python examples/placement_study.py [n_instances]
+"""
+
+import sys
+
+from repro.analysis import experiments as E
+from repro.analysis import format_percent, format_table
+from repro.baselines import random_placement, round_robin_placement
+from repro.infra import Level, NodePowerView
+
+
+def main(n_instances: int = 480) -> None:
+    scale = dict(n_instances=n_instances, step_minutes=10)
+    levels = [Level.SUITE, Level.MSB, Level.SB, Level.RPP]
+
+    rows = []
+    baseline_rows = []
+    for name in E.DATACENTER_NAMES:
+        dc = E.get_datacenter(name, **scale)
+        study = E.run_placement_study(dc)
+        reduction = study.report.peak_reduction
+        rows.append(
+            [name]
+            + [format_percent(reduction[level]) for level in levels]
+            + [format_percent(study.report.extra_server_fraction)]
+        )
+
+        # How do trace-blind spreaders compare at the RPP level?
+        test = dc.test_traces()
+        base = NodePowerView(dc.topology, dc.baseline, test).sum_of_peaks(Level.RPP)
+        entries = [name]
+        for label, assignment in (
+            ("round-robin", round_robin_placement(dc.records, dc.topology)),
+            ("random", random_placement(dc.records, dc.topology, seed=1)),
+            ("SmoothOperator", study.optimized.assignment),
+        ):
+            peaks = NodePowerView(dc.topology, assignment, test).sum_of_peaks(Level.RPP)
+            entries.append(format_percent(1.0 - peaks / base))
+        baseline_rows.append(entries)
+
+    print(
+        format_table(
+            ["DC", "SUITE", "MSB", "SB", "RPP", "extra servers"],
+            rows,
+            title=f"Peak reduction by level ({n_instances} instances/DC, test week)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["DC", "round-robin", "random", "SmoothOperator"],
+            baseline_rows,
+            title="RPP-level reduction vs the original placement, by policy",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 480)

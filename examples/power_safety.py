@@ -1,0 +1,75 @@
+"""Power safety under bursty traffic (Sec. 3.2's claim, demonstrated).
+
+Injects a daily latency-critical traffic surge — the "bursty traffic due to
+power failure of neighboring datacenters" the paper worries about — into
+the held-out week, and runs a Dynamo-style hierarchical power-capping loop
+under both the legacy and the workload-aware placements.
+
+The legacy placement concentrates the surge in the sub-trees that hold the
+user-facing services, so *those* nodes blow their budgets and the capping
+system must throttle latency-critical servers (QoS damage).  The
+workload-aware placement shares the surge across all nodes, where capping
+can shed batch power instead.
+
+Run:  python examples/power_safety.py [surge_factor]
+"""
+
+import sys
+
+from repro.analysis import experiments as E
+from repro.analysis import format_table
+from repro.infra import compare_capping
+
+
+def main(surge_factor: float = 1.25) -> None:
+    study = E.run_power_safety(
+        "DC3",
+        surge_factor=surge_factor,
+        n_instances=480,
+        step_minutes=10,
+    )
+
+    rows = []
+    for label in ("oblivious", "smoothoperator"):
+        report = study.reports[label]
+        rows.append(
+            [
+                label,
+                report.total_event_steps,
+                f"{report.lc_energy_shed / 1e3:.1f}",
+                f"{report.batch_energy_shed / 1e3:.1f}",
+                len(report.capped_nodes()),
+                report.residual_overload_steps,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "placement",
+                "capping events",
+                "LC shed (kW-min)",
+                "batch shed (kW-min)",
+                "nodes capped",
+                "residual overloads",
+            ],
+            rows,
+            title=f"Capping under a {surge_factor:.2f}x LC surge (DC3, test week)",
+        )
+    )
+
+    ranked = compare_capping(study.reports)
+    best = ranked[0][0]
+    lc_ratio = (
+        study.lc_shed("oblivious") / study.lc_shed("smoothoperator")
+        if study.lc_shed("smoothoperator") > 0
+        else float("inf")
+    )
+    print(
+        f"\nLeast QoS damage: {best}. The workload-aware placement sheds "
+        f"{lc_ratio:.1f}x less latency-critical energy — the surge lands on "
+        "nodes that also hold throttleable batch work."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.25)

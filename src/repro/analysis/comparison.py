@@ -1,0 +1,86 @@
+"""Table 1: qualitative comparison with prior approaches.
+
+The paper's Table 1 contrasts SmoothOperator with Power Routing (Pelley et
+al.), Statistical Multiplexing (Govindan et al.) and Distributed UPS
+(Kontorinis et al.) along five capabilities.  Encoded as data so the
+benchmark harness can regenerate the table and tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+CAPABILITIES: Tuple[str, ...] = (
+    "Using temporal information",
+    "Using existing power infra.",
+    "Automated process",
+    "Balancing local peaks",
+    "Proactive planning",
+)
+
+
+@dataclass(frozen=True)
+class ApproachProfile:
+    """One column of Table 1."""
+
+    name: str
+    capabilities: Dict[str, bool]
+
+    def supports(self, capability: str) -> bool:
+        if capability not in CAPABILITIES:
+            raise KeyError(f"unknown capability: {capability!r}")
+        return self.capabilities.get(capability, False)
+
+
+TABLE1: Tuple[ApproachProfile, ...] = (
+    ApproachProfile(
+        "Power Routing",
+        {
+            "Using temporal information": False,
+            "Using existing power infra.": False,
+            "Automated process": True,
+            "Balancing local peaks": True,
+            "Proactive planning": False,
+        },
+    ),
+    ApproachProfile(
+        "Stat. Multiplexing",
+        {
+            "Using temporal information": False,
+            "Using existing power infra.": True,
+            "Automated process": True,
+            "Balancing local peaks": False,
+            "Proactive planning": False,
+        },
+    ),
+    ApproachProfile(
+        "DistributedUPS",
+        {
+            "Using temporal information": True,
+            "Using existing power infra.": False,
+            "Automated process": True,
+            "Balancing local peaks": False,
+            "Proactive planning": False,
+        },
+    ),
+    ApproachProfile(
+        "SmoothOperator",
+        {capability: True for capability in CAPABILITIES},
+    ),
+)
+
+
+def table1_rows() -> List[List[str]]:
+    """Table 1 as printable rows: capability × approach checkmarks."""
+    rows: List[List[str]] = []
+    for capability in CAPABILITIES:
+        row = [capability]
+        for approach in TABLE1:
+            row.append("yes" if approach.supports(capability) else "-")
+        rows.append(row)
+    return rows
+
+
+def table1_headers() -> List[str]:
+    return ["Capability"] + [approach.name for approach in TABLE1]

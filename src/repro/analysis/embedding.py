@@ -1,0 +1,145 @@
+"""Dimensionality reduction for visualising the asynchrony-score space.
+
+Figure 8 projects clustered instances from the |B|-dimensional asynchrony
+space onto 2-D with t-SNE (van der Maaten & Hinton 2008).  This module is a
+compact exact (O(n²)) t-SNE — adequate for the suite-scale point counts the
+figure uses — plus a PCA helper used both for initialisation and as a cheap
+alternative projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+def pca_project(points: np.ndarray, n_components: int = 2) -> np.ndarray:
+    """Project onto the top principal components (centered, unscaled)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D")
+    if not 1 <= n_components <= points.shape[1]:
+        n_components = min(max(1, n_components), points.shape[1])
+    centered = points - points.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return centered @ vt[:n_components].T
+
+
+@dataclass(frozen=True)
+class TSNEConfig:
+    """Hyper-parameters of the exact t-SNE optimiser.
+
+    ``learning_rate=None`` selects ``max(n / early_exaggeration, 10)``, the
+    standard adaptive choice that keeps small embeddings from exploding.
+    """
+
+    perplexity: float = 30.0
+    n_iter: int = 400
+    learning_rate: Optional[float] = None
+    early_exaggeration: float = 6.0
+    exaggeration_iters: int = 80
+    momentum_initial: float = 0.5
+    momentum_final: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.perplexity <= 1:
+            raise ValueError("perplexity must exceed 1")
+        if self.n_iter <= 0 or self.exaggeration_iters < 0:
+            raise ValueError("iteration counts must be positive")
+
+
+def tsne_embed(points: np.ndarray, config: Optional[TSNEConfig] = None) -> np.ndarray:
+    """Exact t-SNE embedding of ``points`` into 2-D.
+
+    Deterministic for a fixed config (the init comes from PCA plus seeded
+    jitter).  Complexity O(n² ) per iteration — use for up to a few thousand
+    points.
+    """
+    config = config if config is not None else TSNEConfig()
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D")
+    n = points.shape[0]
+    if n < 3:
+        raise ValueError("t-SNE needs at least 3 points")
+    perplexity = min(config.perplexity, (n - 1) / 3.0)
+
+    p = _joint_probabilities(points, perplexity)
+    rng = np.random.default_rng(config.seed)
+    embedding = pca_project(points, 2)
+    scale = np.abs(embedding).max()
+    if scale > 0:
+        embedding = embedding / scale * 1e-2
+    embedding = embedding + rng.normal(0.0, 1e-4, size=(n, 2))
+
+    learning_rate = config.learning_rate
+    if learning_rate is None:
+        learning_rate = max(n / config.early_exaggeration, 10.0)
+
+    velocity = np.zeros_like(embedding)
+    gains = np.ones_like(embedding)
+    for iteration in range(config.n_iter):
+        exaggerate = iteration < config.exaggeration_iters
+        p_eff = p * config.early_exaggeration if exaggerate else p
+        grad = _gradient(embedding, p_eff)
+        momentum = (
+            config.momentum_initial
+            if iteration < config.exaggeration_iters
+            else config.momentum_final
+        )
+        same_sign = np.sign(grad) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        gains = np.maximum(gains, 0.01)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0)
+    return embedding
+
+
+def _joint_probabilities(points: np.ndarray, perplexity: float) -> np.ndarray:
+    """Symmetrised conditional probabilities with per-point sigma search."""
+    n = points.shape[0]
+    sq = ((points[:, np.newaxis, :] - points[np.newaxis, :, :]) ** 2).sum(axis=2)
+    target_entropy = np.log(perplexity)
+    conditional = np.zeros((n, n))
+    for i in range(n):
+        distances = sq[i].copy()
+        distances[i] = np.inf
+        beta_low, beta_high = 1e-20, 1e20
+        beta = 1.0
+        for _ in range(64):
+            weights = np.exp(-distances * beta)
+            total = weights.sum()
+            if total <= 0:
+                beta /= 2
+                continue
+            probabilities = weights / total
+            nonzero = probabilities[probabilities > 0]
+            entropy = -np.sum(nonzero * np.log(nonzero))
+            if abs(entropy - target_entropy) < 1e-5:
+                break
+            if entropy > target_entropy:
+                beta_low = beta
+                beta = beta * 2 if beta_high >= 1e20 else (beta + beta_high) / 2
+            else:
+                beta_high = beta
+                beta = beta / 2 if beta_low <= 1e-20 else (beta + beta_low) / 2
+        conditional[i] = weights / max(total, 1e-300)
+        conditional[i, i] = 0.0
+    joint = (conditional + conditional.T) / (2.0 * n)
+    return np.maximum(joint, 1e-12)
+
+
+def _gradient(embedding: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """KL-divergence gradient with the Student-t low-dimensional kernel."""
+    diff = embedding[:, np.newaxis, :] - embedding[np.newaxis, :, :]
+    sq = (diff * diff).sum(axis=2)
+    inv = 1.0 / (1.0 + sq)
+    np.fill_diagonal(inv, 0.0)
+    q = inv / max(inv.sum(), 1e-300)
+    q = np.maximum(q, 1e-12)
+    factor = (p - q) * inv
+    return 4.0 * (factor[:, :, np.newaxis] * diff).sum(axis=1)

@@ -1,0 +1,484 @@
+"""SVG figure rendering — regenerate the paper's figures as viewable files.
+
+Produces self-contained HTML pages (inline SVG + a data-table view) for the
+time-series and bar figures.  Styling follows a validated reference palette
+(categorical slots assigned in fixed order, light/dark variants selected per
+mode), thin marks (2px lines, ≤24px bars with rounded data-ends and 2px
+surface gaps), recessive hairline gridlines, text in text tokens rather
+than series colors, a legend whenever two or more series are plotted, and a
+table view under every chart (which also satisfies the contrast-relief
+obligation for the lighter categorical slots).
+"""
+
+from __future__ import annotations
+
+import html
+import math
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+PathLike = Union[str, pathlib.Path]
+
+# ----------------------------------------------------------------------
+# Palette roles (reference instance; light/dark selected, validated).
+# ----------------------------------------------------------------------
+_STYLE = """
+.viz-root {
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #7a7973;
+  --grid: #e8e7e3;
+  --series-1: #2a78d6;
+  --series-2: #1baf7a;
+  --series-3: #eda100;
+  --series-4: #008300;
+  --series-5: #4a3aa7;
+  --series-6: #e34948;
+  background: var(--surface-1);
+  color: var(--text-primary);
+  font-family: -apple-system, "Segoe UI", Roboto, Helvetica, Arial, sans-serif;
+  max-width: 900px;
+  margin: 2rem auto;
+  padding: 0 1rem 3rem;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #8f8e85;
+    --grid: #33332f;
+    --series-1: #3987e5;
+    --series-2: #199e70;
+    --series-3: #c98500;
+    --series-4: #008300;
+    --series-5: #9085e9;
+    --series-6: #e66767;
+  }
+}
+.viz-root h1 { font-size: 1.15rem; font-weight: 600; margin-bottom: 0.2rem; }
+.viz-root p.subtitle { color: var(--text-secondary); font-size: 0.85rem; margin-top: 0; }
+.viz-root svg { display: block; margin: 1.2rem 0; }
+.viz-root table {
+  border-collapse: collapse; font-size: 0.8rem; margin-top: 1rem;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root th, .viz-root td {
+  text-align: right; padding: 0.25rem 0.7rem;
+  border-bottom: 1px solid var(--grid);
+}
+.viz-root th:first-child, .viz-root td:first-child { text-align: left; }
+.viz-root th { color: var(--text-secondary); font-weight: 600; }
+.viz-root details summary { color: var(--text-secondary); cursor: pointer; font-size: 0.85rem; }
+"""
+
+SERIES_VARS = [f"var(--series-{i})" for i in range(1, 7)]
+
+_TEXT = 'fill="var(--text-secondary)" font-size="11"'
+_TEXT_SMALL = 'fill="var(--text-muted)" font-size="10"'
+
+
+def _fmt(value: float) -> str:
+    """Clean human number for labels/ticks."""
+    if abs(value) >= 10_000:
+        return f"{value / 1000:,.0f}k"
+    if abs(value) >= 100:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:,.3g}"
+    return f"{value:.2g}"
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 4) -> List[float]:
+    """Round tick positions (1/2/5 ladder) covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, target)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if span / step <= target + 1:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _downsample(values: np.ndarray, max_points: int = 360) -> np.ndarray:
+    if values.shape[0] <= max_points:
+        return values
+    stride = int(np.ceil(values.shape[0] / max_points))
+    usable = (values.shape[0] // stride) * stride
+    return values[:usable].reshape(-1, stride).mean(axis=1)
+
+
+@dataclass
+class LineSeries:
+    """One line on a panel; ``band`` optionally holds (lower, upper)."""
+
+    label: str
+    values: np.ndarray
+    band: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+
+def _legend(series_labels: Sequence[str], x: int, y: int) -> str:
+    """Swatch + label row; identity never rides on color alone."""
+    parts = []
+    cursor = x
+    for index, label in enumerate(series_labels):
+        color = SERIES_VARS[index % len(SERIES_VARS)]
+        parts.append(
+            f'<rect x="{cursor}" y="{y - 8}" width="10" height="10" rx="2" fill="{color}"/>'
+        )
+        text = html.escape(label)
+        parts.append(f'<text x="{cursor + 14}" y="{y + 1}" {_TEXT}>{text}</text>')
+        cursor += 14 + int(7 * len(label)) + 18
+    return "".join(parts)
+
+
+def line_panel(
+    series: Sequence[LineSeries],
+    *,
+    width: int = 840,
+    height: int = 190,
+    x_labels: Optional[Sequence[str]] = None,
+    title: str = "",
+    y_unit: str = "W",
+    origin_y: int = 0,
+) -> Tuple[str, int]:
+    """Render one line panel; returns (svg fragment, panel height used)."""
+    pad_left, pad_right, pad_top, pad_bottom = 56, 16, 26, 24
+    plot_w = width - pad_left - pad_right
+    plot_h = height - pad_top - pad_bottom
+
+    sampled = [
+        LineSeries(
+            s.label,
+            _downsample(np.asarray(s.values, dtype=float)),
+            None
+            if s.band is None
+            else (_downsample(np.asarray(s.band[0], dtype=float)),
+                  _downsample(np.asarray(s.band[1], dtype=float))),
+        )
+        for s in series
+    ]
+    lo = min(
+        min(s.values.min() for s in sampled),
+        min((s.band[0].min() for s in sampled if s.band), default=np.inf),
+    )
+    hi = max(
+        max(s.values.max() for s in sampled),
+        max((s.band[1].max() for s in sampled if s.band), default=-np.inf),
+    )
+    span = (hi - lo) or 1.0
+    lo -= span * 0.05
+    hi += span * 0.05
+
+    def sx(i: int, n: int) -> float:
+        return pad_left + plot_w * i / max(1, n - 1)
+
+    def sy(v: float) -> float:
+        return origin_y + pad_top + plot_h * (1.0 - (v - lo) / (hi - lo))
+
+    parts = [
+        f'<text x="{pad_left}" y="{origin_y + 14}" fill="var(--text-primary)" '
+        f'font-size="12" font-weight="600">{html.escape(title)}</text>'
+    ]
+    # Recessive hairline gridlines + clean ticks.
+    for tick in _nice_ticks(lo, hi):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{pad_left}" y1="{y:.1f}" x2="{width - pad_right}" '
+            f'y2="{y:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{pad_left - 6}" y="{y + 3.5:.1f}" {_TEXT_SMALL} '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+    if x_labels:
+        n_ticks = len(x_labels)
+        n_points = len(sampled[0].values)
+        for k, label in enumerate(x_labels):
+            x = sx(int(k * (n_points - 1) / max(1, n_ticks - 1)), n_points)
+            parts.append(
+                f'<text x="{x:.1f}" y="{origin_y + pad_top + plot_h + 15}" '
+                f'{_TEXT_SMALL} text-anchor="middle">{html.escape(label)}</text>'
+            )
+
+    for index, s in enumerate(sampled):
+        color = SERIES_VARS[index % len(SERIES_VARS)]
+        n = len(s.values)
+        if s.band is not None:
+            lower, upper = s.band
+            points_up = " ".join(
+                f"{sx(i, n):.1f},{sy(v):.1f}" for i, v in enumerate(upper)
+            )
+            points_down = " ".join(
+                f"{sx(i, n):.1f},{sy(v):.1f}"
+                for i, v in reversed(list(enumerate(lower)))
+            )
+            parts.append(
+                f'<polygon points="{points_up} {points_down}" fill="{color}" '
+                f'opacity="0.10" stroke="none"/>'
+            )
+        points = " ".join(f"{sx(i, n):.1f},{sy(v):.1f}" for i, v in enumerate(s.values))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round">'
+            f"<title>{html.escape(s.label)}</title></polyline>"
+        )
+    return "".join(parts), height
+
+
+def grouped_bar_chart(
+    categories: Sequence[str],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    *,
+    width: int = 840,
+    height: int = 300,
+    title: str = "",
+    value_suffix: str = "%",
+) -> str:
+    """Grouped columns: ≤24px bars, 4px rounded caps, 2px surface gaps,
+    values on the caps, legend above."""
+    pad_left, pad_right, pad_top, pad_bottom = 56, 16, 44, 28
+    plot_w = width - pad_left - pad_right
+    plot_h = height - pad_top - pad_bottom
+
+    all_values = [v for _, vs in series for v in vs]
+    hi = max(max(all_values), 0.0)
+    lo = min(min(all_values), 0.0)
+    hi += (hi - lo) * 0.12 or 1.0
+
+    def sy(v: float) -> float:
+        return pad_top + plot_h * (1.0 - (v - lo) / (hi - lo))
+
+    baseline = sy(0.0)
+    parts = [
+        f'<text x="{pad_left}" y="16" fill="var(--text-primary)" font-size="12" '
+        f'font-weight="600">{html.escape(title)}</text>',
+        _legend([label for label, _ in series], pad_left, 32),
+    ]
+    for tick in _nice_ticks(lo, hi):
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{pad_left}" y1="{y:.1f}" x2="{width - pad_right}" '
+            f'y2="{y:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{pad_left - 6}" y="{y + 3.5:.1f}" {_TEXT_SMALL} '
+            f'text-anchor="end">{_fmt(tick)}{value_suffix}</text>'
+        )
+
+    n_groups = len(categories)
+    group_w = plot_w / n_groups
+    n_series = len(series)
+    bar_w = min(24.0, (group_w * 0.7 - 2.0 * (n_series - 1)) / n_series)
+    cluster_w = bar_w * n_series + 2.0 * (n_series - 1)
+
+    for g, category in enumerate(categories):
+        group_x = pad_left + group_w * g + (group_w - cluster_w) / 2
+        for s, (label, values) in enumerate(series):
+            value = float(values[g])
+            color = SERIES_VARS[s % len(SERIES_VARS)]
+            x = group_x + s * (bar_w + 2.0)
+            top = sy(max(value, 0.0))
+            bottom = sy(min(value, 0.0))
+            bar_h = max(bottom - top, 0.5)
+            radius = min(4.0, bar_w / 2, bar_h)
+            # Rounded data-end (top), square at the baseline.
+            parts.append(
+                f'<path d="M{x:.1f},{bottom:.1f} L{x:.1f},{top + radius:.1f} '
+                f"Q{x:.1f},{top:.1f} {x + radius:.1f},{top:.1f} "
+                f"L{x + bar_w - radius:.1f},{top:.1f} "
+                f"Q{x + bar_w:.1f},{top:.1f} {x + bar_w:.1f},{top + radius:.1f} "
+                f'L{x + bar_w:.1f},{bottom:.1f} Z" fill="{color}">'
+                f"<title>{html.escape(category)} — {html.escape(label)}: "
+                f"{_fmt(value)}{value_suffix}</title></path>"
+            )
+            parts.append(
+                f'<text x="{x + bar_w / 2:.1f}" y="{top - 4:.1f}" {_TEXT_SMALL} '
+                f'text-anchor="middle">{_fmt(value)}</text>'
+            )
+        parts.append(
+            f'<text x="{pad_left + group_w * (g + 0.5):.1f}" '
+            f'y="{pad_top + plot_h + 17}" {_TEXT} '
+            f'text-anchor="middle">{html.escape(category)}</text>'
+        )
+    parts.append(
+        f'<line x1="{pad_left}" y1="{baseline:.1f}" x2="{width - pad_right}" '
+        f'y2="{baseline:.1f}" stroke="var(--text-muted)" stroke-width="1"/>'
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        f'role="img">{"".join(parts)}</svg>'
+    )
+
+
+def multi_panel_lines(
+    panels: Sequence[Tuple[str, Sequence[LineSeries]]],
+    *,
+    width: int = 840,
+    panel_height: int = 190,
+    x_labels: Optional[Sequence[str]] = None,
+    legend_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Stack several line panels (small multiples) into one SVG."""
+    legend_height = 24 if legend_labels else 0
+    total_height = panel_height * len(panels) + legend_height
+    parts = []
+    if legend_labels:
+        parts.append(_legend(legend_labels, 56, 14))
+    for index, (title, series) in enumerate(panels):
+        fragment, _ = line_panel(
+            series,
+            width=width,
+            height=panel_height,
+            x_labels=x_labels if index == len(panels) - 1 else None,
+            title=title,
+            origin_y=legend_height + index * panel_height,
+        )
+        # line_panel computes y from origin_y internally except the title;
+        # wrap in a group translate for the title row only.
+        parts.append(fragment)
+    return (
+        f'<svg viewBox="0 0 {width} {total_height}" width="{width}" '
+        f'height="{total_height}" role="img">{"".join(parts)}</svg>'
+    )
+
+
+def horizontal_bar_chart(
+    items: Sequence[Tuple[str, float]],
+    *,
+    width: int = 840,
+    title: str = "",
+    value_suffix: str = "%",
+    color_index: int = 0,
+) -> str:
+    """Magnitude-ranked horizontal bars (one series: no legend; values at
+    the bar tips; ≤24px thick with rounded data-ends)."""
+    row_h = 30
+    pad_left, pad_right, pad_top, pad_bottom = 120, 70, 30, 8
+    height = pad_top + row_h * len(items) + pad_bottom
+    plot_w = width - pad_left - pad_right
+    hi = max((v for _, v in items), default=1.0) or 1.0
+    color = SERIES_VARS[color_index % len(SERIES_VARS)]
+
+    parts = [
+        f'<text x="{pad_left}" y="16" fill="var(--text-primary)" font-size="12" '
+        f'font-weight="600">{html.escape(title)}</text>'
+    ]
+    bar_h = min(24, row_h - 8)
+    for row, (label, value) in enumerate(items):
+        y = pad_top + row * row_h + (row_h - bar_h) / 2
+        bar_w = max(plot_w * value / hi, 0.5)
+        radius = min(4.0, bar_h / 2, bar_w)
+        x = pad_left
+        parts.append(
+            f'<path d="M{x:.1f},{y:.1f} L{x + bar_w - radius:.1f},{y:.1f} '
+            f"Q{x + bar_w:.1f},{y:.1f} {x + bar_w:.1f},{y + radius:.1f} "
+            f"L{x + bar_w:.1f},{y + bar_h - radius:.1f} "
+            f"Q{x + bar_w:.1f},{y + bar_h:.1f} {x + bar_w - radius:.1f},{y + bar_h:.1f} "
+            f'L{x:.1f},{y + bar_h:.1f} Z" fill="{color}">'
+            f"<title>{html.escape(label)}: {_fmt(value)}{value_suffix}</title></path>"
+        )
+        parts.append(
+            f'<text x="{pad_left - 8}" y="{y + bar_h / 2 + 4:.1f}" {_TEXT} '
+            f'text-anchor="end">{html.escape(label)}</text>'
+        )
+        parts.append(
+            f'<text x="{x + bar_w + 6:.1f}" y="{y + bar_h / 2 + 4:.1f}" '
+            f"{_TEXT_SMALL}>{_fmt(value)}{value_suffix}</text>"
+        )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        f'role="img">{"".join(parts)}</svg>'
+    )
+
+
+def scatter_chart(
+    points: Sequence[Tuple[float, float, int]],
+    cluster_labels: Sequence[str],
+    *,
+    width: int = 840,
+    height: int = 460,
+    title: str = "",
+) -> str:
+    """Cluster scatter: ≥8px markers with a 2px surface ring, categorical
+    color per cluster, legend present (identity never color-alone)."""
+    pad, pad_top = 24, 48
+    plot_w = width - 2 * pad
+    plot_h = height - pad_top - pad
+
+    xs = np.array([p[0] for p in points], dtype=float)
+    ys = np.array([p[1] for p in points], dtype=float)
+    x_lo, x_hi = xs.min(), xs.max()
+    y_lo, y_hi = ys.min(), ys.max()
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    parts = [
+        f'<text x="{pad}" y="16" fill="var(--text-primary)" font-size="12" '
+        f'font-weight="600">{html.escape(title)}</text>',
+        _legend(cluster_labels, pad, 34),
+    ]
+    for x, y, cluster in points:
+        cx = pad + plot_w * (x - x_lo) / x_span
+        cy = pad_top + plot_h * (1.0 - (y - y_lo) / y_span)
+        color = SERIES_VARS[cluster % len(SERIES_VARS)]
+        label = cluster_labels[cluster] if cluster < len(cluster_labels) else str(cluster)
+        parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="4" fill="{color}" '
+            f'stroke="var(--surface-1)" stroke-width="2">'
+            f"<title>{html.escape(label)}</title></circle>"
+        )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        f'role="img">{"".join(parts)}</svg>'
+    )
+
+
+def data_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """The table view shipped with every chart."""
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(str(c))}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        "<details open><summary>Data table</summary>"
+        f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+        "</details>"
+    )
+
+
+def figure_page(
+    title: str, subtitle: str, svg: str, table_html: str
+) -> str:
+    """Assemble one self-contained HTML figure page."""
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head>"
+        "<body class='viz-root'>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p class='subtitle'>{html.escape(subtitle)}</p>"
+        f"{svg}{table_html}</body></html>"
+    )
+
+
+def write_figure(path: PathLike, page: str) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(page)
+    return path

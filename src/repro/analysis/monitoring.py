@@ -1,0 +1,146 @@
+"""Continuous fragmentation monitoring (the Sec. 3.6 control loop's sensor).
+
+"Our framework continuously records the I-traces and the S-traces, and
+dynamically re-evaluates the severity of the fragmentation problem by
+monitoring the sum of peaks of power traces at each level of power
+infrastructure."  A :class:`FragmentationMonitor` ingests periodic trace
+snapshots, tracks each level's sum of peaks and worst node against the
+values observed at deployment time, and raises advisories when drift
+exceeds configured thresholds — the trigger for running the remapping
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.metrics import node_asynchrony_scores
+from ..infra.aggregation import NodePowerView
+from ..infra.assignment import Assignment
+from ..traces.traceset import TraceSet
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Drift thresholds.
+
+    An advisory fires when a level's sum of peaks grows by more than
+    ``sum_of_peaks_tolerance`` (fractional) over its deployment-time
+    reference, or when any node's asynchrony score falls below
+    ``min_asynchrony``.
+    """
+
+    level: str
+    sum_of_peaks_tolerance: float = 0.05
+    min_asynchrony: float = 1.02
+
+    def __post_init__(self) -> None:
+        if self.sum_of_peaks_tolerance < 0:
+            raise ValueError("tolerance cannot be negative")
+        if self.min_asynchrony < 1.0:
+            raise ValueError("asynchrony scores are never below 1.0")
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """One monitoring finding: what drifted, where, and how badly."""
+
+    kind: str  # "sum_of_peaks" or "node_asynchrony"
+    level: str
+    node_name: Optional[str]
+    observed: float
+    reference: float
+
+    @property
+    def severity(self) -> float:
+        """Fractional drift beyond the reference (higher = worse)."""
+        if self.reference == 0:
+            return 0.0
+        return abs(self.observed - self.reference) / abs(self.reference)
+
+
+@dataclass
+class Snapshot:
+    """One monitoring observation."""
+
+    label: str
+    sum_of_peaks: float
+    worst_node: Optional[str]
+    min_asynchrony: float
+    advisories: List[Advisory] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.advisories
+
+
+class FragmentationMonitor:
+    """Tracks a placement's fragmentation over successive trace snapshots."""
+
+    def __init__(self, assignment: Assignment, config: MonitorConfig) -> None:
+        self.assignment = assignment
+        self.config = config
+        self._reference_sum_of_peaks: Optional[float] = None
+        self.history: List[Snapshot] = []
+
+    # ------------------------------------------------------------------
+    def calibrate(self, traces: TraceSet) -> Snapshot:
+        """Record the deployment-time reference from the first snapshot."""
+        snapshot = self._measure("calibration", traces, check=False)
+        self._reference_sum_of_peaks = snapshot.sum_of_peaks
+        self.history.append(snapshot)
+        return snapshot
+
+    def observe(self, label: str, traces: TraceSet) -> Snapshot:
+        """Ingest a new snapshot and evaluate drift against the reference."""
+        if self._reference_sum_of_peaks is None:
+            raise RuntimeError("monitor must be calibrated before observing")
+        snapshot = self._measure(label, traces, check=True)
+        self.history.append(snapshot)
+        return snapshot
+
+    def needs_remapping(self) -> bool:
+        """True if the most recent snapshot raised any advisory."""
+        return bool(self.history) and not self.history[-1].healthy
+
+    # ------------------------------------------------------------------
+    def _measure(self, label: str, traces: TraceSet, *, check: bool) -> Snapshot:
+        view = NodePowerView(self.assignment.topology, self.assignment, traces)
+        sum_of_peaks = view.sum_of_peaks(self.config.level)
+        scores = node_asynchrony_scores(self.assignment, traces, self.config.level)
+        worst = min(scores, key=scores.get) if scores else None
+        min_score = min(scores.values()) if scores else 1.0
+
+        advisories: List[Advisory] = []
+        if check:
+            reference = self._reference_sum_of_peaks
+            assert reference is not None
+            if sum_of_peaks > reference * (1.0 + self.config.sum_of_peaks_tolerance):
+                advisories.append(
+                    Advisory(
+                        kind="sum_of_peaks",
+                        level=self.config.level,
+                        node_name=None,
+                        observed=sum_of_peaks,
+                        reference=reference,
+                    )
+                )
+            for node_name, score in scores.items():
+                if score < self.config.min_asynchrony:
+                    advisories.append(
+                        Advisory(
+                            kind="node_asynchrony",
+                            level=self.config.level,
+                            node_name=node_name,
+                            observed=score,
+                            reference=self.config.min_asynchrony,
+                        )
+                    )
+        return Snapshot(
+            label=label,
+            sum_of_peaks=sum_of_peaks,
+            worst_node=worst,
+            min_asynchrony=min_score,
+            advisories=advisories,
+        )

@@ -1,0 +1,79 @@
+"""Plain-text report rendering for experiment outputs.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """``0.131`` → ``"13.1%"``."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    materialised: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in materialised)
+    return "\n".join(parts)
+
+
+def format_series(
+    name: str, values: Sequence[float], *, max_points: int = 12
+) -> str:
+    """A compact one-line summary of a time series (for figure benches)."""
+    if len(values) == 0:
+        return f"{name}: (empty)"
+    step = max(1, len(values) // max_points)
+    sampled = [f"{values[i]:.3f}" for i in range(0, len(values), step)]
+    return f"{name}: [{', '.join(sampled)}] (n={len(values)})"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Unicode sparkline of a series — a terminal stand-in for a figure."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if len(values) == 0:
+        return ""
+    step = max(1, len(values) // width)
+    sampled = [values[i] for i in range(0, len(values), step)]
+    low = min(sampled)
+    high = max(sampled)
+    span = high - low
+    if span == 0:
+        return blocks[0] * len(sampled)
+    indices = [int((v - low) / span * (len(blocks) - 1)) for v in sampled]
+    return "".join(blocks[i] for i in indices)

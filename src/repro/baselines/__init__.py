@@ -1,0 +1,44 @@
+"""Baseline placements and prior-work comparators.
+
+Oblivious (service-grouped) and random placements bracket the placement
+space; StatProf reimplements the statistical-multiplexing provisioning prior
+work compared against in Figure 11.
+"""
+
+from .esd import (
+    BatterySpec,
+    ShavingResult,
+    overload_episode_durations,
+    required_battery_energy,
+    shave_peaks,
+)
+from .oblivious import fill_leaves_in_order, oblivious_placement
+from .random_placement import random_placement, round_robin_placement
+from .statprof import (
+    FIGURE11_CONFIGS,
+    StatProfConfig,
+    instance_provisions,
+    provisioning_comparison,
+    smoothoperator_required_budget,
+    statprof_node_budget,
+    statprof_required_budget,
+)
+
+__all__ = [
+    "BatterySpec",
+    "ShavingResult",
+    "shave_peaks",
+    "required_battery_energy",
+    "overload_episode_durations",
+    "oblivious_placement",
+    "fill_leaves_in_order",
+    "random_placement",
+    "round_robin_placement",
+    "StatProfConfig",
+    "FIGURE11_CONFIGS",
+    "instance_provisions",
+    "statprof_node_budget",
+    "statprof_required_budget",
+    "smoothoperator_required_budget",
+    "provisioning_comparison",
+]

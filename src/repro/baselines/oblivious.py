@@ -1,0 +1,112 @@
+"""Oblivious (service-grouped) placement — the paper's baseline.
+
+"In such a datacenter, instances of the same services are typically placed
+together" (Sec. 1): service teams rack their machines contiguously, so
+synchronous instances share sub-trees and fragment the power budget.
+
+A ``mixing`` knob interpolates toward a random placement: the paper observes
+that DC1's original placement was already fairly balanced while DC3's was
+strongly service-grouped (Sec. 5.2.1), which is why DC3 gains most.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..infra.assignment import Assignment, AssignmentError
+from ..infra.topology import PowerTopology
+from ..traces.instance import InstanceRecord
+
+
+def oblivious_placement(
+    records: Sequence[InstanceRecord],
+    topology: PowerTopology,
+    *,
+    mixing: float = 0.0,
+    seed: int = 0,
+) -> Assignment:
+    """Fill leaves depth-first with instances grouped by service.
+
+    Parameters
+    ----------
+    mixing:
+        Fraction of instances whose positions are randomly permuted after
+        the service-sort; 0.0 = pure service grouping, 1.0 = fully random.
+    seed:
+        RNG seed for the mixing permutation.
+    """
+    if not 0.0 <= mixing <= 1.0:
+        raise ValueError(f"mixing must be in [0, 1], got {mixing}")
+    if not records:
+        raise ValueError("nothing to place")
+
+    ordered = sorted(records, key=lambda r: (r.service, r.instance_id))
+    if mixing > 0.0:
+        rng = np.random.default_rng(seed)
+        n = len(ordered)
+        k = int(round(mixing * n))
+        if k >= 2:
+            chosen = rng.choice(n, size=k, replace=False)
+            shuffled = chosen.copy()
+            rng.shuffle(shuffled)
+            items = list(ordered)
+            for src, dst in zip(chosen, shuffled):
+                items[dst] = ordered[src]
+            ordered = items
+
+    return fill_leaves_in_order(ordered, topology)
+
+
+def fill_leaves_in_order(
+    records: Sequence[InstanceRecord], topology: PowerTopology
+) -> Assignment:
+    """Lay instances across leaves contiguously, every leaf populated.
+
+    Leaves are visited in tree order and each receives an (almost) equal
+    share, so consecutive instances land in the same sub-tree — the "racked
+    together" behaviour — while no rack sits dark.  Real datacenters do not
+    leave entire racks unpowered; they rack service rows side by side.
+    """
+    leaves = topology.leaves()
+    capacity = topology.total_leaf_capacity()
+    if capacity is not None and len(records) > capacity:
+        raise AssignmentError(
+            f"{len(records)} instances exceed total capacity {capacity}"
+        )
+    shares = _balanced_shares(len(records), leaves)
+    mapping: Dict[str, str] = {}
+    cursor = 0
+    used = 0
+    for record in records:
+        while used >= shares[cursor]:
+            cursor += 1
+            used = 0
+            if cursor >= len(leaves):
+                raise AssignmentError("ran out of leaf capacity during fill")
+        mapping[record.instance_id] = leaves[cursor].name
+        used += 1
+    return Assignment(topology, mapping)
+
+
+def _balanced_shares(n: int, leaves) -> List[int]:
+    """Near-equal per-leaf shares, honouring capacities via waterfill."""
+    count = len(leaves)
+    shares = [n // count + (1 if i < n % count else 0) for i in range(count)]
+    for _ in range(count):
+        overflow = 0
+        for i, leaf in enumerate(leaves):
+            if leaf.capacity is not None and shares[i] > leaf.capacity:
+                overflow += shares[i] - leaf.capacity
+                shares[i] = leaf.capacity
+        if overflow == 0:
+            break
+        for i, leaf in enumerate(leaves):
+            if overflow == 0:
+                break
+            room = float("inf") if leaf.capacity is None else leaf.capacity - shares[i]
+            take = int(min(room, overflow))
+            shares[i] += take
+            overflow -= take
+    return shares

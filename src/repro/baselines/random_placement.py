@@ -1,0 +1,63 @@
+"""Random placement baseline.
+
+A uniformly random spread is a surprisingly strong de-fragmenter (it mixes
+services by accident) and provides a sanity floor for the workload-aware
+placer: SmoothOperator should beat random, and random should beat oblivious.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..infra.assignment import Assignment
+from ..infra.topology import PowerTopology
+from ..traces.instance import InstanceRecord
+from .oblivious import fill_leaves_in_order
+
+
+def random_placement(
+    records: Sequence[InstanceRecord],
+    topology: PowerTopology,
+    *,
+    seed: int = 0,
+) -> Assignment:
+    """Shuffle the fleet uniformly, then pack leaves in tree order."""
+    if not records:
+        raise ValueError("nothing to place")
+    rng = np.random.default_rng(seed)
+    order = list(records)
+    permutation = rng.permutation(len(order))
+    shuffled = [order[i] for i in permutation]
+    return fill_leaves_in_order(shuffled, topology)
+
+
+def round_robin_placement(
+    records: Sequence[InstanceRecord],
+    topology: PowerTopology,
+) -> Assignment:
+    """Deal instances across leaves in service-sorted order.
+
+    A trace-blind but spread-aware heuristic: consecutive instances of one
+    service land on *different* leaves, so it already defeats the grossest
+    fragmentation without knowing anything about power.
+    """
+    if not records:
+        raise ValueError("nothing to place")
+    leaves = topology.leaves()
+    ordered = sorted(records, key=lambda r: (r.service, r.instance_id))
+    mapping: Dict[str, str] = {}
+    used = {leaf.name: 0 for leaf in leaves}
+    cursor = 0
+    for record in ordered:
+        for _ in range(len(leaves)):
+            leaf = leaves[cursor % len(leaves)]
+            cursor += 1
+            if leaf.capacity is None or used[leaf.name] < leaf.capacity:
+                mapping[record.instance_id] = leaf.name
+                used[leaf.name] += 1
+                break
+        else:
+            raise ValueError("ran out of leaf capacity during round-robin fill")
+    return Assignment(topology, mapping)

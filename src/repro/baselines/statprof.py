@@ -1,0 +1,142 @@
+"""StatProf: statistical-profiling-based provisioning (Govindan et al.).
+
+The prior work SmoothOperator compares against in Figure 11 models each
+instance's power as a distribution (CDF) and provisions power nodes from
+per-instance percentiles rather than time-aligned traces:
+
+* **under-provisioning** ``u`` — a node supplying instance set *M* gets a
+  budget of ``Σ_{i∈M} c_{i,u}`` where ``c_{i,u}`` is the ``(100−u)``-th
+  percentile of instance *i*'s power profile;
+* **overbooking** ``δ`` — the requirement is further divided by ``(1+δ)``,
+  banking on the improbability of simultaneous highs.
+
+Because the per-instance percentiles are summed, StatProf's level-total is
+*placement independent*; it cannot exploit asynchrony the way
+SmoothOperator's time-aligned aggregation does — which is exactly the gap
+Figure 11 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..infra.aggregation import NodePowerView
+from ..infra.assignment import Assignment
+from ..traces.traceset import TraceSet
+
+#: The (u, δ) configurations plotted in Figure 11.
+FIGURE11_CONFIGS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (1.0, 0.01),
+    (5.0, 0.05),
+    (10.0, 0.10),
+)
+
+
+@dataclass(frozen=True)
+class StatProfConfig:
+    """One StatProf operating point ``(u, δ)``."""
+
+    under_provision: float = 0.0
+    overbooking: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.under_provision < 100:
+            raise ValueError("under_provision must be in [0, 100)")
+        if self.overbooking < 0:
+            raise ValueError("overbooking cannot be negative")
+
+    @property
+    def label(self) -> str:
+        return f"StatProf({self.under_provision:g}, {self.overbooking:g})"
+
+
+def instance_provisions(traces: TraceSet, under_provision: float) -> np.ndarray:
+    """``c_{i,u}`` for every instance: its ``(100−u)``-th percentile power."""
+    if not 0 <= under_provision < 100:
+        raise ValueError("under_provision must be in [0, 100)")
+    q = 100.0 - under_provision
+    return np.percentile(traces.matrix, q, axis=1)
+
+
+def statprof_node_budget(
+    member_ids: Sequence[str], traces: TraceSet, config: StatProfConfig
+) -> float:
+    """Budget StatProf assigns a node supplying ``member_ids``."""
+    if not member_ids:
+        return 0.0
+    q = 100.0 - config.under_provision
+    total = 0.0
+    for instance_id in member_ids:
+        total += float(np.percentile(traces.row(instance_id), q))
+    return total / (1.0 + config.overbooking)
+
+
+def statprof_required_budget(
+    assignment: Assignment, traces: TraceSet, level: str, config: StatProfConfig
+) -> float:
+    """Total StatProf provisioning requirement at one level of the tree.
+
+    Since per-instance percentiles sum, the result equals
+    ``Σ_i c_{i,u} / (1+δ)`` regardless of how the level partitions the
+    fleet — StatProf is placement-blind by construction.
+    """
+    provisions = instance_provisions(traces, config.under_provision)
+    by_id = dict(zip(traces.ids, provisions))
+    total = 0.0
+    for node in assignment.topology.nodes_at_level(level):
+        for instance_id in assignment.instances_under(node.name):
+            total += by_id[instance_id]
+    return total / (1.0 + config.overbooking)
+
+
+def smoothoperator_required_budget(
+    view: NodePowerView, level: str, config: StatProfConfig
+) -> float:
+    """The SmoOp(u, δ) counterpart: per-node *aggregate-trace* percentiles.
+
+    SmoothOperator applies under-provisioning to the node's time-aligned
+    aggregate (which already cancels asynchronous peaks) and the same
+    overbooking discount.
+    """
+    q = 100.0 - config.under_provision
+    total = 0.0
+    for node in view.topology.nodes_at_level(level):
+        total += view.node_percentile(node.name, q)
+    return total / (1.0 + config.overbooking)
+
+
+def provisioning_comparison(
+    assignment: Assignment,
+    view: NodePowerView,
+    traces: TraceSet,
+    *,
+    configs: Iterable[Tuple[float, float]] = FIGURE11_CONFIGS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 11's full grid for one datacenter.
+
+    Returns ``{level: {"StatProf(u, d)": budget, "SmoOp(u, d)": budget}}``,
+    with budgets normalised to the naive requirement ``Σ_i peak_i`` (the sum
+    of every instance's peak — what peak-provisioning each instance
+    individually would demand).
+    """
+    naive = float(traces.peaks().sum())
+    if naive <= 0:
+        raise ValueError("fleet has zero power; nothing to compare")
+    result: Dict[str, Dict[str, float]] = {}
+    for level in assignment.topology.levels():
+        row: Dict[str, float] = {}
+        for u, delta in configs:
+            config = StatProfConfig(under_provision=u, overbooking=delta)
+            row[config.label] = (
+                statprof_required_budget(assignment, traces, level, config) / naive
+            )
+            smoop_label = f"SmoOp({u:g}, {delta:g})"
+            row[smoop_label] = (
+                smoothoperator_required_budget(view, level, config) / naive
+            )
+        result[level] = row
+    return result

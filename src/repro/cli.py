@@ -1,0 +1,218 @@
+"""Command-line interface: regenerate paper experiments from the terminal.
+
+Usage::
+
+    smoothoperator list
+    smoothoperator fig10 [--instances N]
+    smoothoperator fig13
+    smoothoperator table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import experiments
+from .analysis.comparison import table1_headers, table1_rows
+from .analysis.report import format_percent, format_table
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    for name in experiments.DATACENTER_NAMES:
+        dc = experiments.get_datacenter(name, n_instances=args.instances)
+        rows = [
+            (service, format_percent(share))
+            for service, share in experiments.run_figure5(dc)
+        ]
+        print(format_table(["service", "share"], rows, title=f"Figure 5 — {name}"))
+        print()
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    dc = experiments.get_datacenter("DC1", n_instances=args.instances)
+    summary = experiments.run_figure6(dc)
+    rows = [
+        (
+            service,
+            f"{stats['median_peak']:.1f}",
+            f"{stats['median_valley']:.1f}",
+            format_percent(stats["diurnal_swing"]),
+            format_percent(stats["heterogeneity"]),
+        )
+        for service, stats in summary.items()
+    ]
+    print(
+        format_table(
+            ["service", "median peak", "median valley", "diurnal swing", "heterogeneity"],
+            rows,
+            title="Figure 6 — diurnal patterns (DC1)",
+        )
+    )
+
+
+def _cmd_fig10(args: argparse.Namespace) -> None:
+    result = experiments.run_figure10(n_instances=args.instances)
+    levels = ["suite", "msb", "sb", "rpp"]
+    rows = []
+    for name, reductions in result.items():
+        rows.append(
+            [name]
+            + [format_percent(reductions.get(level, 0.0)) for level in levels]
+            + [format_percent(reductions["extra_servers"])]
+        )
+    print(
+        format_table(
+            ["DC"] + [level.upper() for level in levels] + ["extra servers"],
+            rows,
+            title="Figure 10 — peak power reduction by level",
+        )
+    )
+
+
+def _cmd_fig11(args: argparse.Namespace) -> None:
+    for name in experiments.DATACENTER_NAMES:
+        grid = experiments.run_figure11(name, n_instances=args.instances)
+        labels = sorted(next(iter(grid.values())).keys())
+        rows = [
+            [level] + [f"{grid[level][label]:.3f}" for label in labels]
+            for level in grid
+        ]
+        print(format_table(["level"] + labels, rows, title=f"Figure 11 — {name}"))
+        print()
+
+
+def _cmd_fig13(args: argparse.Namespace) -> None:
+    result = experiments.run_figure13(n_instances=args.instances)
+    rows = [
+        [
+            name,
+            format_percent(row["lc_conversion"]),
+            format_percent(row["batch_conversion"]),
+            format_percent(row["lc_throttle_boost"]),
+            format_percent(row["batch_throttle_boost"]),
+        ]
+        for name, row in result.items()
+    ]
+    print(
+        format_table(
+            ["DC", "LC (conv)", "Batch (conv)", "LC (+thr/boost)", "Batch (+thr/boost)"],
+            rows,
+            title="Figure 13 — throughput improvement",
+        )
+    )
+
+
+def _cmd_fig14(args: argparse.Namespace) -> None:
+    result = experiments.run_figure14(n_instances=args.instances)
+    rows = [
+        [name, format_percent(row["average"]), format_percent(row["off_peak"])]
+        for name, row in result.items()
+    ]
+    print(
+        format_table(
+            ["DC", "avg slack reduction", "off-peak slack reduction"],
+            rows,
+            title="Figure 14 — power slack reduction",
+        )
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    print(format_table(table1_headers(), table1_rows(), title="Table 1"))
+
+
+def _cmd_figures(args: argparse.Namespace) -> None:
+    from .analysis.gallery import render_all
+
+    paths = render_all("figures", n_instances=args.instances)
+    for path in paths:
+        print(path)
+
+
+def _cmd_safety(args: argparse.Namespace) -> None:
+    study = experiments.run_power_safety("DC3", n_instances=args.instances)
+    rows = [
+        [
+            label,
+            report.total_event_steps,
+            f"{report.lc_energy_shed / 1e3:.1f}",
+            f"{report.batch_energy_shed / 1e3:.1f}",
+        ]
+        for label, report in study.reports.items()
+    ]
+    print(
+        format_table(
+            ["placement", "capping events", "LC shed (kW-min)", "batch shed (kW-min)"],
+            rows,
+            title="Power safety — capping under an LC surge (DC3)",
+        )
+    )
+
+
+def _cmd_predictability(args: argparse.Namespace) -> None:
+    from .traces import predictability_report
+
+    rows = []
+    for name in experiments.DATACENTER_NAMES:
+        dc = experiments.get_datacenter(name, n_instances=args.instances)
+        report = predictability_report(dc.records)
+        rows.append(
+            [
+                name,
+                format_percent(report.mean_mape),
+                format_percent(report.mean_abs_peak_error),
+                f"{report.mean_peak_time_error_minutes:.0f} min",
+            ]
+        )
+    print(
+        format_table(
+            ["DC", "mean MAPE", "mean |peak error|", "mean peak-time error"],
+            rows,
+            title="Week-ahead predictability (training avg -> test week)",
+        )
+    )
+
+
+_COMMANDS = {
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig13": _cmd_fig13,
+    "fig14": _cmd_fig14,
+    "table1": _cmd_table1,
+    "figures": _cmd_figures,
+    "safety": _cmd_safety,
+    "predictability": _cmd_predictability,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="smoothoperator",
+        description="Regenerate SmoothOperator (ASPLOS 2018) experiments.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(_COMMANDS) + ["list"],
+        help="experiment to run",
+    )
+    parser.add_argument(
+        "--instances",
+        type=int,
+        default=experiments.DEFAULT_N_INSTANCES,
+        help="fleet size per datacenter",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(_COMMANDS):
+            print(name)
+        return 0
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""SmoothOperator's core contribution: asynchrony-aware service placement.
+
+Implements Sec. 3 of the paper: asynchrony scores (Eq. 6-7), I-to-S score
+vectors, balanced k-means clustering, hierarchical round-robin placement,
+differential-score remapping, and the fragmentation metrics of Sec. 2.2.
+"""
+
+from .asynchrony import (
+    asynchrony_score,
+    averaged_group_trace,
+    differential_score,
+    differential_scores_for_node,
+    pairwise_asynchrony,
+    score_matrix,
+    score_vector,
+)
+from .clustering import ClusteringResult, balanced_kmeans, kmeans
+from .greedy import GreedyConfig, GreedyPeakPlacer
+from .optimal import OptimalResult, optimal_leaf_placement
+from .metrics import (
+    LevelFragmentation,
+    fragmentation_report,
+    node_asynchrony_scores,
+    required_budget,
+)
+from .pipeline import (
+    EvaluationReport,
+    OptimizationOutcome,
+    SmoothOperator,
+    SmoothOperatorConfig,
+)
+from .placement import PlacementConfig, PlacementResult, WorkloadAwarePlacer, scoped_placement
+from .remapping import RemapConfig, RemappingEngine, RemapResult, Swap
+
+__all__ = [
+    "scoped_placement",
+    "OptimalResult",
+    "optimal_leaf_placement",
+    "GreedyConfig",
+    "GreedyPeakPlacer",
+    "asynchrony_score",
+    "pairwise_asynchrony",
+    "score_vector",
+    "score_matrix",
+    "averaged_group_trace",
+    "differential_score",
+    "differential_scores_for_node",
+    "kmeans",
+    "balanced_kmeans",
+    "ClusteringResult",
+    "PlacementConfig",
+    "PlacementResult",
+    "WorkloadAwarePlacer",
+    "RemapConfig",
+    "RemappingEngine",
+    "RemapResult",
+    "Swap",
+    "LevelFragmentation",
+    "fragmentation_report",
+    "node_asynchrony_scores",
+    "required_budget",
+    "SmoothOperator",
+    "SmoothOperatorConfig",
+    "OptimizationOutcome",
+    "EvaluationReport",
+]

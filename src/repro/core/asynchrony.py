@@ -1,0 +1,141 @@
+"""Asynchrony scores — the paper's temporal-complementarity metric (Sec. 3.4).
+
+For a set of power traces *M*::
+
+    A_M = Σ_{j∈M} peak(P_j)  /  peak(Σ_{j∈M} P_j)          (Eq. 6)
+
+``A_M = 1`` means every member peaks simultaneously (worst grouping);
+``A_M = |M|`` means aggregation adds nothing to the peak (best grouping).
+
+Instances are embedded for clustering via *I-to-S* score vectors: the
+asynchrony score of the instance's averaged I-trace against each of the
+top-consumer S-traces (Sec. 3.5).  Sec. 3.6's adaptation loop uses the
+*differential* asynchrony score of an instance against the rest of its power
+node.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..traces.series import PowerTrace
+from ..traces.traceset import TraceSet
+
+ArrayLike = Union[np.ndarray, Sequence[float]]
+
+
+def asynchrony_score(traces: Union[TraceSet, Sequence[PowerTrace]]) -> float:
+    """The asynchrony score ``A_M`` of a set of power traces (Eq. 6).
+
+    Accepts either a :class:`TraceSet` or a sequence of :class:`PowerTrace`.
+    Raises on an empty set; a singleton scores exactly 1.0.
+    """
+    if isinstance(traces, TraceSet):
+        if len(traces) == 0:
+            raise ValueError("asynchrony score of an empty set is undefined")
+        numerator = traces.sum_of_peaks()
+        denominator = traces.aggregate_peak()
+    else:
+        traces = list(traces)
+        if not traces:
+            raise ValueError("asynchrony score of an empty set is undefined")
+        numerator = sum(trace.peak() for trace in traces)
+        denominator = PowerTrace.aggregate(traces).peak()
+    if denominator == 0:
+        # All-zero traces peak "together" by convention: perfectly synchronous.
+        return 1.0
+    return numerator / denominator
+
+
+def pairwise_asynchrony(a: PowerTrace, b: PowerTrace) -> float:
+    """The I-to-I asynchrony score of two traces (Eq. 7)."""
+    return asynchrony_score([a, b])
+
+
+def score_vector(instance: PowerTrace, basis: TraceSet) -> np.ndarray:
+    """The I-to-S asynchrony score vector of one instance (Sec. 3.4).
+
+    Element *k* is the asynchrony score between the instance's averaged
+    I-trace and the *k*-th basis S-trace.  Shape ``(len(basis),)``.
+    """
+    instance.grid.require_same(basis.grid)
+    return _score_rows(instance.values[np.newaxis, :], basis)[0]
+
+
+def score_matrix(
+    instances: TraceSet, basis: TraceSet, *, chunk_size: int = 256
+) -> np.ndarray:
+    """I-to-S score vectors for a whole fleet, shape ``(n_instances, n_basis)``.
+
+    Vectorised and chunked: computing ``peak(PI_i + PS_k)`` for all (i, k)
+    pairs materialises an ``(chunk, n_basis, n_samples)`` block at a time
+    rather than the full fleet tensor.
+    """
+    instances.grid.require_same(basis.grid)
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    n = len(instances)
+    scores = np.empty((n, len(basis)))
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        scores[start:stop] = _score_rows(instances.matrix[start:stop], basis)
+    return scores
+
+
+def _score_rows(rows: np.ndarray, basis: TraceSet) -> np.ndarray:
+    """Score each row trace against every basis trace (dense broadcast)."""
+    row_peaks = rows.max(axis=1)                          # (c,)
+    basis_peaks = basis.matrix.max(axis=1)                # (m,)
+    # (c, m, T) broadcast sum, reduced over T immediately.
+    combined_peaks = (rows[:, np.newaxis, :] + basis.matrix[np.newaxis, :, :]).max(axis=2)
+    numerator = row_peaks[:, np.newaxis] + basis_peaks[np.newaxis, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scores = np.where(combined_peaks > 0, numerator / combined_peaks, 1.0)
+    return scores
+
+
+def averaged_group_trace(
+    group: TraceSet, exclude_id: str
+) -> PowerTrace:
+    """``PA_{i,N}``: the averaged aggregate trace of a node, excluding one
+    instance (Sec. 3.6).
+
+    Defined as ``Σ_{j∈S_N, j≠i} PI_j / |S_N − 1|``.
+    """
+    if exclude_id not in group:
+        raise ValueError(f"instance {exclude_id} is not in the group")
+    if len(group) < 2:
+        raise ValueError("differential score needs at least two instances at the node")
+    total = group.matrix.sum(axis=0) - group.row(exclude_id)
+    return PowerTrace(group.grid, total / (len(group) - 1))
+
+
+def differential_score(instance: PowerTrace, group_average: PowerTrace) -> float:
+    """``AD_{i,N}``: differential asynchrony score of an instance against a
+    node's averaged aggregate (Sec. 3.6)::
+
+        AD = (peak(PI_i) + peak(PA_{i,N})) / peak(PI_i + PA_{i,N})
+    """
+    return pairwise_asynchrony(instance, group_average)
+
+
+def differential_scores_for_node(group: TraceSet) -> dict:
+    """Differential asynchrony score of every member of one node's group.
+
+    The instance with the *lowest* score is the node's worst citizen — the
+    swap candidate of the Sec. 3.6 adaptation loop.
+    """
+    if len(group) < 2:
+        raise ValueError("differential scores need at least two instances")
+    total = group.matrix.sum(axis=0)
+    scores = {}
+    divisor = len(group) - 1
+    for trace_id in group.ids:
+        rest = (total - group.row(trace_id)) / divisor
+        instance = group.row(trace_id)
+        combined_peak = float((instance + rest).max())
+        numerator = float(instance.max()) + float(rest.max())
+        scores[trace_id] = numerator / combined_peak if combined_peak > 0 else 1.0
+    return scores

@@ -1,0 +1,102 @@
+"""Greedy marginal-peak placement — an algorithmic alternative to Sec. 3.5.
+
+Instead of clustering + round-robin, assign instances one at a time (in
+descending peak order) to whichever leaf *increases its local aggregate
+peak the least*, subject to capacity and an occupancy-balance constraint.
+This is the natural "online bin-packing" formulation of the problem and a
+strong ablation point for the paper's clustering-based design: greedy is
+O(n × leaves × T) and needs no basis traces, but it is myopic — it cannot
+coordinate spreading a synchronous cohort, which is exactly what the
+cluster-deal achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..infra.assignment import Assignment, AssignmentError
+from ..infra.topology import PowerTopology
+from ..traces.instance import InstanceRecord
+
+
+@dataclass(frozen=True)
+class GreedyConfig:
+    """Tuning for the greedy placer.
+
+    ``balance_slack`` bounds how uneven leaf occupancy may get: a leaf may
+    only receive an instance if its occupancy is within ``balance_slack``
+    of the least-occupied eligible leaf.  0 forces strict round-robin-like
+    balance; larger values let the peak objective dominate.
+    """
+
+    balance_slack: int = 1
+
+    def __post_init__(self) -> None:
+        if self.balance_slack < 0:
+            raise ValueError("balance_slack cannot be negative")
+
+
+class GreedyPeakPlacer:
+    """Place each instance where it adds least to the local peak."""
+
+    def __init__(self, config: Optional[GreedyConfig] = None) -> None:
+        self.config = config if config is not None else GreedyConfig()
+
+    def place(
+        self, records: Sequence[InstanceRecord], topology: PowerTopology
+    ) -> Assignment:
+        if not records:
+            raise ValueError("nothing to place")
+        leaves = topology.leaves()
+        capacity_total = topology.total_leaf_capacity()
+        if capacity_total is not None and len(records) > capacity_total:
+            raise AssignmentError(
+                f"{len(records)} instances exceed total capacity {capacity_total}"
+            )
+
+        grid = records[0].training_trace.grid
+        n_samples = grid.n_samples
+        leaf_values = {leaf.name: np.zeros(n_samples) for leaf in leaves}
+        leaf_peak = {leaf.name: 0.0 for leaf in leaves}
+        occupancy = {leaf.name: 0 for leaf in leaves}
+        mapping: Dict[str, str] = {}
+
+        # Heaviest instances first: they constrain the packing the most.
+        ordered = sorted(
+            records, key=lambda r: (-r.training_trace.peak(), r.instance_id)
+        )
+        for record in ordered:
+            grid.require_same(record.training_trace.grid)
+            values = record.training_trace.values
+            eligible = [
+                leaf
+                for leaf in leaves
+                if leaf.capacity is None or occupancy[leaf.name] < leaf.capacity
+            ]
+            if not eligible:
+                raise AssignmentError("ran out of leaf capacity")
+            min_occupancy = min(occupancy[leaf.name] for leaf in eligible)
+            candidates = [
+                leaf
+                for leaf in eligible
+                if occupancy[leaf.name] <= min_occupancy + self.config.balance_slack
+            ]
+            best_leaf = None
+            best_delta = None
+            for leaf in candidates:
+                new_peak = float((leaf_values[leaf.name] + values).max())
+                delta = new_peak - leaf_peak[leaf.name]
+                if best_delta is None or delta < best_delta - 1e-12:
+                    best_delta = delta
+                    best_leaf = leaf
+            assert best_leaf is not None
+            name = best_leaf.name
+            leaf_values[name] += values
+            leaf_peak[name] = float(leaf_values[name].max())
+            occupancy[name] += 1
+            mapping[record.instance_id] = name
+
+        return Assignment(topology, mapping)

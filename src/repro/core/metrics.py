@@ -1,0 +1,100 @@
+"""Fragmentation metrics over placements (Sec. 2.2).
+
+Couples the infrastructure's power view with the asynchrony machinery to
+report, per level of the tree: sums of peaks, per-node asynchrony scores,
+and slack statistics.  These are the quantities SmoothOperator monitors to
+decide when a placement has gone stale (Sec. 3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..infra.aggregation import NodePowerView
+from ..infra.assignment import Assignment
+from ..infra.topology import PowerTopology
+from ..traces.traceset import TraceSet
+
+
+@dataclass(frozen=True)
+class LevelFragmentation:
+    """Fragmentation summary for one level of the power tree."""
+
+    level: str
+    sum_of_peaks: float
+    node_peaks: Dict[str, float]
+    node_asynchrony: Dict[str, float]
+
+    @property
+    def mean_asynchrony(self) -> float:
+        if not self.node_asynchrony:
+            return 0.0
+        return float(np.mean(list(self.node_asynchrony.values())))
+
+    @property
+    def min_asynchrony(self) -> float:
+        if not self.node_asynchrony:
+            return 0.0
+        return float(min(self.node_asynchrony.values()))
+
+    def worst_node(self) -> Optional[str]:
+        """The most fragmented node: lowest asynchrony score (Sec. 3.6)."""
+        if not self.node_asynchrony:
+            return None
+        return min(self.node_asynchrony.items(), key=lambda item: item[1])[0]
+
+
+def node_asynchrony_scores(
+    assignment: Assignment, traces: TraceSet, level: str
+) -> Dict[str, float]:
+    """Asynchrony score of every node at ``level`` under ``assignment``.
+
+    Score of a node = Σ member peaks / peak of the node's aggregate trace.
+    Nodes with no members are skipped.
+    """
+    scores: Dict[str, float] = {}
+    for node in assignment.topology.nodes_at_level(level):
+        members = assignment.instances_under(node.name)
+        if not members:
+            continue
+        rows = [traces.row(instance_id) for instance_id in members]
+        stacked = np.vstack(rows)
+        aggregate_peak = float(stacked.sum(axis=0).max())
+        sum_peaks = float(stacked.max(axis=1).sum())
+        scores[node.name] = sum_peaks / aggregate_peak if aggregate_peak > 0 else 1.0
+    return scores
+
+
+def fragmentation_report(
+    assignment: Assignment, traces: TraceSet
+) -> Dict[str, LevelFragmentation]:
+    """Per-level fragmentation summary of a placement."""
+    view = NodePowerView(assignment.topology, assignment, traces)
+    report: Dict[str, LevelFragmentation] = {}
+    for level in assignment.topology.levels():
+        peaks = view.peaks_at_level(level)
+        report[level] = LevelFragmentation(
+            level=level,
+            sum_of_peaks=float(sum(peaks.values())),
+            node_peaks=peaks,
+            node_asynchrony=node_asynchrony_scores(assignment, traces, level),
+        )
+    return report
+
+
+def required_budget(view: NodePowerView, level: str, *, under_provision: float = 0.0) -> float:
+    """Total budget needed at ``level`` to supply the placement (Figure 11).
+
+    With ``under_provision = u``, each node is provisioned at the
+    ``(100-u)``-th percentile of its aggregate trace instead of its peak.
+    """
+    if not 0 <= under_provision < 100:
+        raise ValueError("under_provision must be in [0, 100)")
+    q = 100.0 - under_provision
+    total = 0.0
+    for node in view.topology.nodes_at_level(level):
+        total += view.node_percentile(node.name, q)
+    return total

@@ -1,0 +1,298 @@
+"""Workload-aware hierarchical service placement (Sec. 3.5).
+
+The placer walks the power tree top-down.  At each internal node it
+
+1. extracts the S-traces of the top power-consumer services among the
+   instances to be placed under that node,
+2. computes every instance's I-to-S asynchrony-score vector,
+3. runs balanced k-means into ``h`` equal-size clusters (``h`` a multiple of
+   the child count ``q``),
+4. deals each cluster's members round-robin across the children so every
+   child receives ``|c_j| / q`` instances of every cluster,
+
+then recurses until instances reach leaf power nodes.  Synchronous instances
+(same cluster) end up spread evenly; each node's aggregate peak drops.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..infra.assignment import Assignment, AssignmentError
+from ..infra.topology import PowerNode, PowerTopology
+from ..traces.instance import InstanceRecord
+from ..traces.service import extract_basis_traces
+from ..traces.traceset import TraceSet
+from .asynchrony import score_matrix
+from .clustering import balanced_kmeans
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Tuning knobs for the workload-aware placer.
+
+    Attributes
+    ----------
+    top_m_services:
+        Size of the S-trace basis |B| (the paper uses the top ~10 power
+        consumers; clamped to the number of distinct services present).
+    clusters_per_child:
+        ``h = q × clusters_per_child`` clusters at a node with ``q``
+        children (the paper configures h as a multiple of q).
+    seed:
+        Root seed; per-node seeds are derived deterministically from it.
+    rebuild_basis_per_node:
+        Re-extract S-traces from the local instance subset at every
+        recursion step (matches Sec. 3.5's description).  When False the
+        datacenter-level basis is reused throughout, which is faster.
+    """
+
+    top_m_services: int = 10
+    clusters_per_child: int = 2
+    seed: int = 0
+    kmeans_n_init: int = 3
+    kmeans_max_iter: int = 50
+    rebuild_basis_per_node: bool = True
+    score_chunk_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.top_m_services <= 0:
+            raise ValueError("top_m_services must be positive")
+        if self.clusters_per_child <= 0:
+            raise ValueError("clusters_per_child must be positive")
+
+
+@dataclass
+class PlacementResult:
+    """An assignment plus the diagnostics gathered while deriving it."""
+
+    assignment: Assignment
+    basis_services: List[str]
+    #: node name → cluster label per instance id placed under that node
+    cluster_labels: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+def scoped_placement(
+    records: Sequence[InstanceRecord],
+    baseline: Assignment,
+    scope_level: str,
+    config: Optional[PlacementConfig] = None,
+) -> Assignment:
+    """Re-place each ``scope_level`` subtree independently, keeping every
+    instance inside the subtree that currently powers it.
+
+    The paper's Figure 9 works exactly this way (the placement is applied
+    to the subtree of one node N, "our placement policy does not move
+    service instances into or out of the subtree").  Operationally this is
+    the cheap variant: migrations stay within a suite or SB, no cross-room
+    moves.  The cost is that cross-subtree imbalance in the original
+    placement cannot be fixed — the global placer's reductions upper-bound
+    the scoped ones.
+    """
+    topology = baseline.topology
+    by_id = {record.instance_id: record for record in records}
+    missing = [i for i in baseline.instance_ids() if i not in by_id]
+    if missing:
+        raise ValueError(f"records missing for placed instances: {missing[:5]}")
+
+    placer = WorkloadAwarePlacer(config)
+    mapping: Dict[str, str] = {}
+    for node in topology.nodes_at_level(scope_level):
+        member_ids = baseline.instances_under(node.name)
+        if not member_ids:
+            continue
+        subtree = PowerTopology(node)
+        local = placer.place([by_id[i] for i in member_ids], subtree)
+        mapping.update(local.assignment.as_mapping())
+    return Assignment(topology, mapping)
+
+
+class WorkloadAwarePlacer:
+    """SmoothOperator's placement engine (Figure 7, steps 2-4)."""
+
+    def __init__(self, config: Optional[PlacementConfig] = None) -> None:
+        self.config = config if config is not None else PlacementConfig()
+
+    # ------------------------------------------------------------------
+    def place(
+        self, records: Sequence[InstanceRecord], topology: PowerTopology
+    ) -> PlacementResult:
+        """Derive a workload-aware assignment of ``records`` onto ``topology``."""
+        if not records:
+            raise ValueError("nothing to place")
+        capacity = topology.total_leaf_capacity()
+        if capacity is not None and len(records) > capacity:
+            raise AssignmentError(
+                f"{len(records)} instances exceed total leaf capacity {capacity}"
+            )
+        global_basis = extract_basis_traces(records, self.config.top_m_services)
+        mapping: Dict[str, str] = {}
+        diagnostics: Dict[str, Dict[str, int]] = {}
+        self._place_under(
+            topology.root, list(records), global_basis, mapping, diagnostics
+        )
+        assignment = Assignment(topology, mapping)
+        return PlacementResult(
+            assignment=assignment,
+            basis_services=list(global_basis.ids),
+            cluster_labels=diagnostics,
+        )
+
+    # ------------------------------------------------------------------
+    def _place_under(
+        self,
+        node: PowerNode,
+        records: List[InstanceRecord],
+        basis: TraceSet,
+        mapping: Dict[str, str],
+        diagnostics: Dict[str, Dict[str, int]],
+    ) -> None:
+        if not records:
+            return
+        if node.is_leaf:
+            if node.capacity is not None and len(records) > node.capacity:
+                raise AssignmentError(
+                    f"leaf {node.name} receives {len(records)} instances, "
+                    f"capacity {node.capacity}"
+                )
+            for record in records:
+                mapping[record.instance_id] = node.name
+            return
+        if len(node.children) == 1:
+            self._place_under(node.children[0], records, basis, mapping, diagnostics)
+            return
+
+        clusters, labels = self._cluster(node, records, basis)
+        diagnostics[node.name] = {
+            record.instance_id: int(label)
+            for record, label in zip(records, labels)
+        }
+        shares = self._child_shares(node, records)
+        buckets = self._deal_round_robin(node, records, clusters, shares)
+        for child, bucket in zip(node.children, buckets):
+            child_basis = basis
+            if self.config.rebuild_basis_per_node and bucket:
+                child_basis = extract_basis_traces(bucket, self.config.top_m_services)
+            self._place_under(child, bucket, child_basis, mapping, diagnostics)
+
+    # ------------------------------------------------------------------
+    def _cluster(
+        self,
+        node: PowerNode,
+        records: List[InstanceRecord],
+        basis: TraceSet,
+    ) -> Tuple[List[List[InstanceRecord]], np.ndarray]:
+        """Cluster the local instances in asynchrony-score space."""
+        local_basis = basis
+        if self.config.rebuild_basis_per_node:
+            local_basis = extract_basis_traces(records, self.config.top_m_services)
+        traces = TraceSet.from_traces(
+            {record.instance_id: record.training_trace for record in records}
+        )
+        scores = score_matrix(
+            traces, local_basis, chunk_size=self.config.score_chunk_size
+        )
+        q = len(node.children)
+        h = min(len(records), q * self.config.clusters_per_child)
+        h = max(h, 1)
+        result = balanced_kmeans(
+            scores,
+            h,
+            seed=self._node_seed(node),
+            n_init=self.config.kmeans_n_init,
+            max_iter=self.config.kmeans_max_iter,
+        )
+        clusters: List[List[InstanceRecord]] = [[] for _ in range(result.k)]
+        for record, label in zip(records, result.labels):
+            clusters[int(label)].append(record)
+        # Deterministic intra-cluster order: deal the power-hungriest
+        # instances first so the heaviest members spread widest.
+        for cluster in clusters:
+            cluster.sort(
+                key=lambda r: (-r.training_trace.peak(), r.instance_id)
+            )
+        return clusters, result.labels
+
+    def _node_seed(self, node: PowerNode) -> int:
+        return (self.config.seed * 2654435761 + zlib.crc32(node.name.encode())) % (2**32)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _subtree_capacity(node: PowerNode) -> Optional[int]:
+        total = 0
+        for leaf in node.leaves():
+            if leaf.capacity is None:
+                return None
+            total += leaf.capacity
+        return total
+
+    def _child_shares(
+        self, node: PowerNode, records: List[InstanceRecord]
+    ) -> List[int]:
+        """How many instances each child should receive.
+
+        Even split, adjusted down where a child's subtree capacity binds and
+        the overflow pushed to children with room.
+        """
+        q = len(node.children)
+        n = len(records)
+        capacities = [self._subtree_capacity(child) for child in node.children]
+        shares = [n // q + (1 if i < n % q else 0) for i in range(q)]
+        # Waterfill overflow from capacity-bound children.
+        for _ in range(q):
+            overflow = 0
+            for i, capacity in enumerate(capacities):
+                if capacity is not None and shares[i] > capacity:
+                    overflow += shares[i] - capacity
+                    shares[i] = capacity
+            if overflow == 0:
+                break
+            for i, capacity in enumerate(capacities):
+                if overflow == 0:
+                    break
+                room = float("inf") if capacity is None else capacity - shares[i]
+                take = int(min(room, overflow))
+                shares[i] += take
+                overflow -= take
+            if overflow > 0:
+                raise AssignmentError(
+                    f"subtree of {node.name} cannot hold {n} instances"
+                )
+        return shares
+
+    @staticmethod
+    def _deal_round_robin(
+        node: PowerNode,
+        records: List[InstanceRecord],
+        clusters: List[List[InstanceRecord]],
+        shares: List[int],
+    ) -> List[List[InstanceRecord]]:
+        """Deal each cluster's members across children like cards.
+
+        Iterating cluster-by-cluster and child-by-child gives every child
+        ``≈ |c_j| / q`` members of each cluster j — the paper's round-robin
+        heuristic.  Children that reached their share are skipped.
+        """
+        q = len(node.children)
+        buckets: List[List[InstanceRecord]] = [[] for _ in range(q)]
+        child_cursor = 0
+        for cluster in clusters:
+            for record in cluster:
+                placed = False
+                for _ in range(q):
+                    index = child_cursor % q
+                    child_cursor += 1
+                    if len(buckets[index]) < shares[index]:
+                        buckets[index].append(record)
+                        placed = True
+                        break
+                if not placed:
+                    raise AssignmentError(
+                        f"no child of {node.name} can take instance "
+                        f"{record.instance_id}"
+                    )
+        return buckets

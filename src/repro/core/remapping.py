@@ -1,0 +1,225 @@
+"""Incremental placement adaptation via differential-score swaps (Sec. 3.6).
+
+Mid/long-term workload drift slowly degrades a placement.  Rather than
+re-running the full placer, SmoothOperator identifies the most fragmented
+power node (lowest asynchrony score), finds its worst-fitting instance (the
+lowest *differential asynchrony score*, Sec. 3.6), and swaps it with an
+instance from another node — accepting the swap only if the differential
+scores improve at *both* nodes involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..infra.assignment import Assignment
+from ..traces.traceset import TraceSet
+from .metrics import node_asynchrony_scores
+
+
+@dataclass(frozen=True)
+class RemapConfig:
+    """Tuning for the adaptation loop.
+
+    Attributes
+    ----------
+    level:
+        Tree level at which node fragmentation is evaluated (typically the
+        RPP level — the leaves' parents — where fragmentation bites).
+    max_swaps:
+        Upper bound on accepted swaps per run.
+    candidate_nodes:
+        How many peer nodes (highest asynchrony first) to consider as swap
+        partners for the worst node.
+    candidate_instances:
+        How many instances per partner node to evaluate.
+    min_improvement:
+        A swap must raise each node's differential score by at least this
+        much to be accepted (hysteresis against churn).
+    """
+
+    level: str
+    max_swaps: int = 50
+    candidate_nodes: int = 4
+    candidate_instances: int = 16
+    min_improvement: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_swaps < 0:
+            raise ValueError("max_swaps cannot be negative")
+        if self.candidate_nodes <= 0 or self.candidate_instances <= 0:
+            raise ValueError("candidate counts must be positive")
+        if self.min_improvement < 0:
+            raise ValueError("min_improvement cannot be negative")
+
+
+@dataclass(frozen=True)
+class Swap:
+    """One accepted instance exchange."""
+
+    instance_a: str
+    node_a: str
+    instance_b: str
+    node_b: str
+    gain_a: float
+    gain_b: float
+
+
+@dataclass
+class RemapResult:
+    """Outcome of an adaptation run."""
+
+    assignment: Assignment
+    swaps: List[Swap] = field(default_factory=list)
+
+    @property
+    def n_swaps(self) -> int:
+        return len(self.swaps)
+
+
+class _NodeGroup:
+    """Mutable per-node state: member ids and the aggregate value vector."""
+
+    __slots__ = ("name", "members", "total")
+
+    def __init__(self, name: str, members: List[str], traces: TraceSet) -> None:
+        self.name = name
+        self.members = list(members)
+        self.total = np.zeros(traces.grid.n_samples)
+        for instance_id in members:
+            self.total += traces.row(instance_id)
+
+    def asynchrony(self, traces: TraceSet) -> float:
+        if not self.members:
+            return 1.0
+        sum_peaks = sum(float(traces.row(i).max()) for i in self.members)
+        aggregate_peak = float(self.total.max())
+        return sum_peaks / aggregate_peak if aggregate_peak > 0 else 1.0
+
+    def differential(self, instance_values: np.ndarray, *, exclude: Optional[str], traces: TraceSet) -> float:
+        """AD of a (possibly external) instance against this node.
+
+        ``exclude`` removes one current member from the group first — used
+        to evaluate an incoming instance against the group it would join
+        after the outgoing member departs.
+        """
+        rest_total = self.total.copy()
+        count = len(self.members)
+        if exclude is not None:
+            rest_total -= traces.row(exclude)
+            count -= 1
+        if count <= 0:
+            return float(len(self.members) + 1)
+        rest = rest_total / count
+        combined_peak = float((instance_values + rest).max())
+        numerator = float(instance_values.max()) + float(rest.max())
+        return numerator / combined_peak if combined_peak > 0 else 1.0
+
+    def swap_member(self, outgoing: str, incoming: str, traces: TraceSet) -> None:
+        self.members.remove(outgoing)
+        self.members.append(incoming)
+        self.total += traces.row(incoming) - traces.row(outgoing)
+
+
+class RemappingEngine:
+    """Runs the Sec. 3.6 differential-score swap loop."""
+
+    def __init__(self, config: RemapConfig) -> None:
+        self.config = config
+
+    def run(self, assignment: Assignment, traces: TraceSet) -> RemapResult:
+        """Iteratively swap instances out of the most fragmented node."""
+        topology = assignment.topology
+        groups = {
+            node.name: _NodeGroup(
+                node.name, assignment.instances_under(node.name), traces
+            )
+            for node in topology.nodes_at_level(self.config.level)
+            if assignment.instances_under(node.name)
+        }
+        if len(groups) < 2:
+            return RemapResult(assignment=assignment)
+
+        current = assignment
+        swaps: List[Swap] = []
+        for _ in range(self.config.max_swaps):
+            swap = self._best_swap(groups, traces)
+            if swap is None:
+                break
+            current = current.with_swap(swap.instance_a, swap.instance_b)
+            groups[swap.node_a].swap_member(swap.instance_a, swap.instance_b, traces)
+            groups[swap.node_b].swap_member(swap.instance_b, swap.instance_a, traces)
+            swaps.append(swap)
+        return RemapResult(assignment=current, swaps=swaps)
+
+    # ------------------------------------------------------------------
+    def _best_swap(
+        self, groups: Dict[str, _NodeGroup], traces: TraceSet
+    ) -> Optional[Swap]:
+        ranked = sorted(groups.values(), key=lambda g: g.asynchrony(traces))
+        worst = ranked[0]
+        if len(worst.members) < 2:
+            return None
+
+        # Worst-fitting member of the worst node.
+        diffs = {
+            instance_id: worst.differential(
+                traces.row(instance_id), exclude=instance_id, traces=traces
+            )
+            for instance_id in worst.members
+        }
+        outgoing = min(diffs.items(), key=lambda item: item[1])[0]
+        outgoing_values = traces.row(outgoing)
+        outgoing_score_here = diffs[outgoing]
+
+        partners = [g for g in reversed(ranked) if g.name != worst.name]
+        for partner in partners[: self.config.candidate_nodes]:
+            if len(partner.members) < 2:
+                continue
+            candidates = self._candidate_instances(partner, traces)
+            for incoming in candidates:
+                incoming_values = traces.row(incoming)
+                incoming_score_there = partner.differential(
+                    incoming_values, exclude=incoming, traces=traces
+                )
+                # Scores after the hypothetical exchange.
+                incoming_at_worst = worst.differential(
+                    incoming_values, exclude=outgoing, traces=traces
+                )
+                outgoing_at_partner = partner.differential(
+                    outgoing_values, exclude=incoming, traces=traces
+                )
+                gain_worst = incoming_at_worst - outgoing_score_here
+                gain_partner = outgoing_at_partner - incoming_score_there
+                if (
+                    gain_worst > self.config.min_improvement
+                    and gain_partner > self.config.min_improvement
+                ):
+                    return Swap(
+                        instance_a=outgoing,
+                        node_a=worst.name,
+                        instance_b=incoming,
+                        node_b=partner.name,
+                        gain_a=gain_worst,
+                        gain_b=gain_partner,
+                    )
+        return None
+
+    def _candidate_instances(self, group: _NodeGroup, traces: TraceSet) -> List[str]:
+        """Partner-node members most synchronous with their own node first.
+
+        Those contribute most to the partner's peak, so moving them out is
+        likeliest to help both sides.
+        """
+        scored = [
+            (
+                group.differential(traces.row(i), exclude=i, traces=traces),
+                i,
+            )
+            for i in group.members
+        ]
+        scored.sort()
+        return [instance_id for _, instance_id in scored[: self.config.candidate_instances]]

@@ -1,0 +1,23 @@
+"""Synthetic datasets standing in for the paper's production datacenters."""
+
+from .facebook import (
+    Datacenter,
+    DatacenterSpec,
+    all_datacenter_specs,
+    build_datacenter,
+    dc1_spec,
+    dc2_spec,
+    dc3_spec,
+    small_demo_spec,
+)
+
+__all__ = [
+    "Datacenter",
+    "DatacenterSpec",
+    "build_datacenter",
+    "dc1_spec",
+    "dc2_spec",
+    "dc3_spec",
+    "small_demo_spec",
+    "all_datacenter_specs",
+]

@@ -1,0 +1,133 @@
+"""Power aggregation over the tree: per-node traces, peaks, fragmentation.
+
+Given a topology, a placement, and the fleet's traces, a
+:class:`NodePowerView` computes the aggregate power trace at every node
+bottom-up (each node's trace is the sum of its children's).  All of the
+paper's fragmentation metrics — per-level sums of peaks (Sec. 2.2 metric 1),
+power/energy slack (metric 2) — read off this view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..traces.series import PowerTrace
+from ..traces.traceset import TraceSet
+from .assignment import Assignment
+from .topology import PowerNode, PowerTopology
+
+
+class NodePowerView:
+    """Aggregate power at every node of a tree under one placement."""
+
+    def __init__(
+        self,
+        topology: PowerTopology,
+        assignment: Assignment,
+        traces: TraceSet,
+    ) -> None:
+        if assignment.topology is not topology:
+            # Allow equal-but-distinct topologies only if node names agree.
+            theirs = {n.name for n in assignment.topology.nodes()}
+            ours = {n.name for n in topology.nodes()}
+            if theirs != ours:
+                raise ValueError("assignment refers to a different topology")
+        missing = [i for i in assignment.instance_ids() if i not in traces]
+        if missing:
+            raise ValueError(f"assignment places instances without traces: {missing[:5]}")
+        self.topology = topology
+        self.assignment = assignment
+        self.traces = traces
+        self._node_values: Dict[str, np.ndarray] = {}
+        self._aggregate(topology.root)
+
+    def _aggregate(self, node: PowerNode) -> np.ndarray:
+        if node.is_leaf:
+            members = self.assignment.instances_on_leaf(node.name)
+            total = np.zeros(self.traces.grid.n_samples)
+            for instance_id in members:
+                total += self.traces.row(instance_id)
+        else:
+            total = np.zeros(self.traces.grid.n_samples)
+            for child in node.children:
+                total += self._aggregate(child)
+        self._node_values[node.name] = total
+        return total
+
+    # ------------------------------------------------------------------
+    def node_trace(self, node_name: str) -> PowerTrace:
+        self.topology.node(node_name)  # validate
+        return PowerTrace(self.traces.grid, self._node_values[node_name].copy())
+
+    def node_peak(self, node_name: str) -> float:
+        self.topology.node(node_name)
+        return float(self._node_values[node_name].max())
+
+    def node_mean(self, node_name: str) -> float:
+        self.topology.node(node_name)
+        return float(self._node_values[node_name].mean())
+
+    # ------------------------------------------------------------------
+    # fragmentation metrics (Sec. 2.2)
+    # ------------------------------------------------------------------
+    def peaks_at_level(self, level: str) -> Dict[str, float]:
+        return {
+            node.name: float(self._node_values[node.name].max())
+            for node in self.topology.nodes_at_level(level)
+        }
+
+    def sum_of_peaks(self, level: str) -> float:
+        """Σ over level nodes of each node's aggregate peak — metric 1."""
+        return float(sum(self.peaks_at_level(level).values()))
+
+    def sum_of_peaks_by_level(self) -> Dict[str, float]:
+        return {level: self.sum_of_peaks(level) for level in self.topology.levels()}
+
+    def node_percentile(self, node_name: str, q: float) -> float:
+        """The ``q``-th percentile of the node's aggregate trace."""
+        self.topology.node(node_name)
+        return float(np.percentile(self._node_values[node_name], q))
+
+    # ------------------------------------------------------------------
+    # slack metrics (Sec. 2.2 Eq. 1-2; requires budgets on nodes)
+    # ------------------------------------------------------------------
+    def power_slack(self, node_name: str) -> np.ndarray:
+        node = self.topology.node(node_name)
+        if node.budget_watts is None:
+            raise ValueError(f"node {node_name} has no budget assigned")
+        return self.node_trace(node_name).power_slack(node.budget_watts)
+
+    def energy_slack(self, node_name: str) -> float:
+        node = self.topology.node(node_name)
+        if node.budget_watts is None:
+            raise ValueError(f"node {node_name} has no budget assigned")
+        return self.node_trace(node_name).energy_slack(node.budget_watts)
+
+    def utilization(self, node_name: str) -> float:
+        """Mean power / budget at a node — fraction of budget doing work."""
+        node = self.topology.node(node_name)
+        if node.budget_watts is None:
+            raise ValueError(f"node {node_name} has no budget assigned")
+        if node.budget_watts == 0:
+            return 0.0
+        return self.node_mean(node_name) / node.budget_watts
+
+
+def peak_reduction_by_level(
+    before: NodePowerView, after: NodePowerView
+) -> Dict[str, float]:
+    """Fractional sum-of-peaks reduction per level (Figure 10's y-axis).
+
+    Positive values mean ``after`` fragments less than ``before``.
+    """
+    reductions: Dict[str, float] = {}
+    for level in before.topology.levels():
+        peak_before = before.sum_of_peaks(level)
+        peak_after = after.sum_of_peaks(level)
+        if peak_before == 0:
+            reductions[level] = 0.0
+        else:
+            reductions[level] = (peak_before - peak_after) / peak_before
+    return reductions

@@ -1,0 +1,125 @@
+"""Topology builders: construct OCP-style power trees from fan-out specs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .topology import Level, PowerNode, PowerTopology
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Fan-out description for one level of the tree.
+
+    ``fanout`` children of level ``level`` are created under every node of
+    the previous level.
+    """
+
+    level: str
+    fanout: int
+
+    def __post_init__(self) -> None:
+        if self.fanout <= 0:
+            raise ValueError(f"fanout must be positive, got {self.fanout}")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Complete description of a regular power tree.
+
+    Attributes
+    ----------
+    name:
+        Name of the root (datacenter) node.
+    levels:
+        Fan-outs below the root, root-to-leaf order.
+    leaf_capacity:
+        Instance capacity of each leaf node (servers per leaf).
+    """
+
+    name: str
+    levels: Tuple[LevelSpec, ...]
+    leaf_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("topology needs at least one level below the root")
+        seen = {Level.DATACENTER}
+        for spec in self.levels:
+            if spec.level in seen:
+                raise ValueError(f"duplicate level {spec.level!r}")
+            seen.add(spec.level)
+
+    def n_leaves(self) -> int:
+        count = 1
+        for spec in self.levels:
+            count *= spec.fanout
+        return count
+
+    def total_capacity(self) -> Optional[int]:
+        if self.leaf_capacity is None:
+            return None
+        return self.n_leaves() * self.leaf_capacity
+
+
+def build_topology(spec: TopologySpec) -> PowerTopology:
+    """Materialise a :class:`PowerTopology` from a :class:`TopologySpec`.
+
+    Node names are hierarchical (``dc1/suite0/msb1/...``) so that a name
+    alone identifies the node's position.
+    """
+    root = PowerNode(spec.name, Level.DATACENTER)
+    frontier = [root]
+    for depth, level_spec in enumerate(spec.levels):
+        is_leaf_level = depth == len(spec.levels) - 1
+        next_frontier: List[PowerNode] = []
+        for parent in frontier:
+            for index in range(level_spec.fanout):
+                child = PowerNode(
+                    f"{parent.name}/{level_spec.level}{index}",
+                    level_spec.level,
+                    capacity=spec.leaf_capacity if is_leaf_level else None,
+                )
+                parent.add_child(child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return PowerTopology(root)
+
+
+def ocp_spec(
+    name: str,
+    *,
+    suites: int = 4,
+    msbs_per_suite: int = 2,
+    sbs_per_msb: int = 2,
+    rpps_per_sb: int = 3,
+    racks_per_rpp: int = 4,
+    servers_per_rack: int = 30,
+) -> TopologySpec:
+    """The paper's Open-Compute-style four-level tree (Figure 2).
+
+    Datacenter → suites → MSBs → SBs → RPPs → racks; servers live in racks.
+    Defaults give a manageable experiment scale (a real Facebook DC has tens
+    of thousands of servers; scale the fan-outs up for larger studies).
+    """
+    return TopologySpec(
+        name=name,
+        levels=(
+            LevelSpec(Level.SUITE, suites),
+            LevelSpec(Level.MSB, msbs_per_suite),
+            LevelSpec(Level.SB, sbs_per_msb),
+            LevelSpec(Level.RPP, rpps_per_sb),
+            LevelSpec(Level.RACK, racks_per_rpp),
+        ),
+        leaf_capacity=servers_per_rack,
+    )
+
+
+def two_level_spec(name: str, leaves: int, leaf_capacity: int) -> TopologySpec:
+    """The simplified two-level datacenter of Figures 1 and 3."""
+    return TopologySpec(
+        name=name,
+        levels=(LevelSpec(Level.RPP, leaves),),
+        leaf_capacity=leaf_capacity,
+    )

@@ -1,0 +1,109 @@
+"""Headroom analysis: how many extra servers the unlocked budget hosts.
+
+The paper's headline placement result — "host up to 13% more machines ...
+without changing the underlying power infrastructure" — is the translation
+of per-node peak reductions into server counts.  An extra server draws power
+through *every* ancestor node, so the number that fits at a leaf is limited
+by the scarcest headroom along its root path.  :func:`plan_expansion` runs
+that hierarchy-aware greedy fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from .aggregation import NodePowerView
+from .topology import PowerTopology
+
+
+@dataclass(frozen=True)
+class ExpansionPlan:
+    """Result of a headroom fill.
+
+    Attributes
+    ----------
+    extra_per_leaf:
+        Extra servers placed at each leaf.
+    per_server_watts:
+        Peak power reserved per extra server.
+    original_count:
+        Number of instances already placed (for the percentage).
+    """
+
+    extra_per_leaf: Dict[str, int]
+    per_server_watts: float
+    original_count: int
+
+    @property
+    def total_extra(self) -> int:
+        return sum(self.extra_per_leaf.values())
+
+    @property
+    def expansion_fraction(self) -> float:
+        """Extra servers as a fraction of the original fleet (the "13%")."""
+        if self.original_count == 0:
+            return 0.0
+        return self.total_extra / self.original_count
+
+
+def node_headroom(view: NodePowerView) -> Dict[str, float]:
+    """Budget minus observed peak for every budgeted node."""
+    headroom: Dict[str, float] = {}
+    for node in view.topology.nodes():
+        if node.budget_watts is None:
+            continue
+        headroom[node.name] = max(0.0, node.budget_watts - view.node_peak(node.name))
+    return headroom
+
+
+def plan_expansion(
+    view: NodePowerView,
+    per_server_watts: float,
+    *,
+    respect_leaf_capacity: bool = False,
+) -> ExpansionPlan:
+    """Greedily fill leaves with extra servers within every ancestor's headroom.
+
+    Every node on the path from a leaf to the root must retain non-negative
+    headroom after each extra server is reserved ``per_server_watts`` of peak
+    power.  Leaves are visited in descending-headroom order so the fill lands
+    where the placement freed the most budget.
+
+    Parameters
+    ----------
+    view:
+        Post-optimisation power view with budgets assigned on all nodes.
+    per_server_watts:
+        Peak power reserved per added server (conservative: its full peak,
+        since a new server's phase behaviour is unknown at planning time).
+    respect_leaf_capacity:
+        If True, also honour each leaf's physical slot capacity.
+    """
+    if per_server_watts <= 0:
+        raise ValueError("per_server_watts must be positive")
+    headroom = node_headroom(view)
+    unbudgeted = [n.name for n in view.topology.nodes() if n.budget_watts is None]
+    if unbudgeted:
+        raise ValueError(f"nodes without budgets: {unbudgeted[:5]}")
+
+    leaves = sorted(
+        view.topology.leaves(), key=lambda leaf: headroom[leaf.name], reverse=True
+    )
+    extra: Dict[str, int] = {leaf.name: 0 for leaf in view.topology.leaves()}
+    for leaf in leaves:
+        path = [node.name for node in leaf.path_from_root()]
+        fit = int(min(headroom[name] for name in path) // per_server_watts)
+        if respect_leaf_capacity and leaf.capacity is not None:
+            used = len(view.assignment.instances_on_leaf(leaf.name))
+            fit = min(fit, max(0, leaf.capacity - used))
+        if fit <= 0:
+            continue
+        extra[leaf.name] = fit
+        for name in path:
+            headroom[name] -= fit * per_server_watts
+    return ExpansionPlan(
+        extra_per_leaf=extra,
+        per_server_watts=per_server_watts,
+        original_count=len(view.assignment),
+    )

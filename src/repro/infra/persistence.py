@@ -1,0 +1,94 @@
+"""Persistence for topologies and assignments.
+
+Placements are operational artifacts — they must survive process restarts,
+be diffable, and be auditable.  Both the power tree and instance→leaf
+assignments round-trip through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+from .assignment import Assignment
+from .topology import PowerNode, PowerTopology
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_dict(topology: PowerTopology) -> Dict:
+    """Serialise a power tree (structure, budgets, capacities) to a dict."""
+
+    def node_to_dict(node: PowerNode) -> Dict:
+        payload: Dict = {"name": node.name, "level": node.level}
+        if node.budget_watts is not None:
+            payload["budget_watts"] = node.budget_watts
+        if node.capacity is not None:
+            payload["capacity"] = node.capacity
+        if node.children:
+            payload["children"] = [node_to_dict(child) for child in node.children]
+        return payload
+
+    return {"version": _FORMAT_VERSION, "root": node_to_dict(topology.root)}
+
+
+def topology_from_dict(payload: Dict) -> PowerTopology:
+    """Rebuild a power tree serialised by :func:`topology_to_dict`."""
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported topology format version {payload.get('version')}")
+
+    def build(node_payload: Dict) -> PowerNode:
+        node = PowerNode(
+            node_payload["name"],
+            node_payload["level"],
+            budget_watts=node_payload.get("budget_watts"),
+            capacity=node_payload.get("capacity"),
+        )
+        for child_payload in node_payload.get("children", []):
+            node.add_child(build(child_payload))
+        return node
+
+    return PowerTopology(build(payload["root"]))
+
+
+def save_topology(topology: PowerTopology, path: PathLike) -> None:
+    pathlib.Path(path).write_text(json.dumps(topology_to_dict(topology), indent=2))
+
+
+def load_topology(path: PathLike) -> PowerTopology:
+    return topology_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def save_assignment(assignment: Assignment, path: PathLike) -> None:
+    """Write an assignment (and its topology) to one JSON document."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "topology": topology_to_dict(assignment.topology),
+        "mapping": assignment.as_mapping(),
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_assignment(
+    path: PathLike, *, topology: Optional[PowerTopology] = None
+) -> Assignment:
+    """Load an assignment; optionally bind it to an existing topology.
+
+    When ``topology`` is given, its node names must match the serialised
+    tree's (the embedded topology is then ignored) — useful for attaching a
+    stored placement to the live tree object budgets are written on.
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported assignment format version {payload.get('version')}")
+    embedded = topology_from_dict(payload["topology"])
+    target = topology if topology is not None else embedded
+    if topology is not None:
+        theirs = {n.name for n in embedded.nodes()}
+        ours = {n.name for n in topology.nodes()}
+        if theirs != ours:
+            raise ValueError("provided topology does not match the stored placement")
+    return Assignment(target, payload["mapping"])

@@ -1,0 +1,168 @@
+"""Multi-level power delivery infrastructure (Sec. 2.1, Figure 2).
+
+Facebook datacenters feed power through a four-level tree: the datacenter
+substation supplies suites, each suite has main switching boards (MSBs)
+feeding switching boards (SBs), which feed reactive power panels (RPPs),
+which feed racks of servers.  The power budget of each node is approximately
+the sum of its children's budgets, and a node's breaker trips if its
+aggregate draw exceeds its budget.
+
+This module models that tree.  Nodes are identified by unique names; servers
+(service instances) attach only to *leaf* nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class Level:
+    """Canonical levels of the power tree, root to leaf."""
+
+    DATACENTER = "datacenter"
+    SUITE = "suite"
+    MSB = "msb"
+    SB = "sb"
+    RPP = "rpp"
+    RACK = "rack"
+
+    #: Root-to-leaf ordering used by the default topology.
+    DEFAULT_ORDER: Tuple[str, ...] = (DATACENTER, SUITE, MSB, SB, RPP, RACK)
+
+
+class TopologyError(ValueError):
+    """Raised for structurally invalid power trees or lookups."""
+
+
+class PowerNode:
+    """One power delivery device in the tree.
+
+    A node knows its name, level, parent, children, and (optionally) a power
+    budget in watts.  Budgets can also be assigned later from a provisioning
+    policy (see :mod:`repro.infra.budget`).
+    """
+
+    __slots__ = ("name", "level", "parent", "children", "budget_watts", "capacity")
+
+    def __init__(
+        self,
+        name: str,
+        level: str,
+        *,
+        budget_watts: Optional[float] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if not name:
+            raise TopologyError("node name cannot be empty")
+        if budget_watts is not None and budget_watts < 0:
+            raise TopologyError("budget cannot be negative")
+        if capacity is not None and capacity <= 0:
+            raise TopologyError("capacity must be positive when given")
+        self.name = name
+        self.level = level
+        self.parent: Optional["PowerNode"] = None
+        self.children: List["PowerNode"] = []
+        self.budget_watts = budget_watts
+        #: Max number of service instances attachable beneath this node
+        #: (meaningful for leaves; None = unbounded).
+        self.capacity = capacity
+
+    def add_child(self, child: "PowerNode") -> "PowerNode":
+        if child.parent is not None:
+            raise TopologyError(f"node {child.name} already has a parent")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def iter_subtree(self) -> Iterator["PowerNode"]:
+        """Pre-order traversal of this node and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def leaves(self) -> List["PowerNode"]:
+        return [node for node in self.iter_subtree() if node.is_leaf]
+
+    def path_from_root(self) -> List["PowerNode"]:
+        path: List[PowerNode] = []
+        node: Optional[PowerNode] = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        return list(reversed(path))
+
+    def __repr__(self) -> str:
+        return f"PowerNode({self.name!r}, level={self.level!r}, children={len(self.children)})"
+
+
+class PowerTopology:
+    """A whole power tree with name-indexed lookup.
+
+    The tree is validated on construction: names must be unique and every
+    non-root node must be reachable from the root.
+    """
+
+    def __init__(self, root: PowerNode) -> None:
+        self.root = root
+        self._by_name: Dict[str, PowerNode] = {}
+        for node in root.iter_subtree():
+            if node.name in self._by_name:
+                raise TopologyError(f"duplicate node name: {node.name}")
+            self._by_name[node.name] = node
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def node(self, name: str) -> PowerNode:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TopologyError(f"unknown node: {name}") from None
+
+    def nodes(self) -> List[PowerNode]:
+        return list(self._by_name.values())
+
+    def levels(self) -> List[str]:
+        """Distinct levels present, in root-to-leaf encounter order."""
+        seen: List[str] = []
+        for node in self.root.iter_subtree():
+            if node.level not in seen:
+                seen.append(node.level)
+        return seen
+
+    def nodes_at_level(self, level: str) -> List[PowerNode]:
+        found = [node for node in self.root.iter_subtree() if node.level == level]
+        if not found:
+            raise TopologyError(f"no nodes at level {level!r}")
+        return found
+
+    def leaves(self) -> List[PowerNode]:
+        return self.root.leaves()
+
+    def leaf_names(self) -> List[str]:
+        return [leaf.name for leaf in self.leaves()]
+
+    def parent_of(self, name: str) -> Optional[PowerNode]:
+        return self.node(name).parent
+
+    def total_leaf_capacity(self) -> Optional[int]:
+        """Sum of leaf capacities; None if any leaf is unbounded."""
+        total = 0
+        for leaf in self.leaves():
+            if leaf.capacity is None:
+                return None
+            total += leaf.capacity
+        return total
+
+    def describe(self) -> str:
+        """Human-readable per-level summary ("4 suites, 8 MSBs, ...")."""
+        parts = []
+        for level in self.levels():
+            count = len(self.nodes_at_level(level))
+            parts.append(f"{count} {level}{'s' if count != 1 else ''}")
+        return ", ".join(parts)

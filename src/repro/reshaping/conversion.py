@@ -1,0 +1,83 @@
+"""History-based server conversion: phase detection (Sec. 4.2).
+
+The runtime monitors the average load over the *original* set of LC servers
+and distinguishes two phases:
+
+* **Batch-heavy Phase** — average LC load below ``L_conv``; conversion
+  servers host batch service instances;
+* **LC-heavy Phase** — average LC load approaching ``L_conv``; conversion
+  servers convert to LC instances.
+
+Storage disaggregation makes the switch cheap: data lives on dedicated
+storage nodes, so no migration and no reboot is required (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sim.demand import DemandTrace
+
+
+@dataclass(frozen=True)
+class ConversionPolicy:
+    """Phase-detection and conversion-sizing parameters.
+
+    ``trigger_fraction`` expresses "when this average LC load increases to a
+    level *close to* ``L_conv``" — conversion fires once the average load on
+    the original fleet passes ``trigger_fraction × L_conv``.
+
+    ``max_batch_conversion_fraction`` bounds how many conversion servers the
+    batch tier can absorb during Batch-heavy Phase, as a fraction of the
+    original batch fleet.  A batch scheduler cannot productively feed
+    unbounded extra workers (job parallelism, input locality, and storage
+    bandwidth on the disaggregated flash tier all bind); extras beyond the
+    bound stay in LC mode.  ``None`` removes the bound.
+    """
+
+    conversion_threshold: float
+    trigger_fraction: float = 0.95
+    max_batch_conversion_fraction: Optional[float] = 0.10
+
+    def __post_init__(self) -> None:
+        if not 0 < self.conversion_threshold <= 1:
+            raise ValueError("conversion_threshold must be in (0, 1]")
+        if not 0 < self.trigger_fraction <= 1:
+            raise ValueError("trigger_fraction must be in (0, 1]")
+        if (
+            self.max_batch_conversion_fraction is not None
+            and self.max_batch_conversion_fraction < 0
+        ):
+            raise ValueError("max_batch_conversion_fraction cannot be negative")
+
+    def batch_convertible(self, extra_servers: int, n_batch: int) -> int:
+        """How many of ``extra_servers`` may run batch at once."""
+        if extra_servers < 0 or n_batch < 0:
+            raise ValueError("counts cannot be negative")
+        if self.max_batch_conversion_fraction is None:
+            return extra_servers
+        return min(extra_servers, int(self.max_batch_conversion_fraction * n_batch))
+
+    @property
+    def trigger_load(self) -> float:
+        return self.conversion_threshold * self.trigger_fraction
+
+    def lc_heavy_mask(self, demand: DemandTrace, n_lc_original: int) -> np.ndarray:
+        """Boolean mask of steps in LC-heavy Phase.
+
+        Phase is judged on the average load the demand would put on the
+        *original* LC fleet (the paper's monitored signal).
+        """
+        if n_lc_original <= 0:
+            raise ValueError("n_lc_original must be positive")
+        avg_load = demand.per_server_load(n_lc_original)
+        return avg_load >= self.trigger_load
+
+    def phase_fractions(self, demand: DemandTrace, n_lc_original: int) -> dict:
+        """Fraction of time spent in each phase — a workload fingerprint."""
+        mask = self.lc_heavy_mask(demand, n_lc_original)
+        lc_heavy = float(np.mean(mask))
+        return {"lc_heavy": lc_heavy, "batch_heavy": 1.0 - lc_heavy}

@@ -1,0 +1,83 @@
+"""Learning the conversion threshold ``L_conv`` (Sec. 4.2).
+
+"First, we learn the guarded per-LC-server load level from the historical
+data (training data), namely the load level of each server when LC achieves
+satisfactory QoS, and define this load level as the conversion threshold."
+
+With our linear service model, QoS is satisfied as long as a server's load
+stays below a saturation point; the threshold is learned as a high
+percentile of the historically observed per-server load, optionally padded
+and capped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.demand import DemandTrace
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy:
+    """How ``L_conv`` is derived from historical load.
+
+    Attributes
+    ----------
+    percentile:
+        Load percentile defining "the level at which QoS was satisfactory".
+    headroom:
+        Multiplicative pad above the percentile (QoS was satisfactory *at*
+        the historical peak, so a small pad is defensible).
+    ceiling:
+        Hard cap — a server can never be loaded past this.
+    """
+
+    percentile: float = 99.0
+    headroom: float = 1.0
+    ceiling: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if self.headroom < 1.0:
+            raise ValueError("headroom cannot shrink the threshold")
+        if not 0 < self.ceiling <= 1.0:
+            raise ValueError("ceiling must be in (0, 1]")
+
+
+def learn_conversion_threshold(
+    training_demand: DemandTrace,
+    n_lc_servers: int,
+    policy: ThresholdPolicy = ThresholdPolicy(),
+) -> float:
+    """``L_conv`` from a training week of demand spread over the LC fleet."""
+    if n_lc_servers <= 0:
+        raise ValueError("n_lc_servers must be positive")
+    per_server = training_demand.per_server_load(n_lc_servers)
+    level = float(np.percentile(per_server, policy.percentile)) * policy.headroom
+    if level <= 0:
+        raise ValueError("training demand is identically zero; cannot learn L_conv")
+    return min(level, policy.ceiling)
+
+
+def threshold_from_slo(
+    latency_model,
+    slo_ms: float,
+    *,
+    percentile: float = 99.0,
+    ceiling: float = 1.0,
+) -> float:
+    """``L_conv`` derived from a latency SLO instead of history.
+
+    The principled alternative to the percentile heuristic: the guarded
+    per-server load is the highest utilisation at which the latency model's
+    tail still meets the SLO (see :class:`repro.sim.latency.LatencyModel`).
+    """
+    if not 0 < ceiling <= 1:
+        raise ValueError("ceiling must be in (0, 1]")
+    load = latency_model.load_for_slo(slo_ms, percentile=percentile)
+    if load <= 0:
+        raise ValueError("SLO admits no positive load")
+    return min(load, ceiling)

@@ -1,0 +1,329 @@
+"""The dynamic power profile reshaping runtime (Sec. 4).
+
+Simulates a datacenter's test week under four scenarios:
+
+* ``pre``            — the original fleet and traffic (pre-SmoothOperator);
+* ``lc_only``        — headroom filled with LC-specific servers only;
+* ``conversion``     — headroom filled with storage-disaggregated
+  *conversion* servers that flip between Batch and LC with load (Sec. 4.2);
+* ``throttle_boost`` — conversion plus proactive batch throttling during
+  LC-heavy Phase (funding extra conversion servers) and batch boosting
+  during Batch-heavy Phase.
+
+Each scenario produces the Figure 12 time series (per-LC-server load, LC and
+Batch throughput) and the power trace from which Figure 13's throughput
+improvements and Figure 14's slack reductions are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..sim.batch import batch_throughput
+from ..sim.demand import DemandTrace
+from ..sim.loadbalancer import dispatch
+from ..sim.power_model import DVFSModel, ServerPowerModel
+from ..traces.grid import TimeGrid
+from ..traces.series import PowerTrace
+from .conversion import ConversionPolicy
+from .throttling import ThrottleBoostPolicy
+
+
+@dataclass(frozen=True)
+class FleetDescription:
+    """The original fleet the reshaping runtime operates on.
+
+    ``other_power`` carries the exogenous draw of servers that are neither
+    LC nor Batch (storage, dev, ...) straight from their test traces.
+    """
+
+    n_lc: int
+    n_batch: int
+    lc_model: ServerPowerModel
+    batch_model: ServerPowerModel
+    budget_watts: float
+    other_power: Optional[PowerTrace] = None
+
+    def __post_init__(self) -> None:
+        if self.n_lc <= 0:
+            raise ValueError("fleet needs at least one LC server")
+        if self.n_batch < 0:
+            raise ValueError("n_batch cannot be negative")
+        if self.budget_watts <= 0:
+            raise ValueError("budget must be positive")
+
+
+@dataclass
+class ScenarioResult:
+    """Time series and summaries for one simulated scenario."""
+
+    name: str
+    grid: TimeGrid
+    budget_watts: float
+    demand: np.ndarray
+    lc_served: np.ndarray
+    lc_dropped: np.ndarray
+    load_on_original: np.ndarray
+    per_server_load: np.ndarray
+    n_lc_active: np.ndarray
+    n_batch_active: np.ndarray
+    batch_throughput: np.ndarray
+    batch_freq: np.ndarray
+    total_power: np.ndarray
+
+    # ------------------------------------------------------------------
+    def lc_total(self) -> float:
+        return float(self.lc_served.sum())
+
+    def batch_total(self) -> float:
+        return float(self.batch_throughput.sum())
+
+    def dropped_fraction(self) -> float:
+        total = float(self.demand.sum())
+        if total == 0:
+            return 0.0
+        return float(self.lc_dropped.sum()) / total
+
+    def power_slack(self) -> np.ndarray:
+        """Instantaneous slack (Eq. 1); negative values mean overload."""
+        return self.budget_watts - self.total_power
+
+    def mean_slack(self) -> float:
+        return float(self.power_slack().mean())
+
+    def energy_slack(self) -> float:
+        """Eq. 2 over the whole scenario, in watt-minutes."""
+        return float(self.power_slack().sum()) * self.grid.step_minutes
+
+    def overload_steps(self) -> int:
+        return int(np.sum(self.total_power > self.budget_watts + 1e-9))
+
+    def peak_power(self) -> float:
+        return float(self.total_power.max())
+
+
+class ReshapingRuntime:
+    """Runs the Sec. 4 scenarios for one datacenter."""
+
+    def __init__(
+        self,
+        fleet: FleetDescription,
+        conversion: ConversionPolicy,
+        *,
+        throttle: Optional[ThrottleBoostPolicy] = None,
+        dvfs: Optional[DVFSModel] = None,
+    ) -> None:
+        self.fleet = fleet
+        self.conversion = conversion
+        self.throttle = throttle if throttle is not None else ThrottleBoostPolicy()
+        self.dvfs = dvfs if dvfs is not None else DVFSModel()
+
+    # ------------------------------------------------------------------
+    # scenario entry points
+    # ------------------------------------------------------------------
+    def run_pre(self, demand: DemandTrace) -> ScenarioResult:
+        """Original fleet, original traffic, nominal frequency everywhere."""
+        n = demand.grid.n_samples
+        return self._assemble(
+            "pre",
+            demand,
+            n_lc_active=np.full(n, float(self.fleet.n_lc)),
+            n_batch_active=np.full(n, float(self.fleet.n_batch)),
+            batch_freq=np.ones(n),
+        )
+
+    def run_lc_only(self, demand: DemandTrace, extra_servers: int) -> ScenarioResult:
+        """Headroom filled with LC-specific servers (always LC)."""
+        self._check_extra(extra_servers)
+        n = demand.grid.n_samples
+        return self._assemble(
+            "lc_only",
+            demand,
+            n_lc_active=np.full(n, float(self.fleet.n_lc + extra_servers)),
+            n_batch_active=np.full(n, float(self.fleet.n_batch)),
+            batch_freq=np.ones(n),
+        )
+
+    def run_conversion(self, demand: DemandTrace, extra_servers: int) -> ScenarioResult:
+        """Headroom filled with conversion servers flipping with the phase.
+
+        During Batch-heavy Phase at most
+        ``conversion.batch_convertible(extra, n_batch)`` extras run batch;
+        any remainder stays in LC mode (the batch tier cannot absorb them).
+        """
+        self._check_extra(extra_servers)
+        lc_heavy = self.conversion.lc_heavy_mask(demand, self.fleet.n_lc)
+        convertible = self.conversion.batch_convertible(
+            extra_servers, self.fleet.n_batch
+        )
+        batch_heavy = (~lc_heavy).astype(np.float64)
+        # Batch-heavy: the original LC fleet suffices ("we do not need extra
+        # computing power"); converted extras run batch, the rest sit parked
+        # at idle, OS up, ready to convert.
+        n_lc_active = self.fleet.n_lc + extra_servers * lc_heavy.astype(np.float64)
+        n_batch_active = self.fleet.n_batch + convertible * batch_heavy
+        parked = (extra_servers - convertible) * batch_heavy
+        return self._assemble(
+            "conversion",
+            demand,
+            n_lc_active=n_lc_active,
+            n_batch_active=n_batch_active,
+            batch_freq=np.ones(demand.grid.n_samples),
+            parked=parked,
+        )
+
+    def run_throttle_boost(
+        self,
+        demand: DemandTrace,
+        extra_conversion: int,
+        extra_throttle_funded: Optional[int] = None,
+    ) -> ScenarioResult:
+        """Conversion plus proactive throttling and boosting.
+
+        ``extra_throttle_funded`` (``e_th``) defaults to what throttling the
+        batch fleet frees at the policy's throttle frequency.
+        """
+        self._check_extra(extra_conversion)
+        if extra_throttle_funded is None:
+            extra_throttle_funded = self.throttle.extra_conversion_servers(
+                self.fleet.n_batch,
+                self.fleet.batch_model,
+                self.fleet.lc_model,
+                n_lc=self.fleet.n_lc,
+            )
+        if extra_throttle_funded < 0:
+            raise ValueError("extra_throttle_funded cannot be negative")
+        total_extra = extra_conversion + extra_throttle_funded
+
+        lc_heavy = self.conversion.lc_heavy_mask(demand, self.fleet.n_lc)
+        batch_heavy = ~lc_heavy
+        convertible = self.conversion.batch_convertible(
+            total_extra, self.fleet.n_batch
+        )
+        batch_heavy_f = batch_heavy.astype(np.float64)
+        n_lc_active = self.fleet.n_lc + total_extra * lc_heavy.astype(np.float64)
+        n_batch_active = self.fleet.n_batch + convertible * batch_heavy_f
+        parked = (total_extra - convertible) * batch_heavy_f
+
+        # LC-heavy: batch throttled.  Batch-heavy: boost into the slack left
+        # by the nominal-frequency power draw.
+        freq = np.where(lc_heavy, self.throttle.throttle_freq, 1.0)
+        nominal = self._assemble(
+            "throttle_boost",
+            demand,
+            n_lc_active=n_lc_active,
+            n_batch_active=n_batch_active,
+            batch_freq=freq,
+            parked=parked,
+        )
+        slack = nominal.power_slack()
+        boost = self.throttle.boost_schedule(
+            slack, n_batch_active, self.fleet.batch_model, self.dvfs
+        )
+        freq = np.where(batch_heavy, np.maximum(boost, 1.0), freq)
+        return self._assemble(
+            "throttle_boost",
+            demand,
+            n_lc_active=n_lc_active,
+            n_batch_active=n_batch_active,
+            batch_freq=freq,
+            parked=parked,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_extra(self, extra: int) -> None:
+        if extra < 0:
+            raise ValueError("extra server count cannot be negative")
+
+    def _assemble(
+        self,
+        name: str,
+        demand: DemandTrace,
+        *,
+        n_lc_active: np.ndarray,
+        n_batch_active: np.ndarray,
+        batch_freq: np.ndarray,
+        parked: Optional[np.ndarray] = None,
+    ) -> ScenarioResult:
+        outcome = dispatch(
+            demand.values, n_lc_active, self.conversion.conversion_threshold
+        )
+        batch = batch_throughput(n_batch_active, batch_freq, self.dvfs)
+
+        lc_power = n_lc_active * self.fleet.lc_model.power(outcome.per_server_load)
+        batch_power = n_batch_active * self.fleet.batch_model.power(1.0, batch.freq)
+        total = lc_power + batch_power
+        if parked is not None:
+            # Parked conversion servers idle with the OS up (no reboot on
+            # conversion, Sec. 4.2), drawing the LC idle floor.
+            total = total + np.asarray(parked, dtype=np.float64) * self.fleet.lc_model.power(0.0)
+        if self.fleet.other_power is not None:
+            demand.grid.require_same(self.fleet.other_power.grid)
+            total = total + self.fleet.other_power.values
+
+        load_on_original = demand.values / self.fleet.n_lc
+        return ScenarioResult(
+            name=name,
+            grid=demand.grid,
+            budget_watts=self.fleet.budget_watts,
+            demand=demand.values.copy(),
+            lc_served=outcome.served,
+            lc_dropped=outcome.dropped,
+            load_on_original=load_on_original,
+            per_server_load=outcome.per_server_load,
+            n_lc_active=np.asarray(n_lc_active, dtype=np.float64).copy(),
+            n_batch_active=np.asarray(n_batch_active, dtype=np.float64).copy(),
+            batch_throughput=batch.throughput,
+            batch_freq=batch.freq,
+            total_power=total,
+        )
+
+
+@dataclass
+class ReshapingComparison:
+    """Figure 13/14-style comparison of reshaping scenarios against ``pre``."""
+
+    pre: ScenarioResult
+    scenarios: Dict[str, ScenarioResult] = field(default_factory=dict)
+
+    def lc_improvement(self, name: str) -> float:
+        base = self.pre.lc_total()
+        if base == 0:
+            return 0.0
+        return self.scenarios[name].lc_total() / base - 1.0
+
+    def batch_improvement(self, name: str) -> float:
+        base = self.pre.batch_total()
+        if base == 0:
+            return 0.0
+        return self.scenarios[name].batch_total() / base - 1.0
+
+    def slack_reduction(
+        self,
+        name: str,
+        mask: Optional[np.ndarray] = None,
+        *,
+        baseline: str = "pre",
+    ) -> float:
+        """Fractional reduction of mean power slack vs a baseline (Figure 14).
+
+        ``mask`` restricts the comparison to a subset of steps (e.g. the
+        off-peak / Batch-heavy hours).  ``baseline`` is ``"pre"`` or the
+        name of another scenario; comparing ``"throttle_boost"`` against
+        ``"lc_only"`` isolates what *dynamic reshaping itself* (conversion +
+        throttling/boosting) does with the slack, separate from the static
+        effect of simply hosting more servers.
+        """
+        base = self.pre if baseline == "pre" else self.scenarios[baseline]
+        before = base.power_slack()
+        after = self.scenarios[name].power_slack()
+        if mask is not None:
+            before = before[mask]
+            after = after[mask]
+        mean_before = float(before.mean())
+        if mean_before <= 0:
+            return 0.0
+        return 1.0 - float(after.mean()) / mean_before

@@ -1,0 +1,104 @@
+"""Proactive throttling and boosting of Batch clusters (Sec. 4.2).
+
+During LC-heavy Phase the batch clusters are throttled to a lower DVFS
+point, freeing power budget that lets the datacenter house an *additional*
+set of conversion servers ``e_th``.  During Batch-heavy Phase batch servers
+are boosted — within the instantaneous power slack — to compensate for the
+throughput lost to throttling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sim.power_model import DVFSModel, ServerPowerModel
+
+
+@dataclass(frozen=True)
+class ThrottleBoostPolicy:
+    """Throttle/boost parameters.
+
+    Attributes
+    ----------
+    throttle_freq:
+        DVFS point batch servers drop to during LC-heavy Phase.
+    boost_safety:
+        Fraction of the instantaneous power slack boosting may consume
+        (keeps a guard band under the breaker).
+    max_extra_lc_fraction:
+        Operational bound on ``e_th``: at most this fraction of the original
+        LC fleet is deployed as throttle-funded conversion servers, however
+        much power throttling frees.  Mirrors the conservative sizing the
+        paper's production deployment implies (single-digit-percent extras).
+    """
+
+    throttle_freq: float = 0.8
+    boost_safety: float = 0.6
+    max_extra_lc_fraction: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not 0 < self.throttle_freq <= 1:
+            raise ValueError("throttle_freq must be in (0, 1]")
+        if not 0 <= self.boost_safety <= 1:
+            raise ValueError("boost_safety must be in [0, 1]")
+        if self.max_extra_lc_fraction < 0:
+            raise ValueError("max_extra_lc_fraction cannot be negative")
+
+    # ------------------------------------------------------------------
+    def freed_watts(self, n_batch: int, batch_model: ServerPowerModel) -> float:
+        """Power released by throttling ``n_batch`` full-load batch servers."""
+        if n_batch < 0:
+            raise ValueError("n_batch cannot be negative")
+        nominal = batch_model.max_power(1.0)
+        throttled = batch_model.max_power(self.throttle_freq)
+        return n_batch * (nominal - throttled)
+
+    def extra_conversion_servers(
+        self,
+        n_batch: int,
+        batch_model: ServerPowerModel,
+        lc_model: ServerPowerModel,
+        *,
+        n_lc: Optional[int] = None,
+    ) -> int:
+        """``e_th``: extra conversion servers fundable by throttle headroom.
+
+        Each extra server must be reservable at its full LC peak draw out of
+        the watts throttling frees at the worst moment.  When ``n_lc`` is
+        given the result is additionally capped at
+        ``max_extra_lc_fraction × n_lc``.
+        """
+        freed = self.freed_watts(n_batch, batch_model)
+        per_server = lc_model.max_power(1.0)
+        funded = int(freed // per_server)
+        if n_lc is not None:
+            funded = min(funded, int(self.max_extra_lc_fraction * n_lc))
+        return funded
+
+    # ------------------------------------------------------------------
+    def boost_schedule(
+        self,
+        slack_watts: np.ndarray,
+        n_batch_active: np.ndarray,
+        batch_model: ServerPowerModel,
+        dvfs: DVFSModel,
+    ) -> np.ndarray:
+        """Per-step boost frequency fitting inside the power slack.
+
+        Solves ``n × swing × (f^γ − 1) ≤ slack × boost_safety`` for ``f``
+        and clamps to the DVFS range (never below nominal: this schedule is
+        only applied on boost steps).
+        """
+        slack_watts = np.asarray(slack_watts, dtype=np.float64)
+        n_batch_active = np.asarray(n_batch_active, dtype=np.float64)
+        allowed = np.maximum(slack_watts, 0.0) * self.boost_safety
+        swing = batch_model.swing_watts
+        with np.errstate(divide="ignore", invalid="ignore"):
+            budget_per_server = np.where(
+                n_batch_active > 0, allowed / (n_batch_active * swing), 0.0
+            )
+        freq = np.power(1.0 + budget_per_server, 1.0 / batch_model.gamma)
+        return np.clip(freq, 1.0, dvfs.max_freq)

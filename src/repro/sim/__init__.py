@@ -1,0 +1,25 @@
+"""Datacenter runtime simulation substrate.
+
+Server power models, LC demand recovery, guarded load balancing, and batch
+throughput accounting — the pieces the dynamic power profile reshaping
+runtime (Sec. 4) is built from.
+"""
+
+from .batch import BatchOutcome, batch_throughput
+from .demand import DemandTrace, demand_at_target_load, demand_from_power
+from .latency import LatencyModel
+from .loadbalancer import DispatchOutcome, dispatch
+from .power_model import DVFSModel, ServerPowerModel
+
+__all__ = [
+    "LatencyModel",
+    "ServerPowerModel",
+    "DVFSModel",
+    "DemandTrace",
+    "demand_from_power",
+    "demand_at_target_load",
+    "DispatchOutcome",
+    "dispatch",
+    "BatchOutcome",
+    "batch_throughput",
+]

@@ -1,0 +1,44 @@
+"""Batch (throughput-oriented) cluster accounting.
+
+Batch services have effectively unbounded queued work (Sec. 2.3: hadoop
+clusters are optimised for throughput, not latency), so batch throughput is
+simply server-steps of compute delivered, scaled by the DVFS frequency in
+effect at each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .power_model import DVFSModel
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Per-step batch compute delivered and the frequency schedule used."""
+
+    throughput: np.ndarray
+    freq: np.ndarray
+
+    def total(self) -> float:
+        return float(np.sum(self.throughput))
+
+
+def batch_throughput(
+    n_servers: np.ndarray,
+    freq: np.ndarray,
+    dvfs: DVFSModel,
+) -> BatchOutcome:
+    """Compute delivered by ``n_servers`` batch servers at schedule ``freq``.
+
+    One server-step at nominal frequency delivers 1 unit of batch work.
+    """
+    n_servers = np.asarray(n_servers, dtype=np.float64)
+    freq = np.asarray(freq, dtype=np.float64)
+    if np.any(n_servers < 0):
+        raise ValueError("server count cannot be negative")
+    clamped = dvfs.clamp(freq)
+    throughput = n_servers * dvfs.throughput_factor(clamped)
+    return BatchOutcome(throughput=throughput, freq=np.broadcast_to(clamped, throughput.shape).copy())

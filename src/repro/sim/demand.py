@@ -1,0 +1,93 @@
+"""Latency-critical demand models.
+
+The reshaping runtime needs the *load* signal behind the LC power traces:
+queries arriving per time step.  We recover it from the fleet's LC aggregate
+power trace — power above idle is proportional to utilisation for the
+archetypes we synthesise — and express demand in *server-loads*: a demand of
+``d`` means ``d`` fully-loaded servers' worth of queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..traces.grid import TimeGrid
+from ..traces.series import PowerTrace
+
+
+@dataclass(frozen=True)
+class DemandTrace:
+    """LC demand per time step, in units of fully-loaded servers."""
+
+    grid: TimeGrid
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.shape != (self.grid.n_samples,):
+            raise ValueError("demand length must match grid")
+        if np.any(values < 0):
+            raise ValueError("demand cannot be negative")
+        object.__setattr__(self, "values", values)
+
+    def peak(self) -> float:
+        return float(self.values.max())
+
+    def scaled(self, factor: float) -> "DemandTrace":
+        """Demand grown by ``factor`` (e.g. the extra traffic new capacity
+        is deployed to absorb)."""
+        if factor < 0:
+            raise ValueError("scale factor cannot be negative")
+        return DemandTrace(self.grid, self.values * factor)
+
+    def per_server_load(self, n_servers: float) -> np.ndarray:
+        """Average load per server if spread over ``n_servers`` servers."""
+        if n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        return self.values / n_servers
+
+
+def demand_from_power(
+    lc_aggregate: PowerTrace,
+    *,
+    idle_watts_total: float,
+    swing_watts_per_server: float,
+) -> DemandTrace:
+    """Recover LC demand from the LC fleet's aggregate power trace.
+
+    ``(P(t) − idle_total) / swing_per_server`` is the number of fully-loaded
+    servers' worth of work in flight at time *t* under a linear load-to-power
+    model.
+    """
+    if swing_watts_per_server <= 0:
+        raise ValueError("swing per server must be positive")
+    if idle_watts_total < 0:
+        raise ValueError("idle power cannot be negative")
+    utilised = np.maximum(lc_aggregate.values - idle_watts_total, 0.0)
+    return DemandTrace(lc_aggregate.grid, utilised / swing_watts_per_server)
+
+
+def demand_at_target_load(
+    lc_aggregate: PowerTrace, n_servers: int, *, peak_load: float = 0.85
+) -> DemandTrace:
+    """Demand shaped like the LC power signal, scaled so that spreading it
+    over ``n_servers`` yields a per-server load of ``peak_load`` at peak.
+
+    A convenient calibration when absolute query rates are unknown (our
+    traces are synthetic): the original fleet is sized to run hot but safe
+    at peak, like a production deployment.
+    """
+    if n_servers <= 0:
+        raise ValueError("n_servers must be positive")
+    if not 0 < peak_load <= 1:
+        raise ValueError("peak_load must be in (0, 1]")
+    top = lc_aggregate.peak()
+    if top == 0:
+        # Dead LC signal: constant demand at the target load.
+        values = np.full(lc_aggregate.grid.n_samples, peak_load * n_servers)
+        return DemandTrace(lc_aggregate.grid, values)
+    values = lc_aggregate.values / top * peak_load * n_servers
+    return DemandTrace(lc_aggregate.grid, values)

@@ -1,0 +1,102 @@
+"""Latency model for latency-critical servers.
+
+The paper's conversion threshold is "the load level of each server when LC
+achieves satisfactory QoS" (Sec. 4.2) — QoS meaning response latency.  This
+module supplies the missing physics: an M/M/1-style latency-vs-utilisation
+curve per server, so an operator can derive the guarded load level from a
+latency SLO instead of guessing a percentile.
+
+``latency(load) = service_time / (1 − load)`` — the standard single-server
+queueing approximation; tail latency multiplies the mean by a percentile
+factor (for M/M/1 the p-th percentile of sojourn time is
+``−ln(1−p) × mean``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+ArrayOrFloat = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """M/M/1 latency as a function of per-server load.
+
+    Attributes
+    ----------
+    service_time_ms:
+        Mean service time at zero queueing.
+    max_load:
+        Numerical guard below 1.0: loads are clipped here to keep the
+        hyperbola finite.
+    """
+
+    service_time_ms: float = 5.0
+    max_load: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.service_time_ms <= 0:
+            raise ValueError("service time must be positive")
+        if not 0 < self.max_load < 1:
+            raise ValueError("max_load must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    def mean_latency_ms(self, load: ArrayOrFloat) -> ArrayOrFloat:
+        """Mean sojourn time at utilisation ``load``."""
+        load = np.clip(load, 0.0, self.max_load)
+        value = self.service_time_ms / (1.0 - load)
+        if np.ndim(value) == 0:
+            return float(value)
+        return value
+
+    def percentile_latency_ms(
+        self, load: ArrayOrFloat, percentile: float = 99.0
+    ) -> ArrayOrFloat:
+        """The ``percentile``-th sojourn-time percentile at ``load``.
+
+        For M/M/1 sojourn time is exponential with the mean above, so the
+        p-quantile is ``−ln(1 − p/100) ×`` mean.
+        """
+        if not 0 < percentile < 100:
+            raise ValueError("percentile must be in (0, 100)")
+        factor = -math.log(1.0 - percentile / 100.0)
+        value = np.asarray(self.mean_latency_ms(load)) * factor
+        if np.ndim(load) == 0:
+            return float(value)
+        return value
+
+    # ------------------------------------------------------------------
+    def load_for_slo(
+        self, slo_ms: float, *, percentile: float = 99.0
+    ) -> float:
+        """The highest per-server load that keeps the tail under ``slo_ms``.
+
+        Inverts the percentile curve: this is the principled value of the
+        conversion threshold ``L_conv``.
+        """
+        if slo_ms <= 0:
+            raise ValueError("SLO must be positive")
+        factor = -math.log(1.0 - percentile / 100.0)
+        minimum = self.service_time_ms * factor
+        if slo_ms <= minimum:
+            raise ValueError(
+                f"SLO {slo_ms} ms is unachievable: even an idle server's "
+                f"p{percentile:g} is {minimum:.2f} ms"
+            )
+        load = 1.0 - self.service_time_ms * factor / slo_ms
+        return min(load, self.max_load)
+
+    def slo_satisfied(
+        self, load: ArrayOrFloat, slo_ms: float, *, percentile: float = 99.0
+    ) -> ArrayOrFloat:
+        """Boolean (per element): does the tail meet the SLO at ``load``?"""
+        tail = self.percentile_latency_ms(load, percentile)
+        result = np.asarray(tail) <= slo_ms
+        if np.ndim(load) == 0:
+            return bool(result)
+        return result

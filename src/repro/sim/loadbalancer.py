@@ -1,0 +1,74 @@
+"""LC load balancing with a guarded per-server load level (Sec. 4.2).
+
+The conversion policy "stops sending queries to [a] server" once its load
+exceeds the conversion threshold ``L_conv`` and routes the next query to
+other LC servers or a conversion server.  With homogeneous servers and an
+even spreader this reduces to: each server carries ``demand / n`` up to
+``L_conv``; demand beyond ``n × L_conv`` is unservable (QoS loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DispatchOutcome:
+    """What happened to one step's (or series of steps') LC demand.
+
+    All arrays share the demand's shape.
+    """
+
+    served: np.ndarray
+    dropped: np.ndarray
+    per_server_load: np.ndarray
+
+    def total_served(self) -> float:
+        return float(np.sum(self.served))
+
+    def total_dropped(self) -> float:
+        return float(np.sum(self.dropped))
+
+    def violation_fraction(self) -> float:
+        """Fraction of time steps with dropped (QoS-violating) demand."""
+        return float(np.mean(self.dropped > 1e-12))
+
+
+def dispatch(
+    demand: np.ndarray, n_servers: np.ndarray, guard_load: float
+) -> DispatchOutcome:
+    """Spread ``demand`` over ``n_servers`` servers guarded at ``guard_load``.
+
+    Parameters
+    ----------
+    demand:
+        Demand per step, in fully-loaded-server units.
+    n_servers:
+        Active LC servers per step (may vary as conversion kicks in).
+    guard_load:
+        Per-server load ceiling ``L_conv`` ∈ (0, 1].
+
+    Both inputs broadcast; scalars are fine.
+    """
+    if not 0 < guard_load <= 1:
+        raise ValueError("guard_load must be in (0, 1]")
+    demand = np.asarray(demand, dtype=np.float64)
+    n_servers = np.asarray(n_servers, dtype=np.float64)
+    if np.any(demand < 0):
+        raise ValueError("demand cannot be negative")
+    if np.any(n_servers < 0):
+        raise ValueError("server count cannot be negative")
+    capacity = n_servers * guard_load
+    served = np.minimum(demand, capacity)
+    dropped = demand - served
+    # Treat vanishing fleets as empty: dividing two denormals can
+    # otherwise report a per-server load above the guard.
+    meaningful = n_servers > 1e-9
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_server = np.where(meaningful, served / np.where(meaningful, n_servers, 1.0), 0.0)
+    return DispatchOutcome(
+        served=served, dropped=dropped, per_server_load=per_server
+    )

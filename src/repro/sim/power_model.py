@@ -1,0 +1,115 @@
+"""Server power models.
+
+Maps utilisation (and DVFS frequency) to electrical power.  Servers are far
+from energy-proportional: an idle floor plus a load-dependent swing.  DVFS
+affects the dynamic component roughly cubically (voltage scales with
+frequency), and throughput linearly — the trade the proactive throttling and
+boosting policy of Sec. 4 exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+ArrayOrFloat = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class ServerPowerModel:
+    """Power of one server as a function of load and frequency.
+
+    ``power = idle + swing × load^alpha × freq^gamma``
+
+    Attributes
+    ----------
+    idle_watts / peak_watts:
+        Draw at zero and full load at nominal frequency.
+    alpha:
+        Load-to-power curvature; 1.0 = linear (a good server-level fit).
+    gamma:
+        DVFS exponent on the dynamic component; ~3 for voltage-frequency
+        scaling.
+    """
+
+    idle_watts: float
+    peak_watts: float
+    alpha: float = 1.0
+    gamma: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0:
+            raise ValueError("idle_watts cannot be negative")
+        if self.peak_watts < self.idle_watts:
+            raise ValueError("peak_watts must be >= idle_watts")
+        if self.alpha <= 0 or self.gamma <= 0:
+            raise ValueError("alpha and gamma must be positive")
+
+    @property
+    def swing_watts(self) -> float:
+        return self.peak_watts - self.idle_watts
+
+    def power(self, load: ArrayOrFloat, freq: ArrayOrFloat = 1.0) -> ArrayOrFloat:
+        """Power draw at ``load`` ∈ [0, 1] and relative frequency ``freq``.
+
+        Loads are clipped to [0, 1]; frequency below 1 throttles, above 1
+        boosts (turbo).
+        """
+        load = np.clip(load, 0.0, 1.0)
+        freq = np.asarray(freq, dtype=np.float64)
+        if np.any(freq <= 0):
+            raise ValueError("frequency must be positive")
+        value = self.idle_watts + self.swing_watts * np.power(load, self.alpha) * np.power(
+            freq, self.gamma
+        )
+        if np.ndim(value) == 0:
+            return float(value)
+        return value
+
+    def max_power(self, freq: ArrayOrFloat = 1.0) -> ArrayOrFloat:
+        """Full-load draw at ``freq`` — what provisioning must reserve."""
+        return self.power(1.0, freq)
+
+
+@dataclass(frozen=True)
+class DVFSModel:
+    """Allowed frequency range and its throughput effect.
+
+    Below nominal frequency, throughput tracks frequency linearly (the
+    CPU-bound batch workloads the paper throttles run "at higher settings of
+    CPU frequencies", Sec. 2.3).  Above nominal, returns diminish: memory
+    and I/O no longer keep up, so each extra 1% of frequency yields only
+    ``boost_efficiency`` percent of extra throughput — power grows cubically
+    while throughput grows sublinearly, which is why boosting is a
+    slack-soaker more than a throughput machine.
+    """
+
+    min_freq: float = 0.6
+    max_freq: float = 1.4
+    boost_efficiency: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_freq <= 1.0 <= self.max_freq:
+            raise ValueError("need min_freq <= 1.0 <= max_freq, both positive")
+        if not 0 <= self.boost_efficiency <= 1:
+            raise ValueError("boost_efficiency must be in [0, 1]")
+
+    def clamp(self, freq: ArrayOrFloat) -> ArrayOrFloat:
+        clamped = np.clip(freq, self.min_freq, self.max_freq)
+        if np.ndim(clamped) == 0:
+            return float(clamped)
+        return clamped
+
+    def throughput_factor(self, freq: ArrayOrFloat) -> ArrayOrFloat:
+        """Relative batch throughput at ``freq`` (1.0 at nominal)."""
+        clamped = np.asarray(self.clamp(freq), dtype=np.float64)
+        factor = np.where(
+            clamped <= 1.0,
+            clamped,
+            1.0 + (clamped - 1.0) * self.boost_efficiency,
+        )
+        if np.ndim(freq) == 0:
+            return float(factor)
+        return factor

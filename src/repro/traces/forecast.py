@@ -1,0 +1,139 @@
+"""Week-ahead power forecasting and predictability validation.
+
+SmoothOperator's whole premise is that "user traffic has strong
+day-of-the-week activity patterns" (Sec. 3.3/5.1): a placement derived from
+the averaged training weeks must still be right on the *next* week.  This
+module makes that assumption testable:
+
+* :func:`seasonal_naive_forecast` — predict next week as the averaged
+  training I-trace (exactly what the placement consumes);
+* error metrics (MAPE, peak error, peak-time error);
+* :func:`predictability_report` — fleet-level summary quantifying how
+  forecastable the synthetic (or any) telemetry is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .grid import MINUTES_PER_HOUR
+from .instance import InstanceRecord
+from .series import PowerTrace
+
+
+def seasonal_naive_forecast(record: InstanceRecord) -> PowerTrace:
+    """Next-week forecast: the averaged training I-trace itself (Eq. 4).
+
+    The strongest simple baseline for strongly weekly-periodic series, and
+    precisely the signal the placer optimises against.
+    """
+    return PowerTrace(
+        record.training_trace.grid, record.training_trace.values.copy()
+    )
+
+
+def _require_comparable(forecast: PowerTrace, actual: PowerTrace) -> None:
+    """Forecast and actual must align sample-for-sample at the same
+    time-of-week — they cover *different* weeks by construction, so only
+    step, length, and weekly phase must agree."""
+    from .grid import MINUTES_PER_WEEK
+
+    if (
+        forecast.grid.step_minutes != actual.grid.step_minutes
+        or forecast.grid.n_samples != actual.grid.n_samples
+        or (forecast.grid.start_minute - actual.grid.start_minute) % MINUTES_PER_WEEK
+        != 0
+    ):
+        raise ValueError(
+            f"forecast grid {forecast.grid} is not week-aligned with "
+            f"actual grid {actual.grid}"
+        )
+
+
+def mape(forecast: PowerTrace, actual: PowerTrace) -> float:
+    """Mean absolute percentage error, ignoring near-zero actuals."""
+    _require_comparable(forecast, actual)
+    denom = np.maximum(actual.values, 1e-9)
+    mask = actual.values > 1e-6
+    if not mask.any():
+        return 0.0
+    errors = np.abs(forecast.values - actual.values) / denom
+    return float(errors[mask].mean())
+
+
+def peak_error(forecast: PowerTrace, actual: PowerTrace) -> float:
+    """Relative error of the forecast peak vs the realised peak.
+
+    Positive = under-forecast (dangerous: the placement under-reserves);
+    negative = over-forecast (wasteful).
+    """
+    _require_comparable(forecast, actual)
+    actual_peak = actual.peak()
+    if actual_peak == 0:
+        return 0.0
+    return (actual_peak - forecast.peak()) / actual_peak
+
+
+def peak_time_error_minutes(forecast: PowerTrace, actual: PowerTrace) -> float:
+    """Circular distance between forecast and realised peak time-of-day."""
+    _require_comparable(forecast, actual)
+    step = forecast.grid.step_minutes
+    day = 24 * MINUTES_PER_HOUR
+    f_minute = (forecast.peak_time_index() * step) % day
+    a_minute = (actual.peak_time_index() * step) % day
+    raw = abs(f_minute - a_minute)
+    return float(min(raw, day - raw))
+
+
+@dataclass
+class PredictabilityReport:
+    """Fleet-level forecast-quality summary (training weeks → test week)."""
+
+    per_instance_mape: Dict[str, float]
+    per_instance_peak_error: Dict[str, float]
+    per_instance_peak_time_error: Dict[str, float]
+
+    @property
+    def mean_mape(self) -> float:
+        return float(np.mean(list(self.per_instance_mape.values())))
+
+    @property
+    def mean_abs_peak_error(self) -> float:
+        return float(np.mean(np.abs(list(self.per_instance_peak_error.values()))))
+
+    @property
+    def mean_peak_time_error_minutes(self) -> float:
+        return float(np.mean(list(self.per_instance_peak_time_error.values())))
+
+    def worst_instances(self, n: int = 5) -> List[str]:
+        """The least predictable instances (highest MAPE) — placement risk."""
+        ranked = sorted(
+            self.per_instance_mape.items(), key=lambda item: -item[1]
+        )
+        return [instance_id for instance_id, _ in ranked[:n]]
+
+
+def predictability_report(
+    records: Sequence[InstanceRecord],
+) -> PredictabilityReport:
+    """Score the Eq.-4 forecast against every instance's held-out week."""
+    mapes: Dict[str, float] = {}
+    peak_errors: Dict[str, float] = {}
+    time_errors: Dict[str, float] = {}
+    for record in records:
+        if record.test_trace is None:
+            raise ValueError(f"{record.instance_id} has no held-out week")
+        forecast = seasonal_naive_forecast(record)
+        mapes[record.instance_id] = mape(forecast, record.test_trace)
+        peak_errors[record.instance_id] = peak_error(forecast, record.test_trace)
+        time_errors[record.instance_id] = peak_time_error_minutes(
+            forecast, record.test_trace
+        )
+    return PredictabilityReport(
+        per_instance_mape=mapes,
+        per_instance_peak_error=peak_errors,
+        per_instance_peak_time_error=time_errors,
+    )

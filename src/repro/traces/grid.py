@@ -1,0 +1,139 @@
+"""Sampling grids for power traces.
+
+The paper logs one power reading per minute for seven days (Sec. 3.3).  A
+:class:`TimeGrid` pins down that sampling contract — the start time, the
+sampling step, and the number of samples — so traces can only be combined
+when they genuinely cover the same timestamps.  All times are expressed in
+minutes; ``0`` is midnight on the first Monday of the observation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+MINUTES_PER_HOUR = 60
+MINUTES_PER_DAY = 24 * MINUTES_PER_HOUR
+MINUTES_PER_WEEK = 7 * MINUTES_PER_DAY
+
+
+class GridMismatchError(ValueError):
+    """Raised when two traces on different grids are combined."""
+
+
+@dataclass(frozen=True)
+class TimeGrid:
+    """A uniform sampling grid.
+
+    Parameters
+    ----------
+    start_minute:
+        Timestamp of the first sample, in minutes since the epoch of the
+        observation window.
+    step_minutes:
+        Distance between consecutive samples, in minutes.
+    n_samples:
+        Number of samples in the grid.
+    """
+
+    start_minute: int
+    step_minutes: int
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        if self.step_minutes <= 0:
+            raise ValueError(f"step_minutes must be positive, got {self.step_minutes}")
+        if self.n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {self.n_samples}")
+
+    @classmethod
+    def for_days(
+        cls, days: int, *, step_minutes: int = 10, start_minute: int = 0
+    ) -> "TimeGrid":
+        """Grid covering ``days`` whole days at ``step_minutes`` resolution."""
+        if days <= 0:
+            raise ValueError(f"days must be positive, got {days}")
+        if MINUTES_PER_DAY % step_minutes != 0:
+            raise ValueError(
+                f"step_minutes must divide a day, got {step_minutes}"
+            )
+        return cls(start_minute, step_minutes, days * MINUTES_PER_DAY // step_minutes)
+
+    @classmethod
+    def for_weeks(
+        cls, weeks: int, *, step_minutes: int = 10, start_minute: int = 0
+    ) -> "TimeGrid":
+        """Grid covering ``weeks`` whole weeks (the paper's 7-day I-trace unit)."""
+        return cls.for_days(7 * weeks, step_minutes=step_minutes, start_minute=start_minute)
+
+    @property
+    def duration_minutes(self) -> int:
+        """Total timespan covered by the grid, in minutes."""
+        return self.step_minutes * self.n_samples
+
+    @property
+    def samples_per_day(self) -> int:
+        if MINUTES_PER_DAY % self.step_minutes != 0:
+            raise ValueError(
+                f"grid step {self.step_minutes} does not divide a day"
+            )
+        return MINUTES_PER_DAY // self.step_minutes
+
+    @property
+    def samples_per_week(self) -> int:
+        return 7 * self.samples_per_day
+
+    @property
+    def n_days(self) -> float:
+        return self.duration_minutes / MINUTES_PER_DAY
+
+    @property
+    def n_weeks(self) -> float:
+        return self.duration_minutes / MINUTES_PER_WEEK
+
+    def covers_whole_days(self) -> bool:
+        return self.duration_minutes % MINUTES_PER_DAY == 0
+
+    def covers_whole_weeks(self) -> bool:
+        return self.duration_minutes % MINUTES_PER_WEEK == 0
+
+    def timestamps(self) -> np.ndarray:
+        """Timestamps (minutes) for every sample, shape ``(n_samples,)``."""
+        return self.start_minute + self.step_minutes * np.arange(self.n_samples)
+
+    def hours_of_day(self) -> np.ndarray:
+        """Hour-of-day (fractional, in ``[0, 24)``) for every sample."""
+        return (self.timestamps() % MINUTES_PER_DAY) / MINUTES_PER_HOUR
+
+    def days_of_week(self) -> np.ndarray:
+        """Integer day-of-week (0 = Monday) for every sample."""
+        return (self.timestamps() % MINUTES_PER_WEEK) // MINUTES_PER_DAY
+
+    def index_at(self, minute: int) -> int:
+        """Index of the sample taken at ``minute`` (must lie on the grid)."""
+        offset = minute - self.start_minute
+        if offset % self.step_minutes != 0:
+            raise ValueError(f"minute {minute} is not on the grid")
+        index = offset // self.step_minutes
+        if not 0 <= index < self.n_samples:
+            raise IndexError(f"minute {minute} outside the grid")
+        return int(index)
+
+    def week_view_shape(self) -> tuple:
+        """Shape ``(n_weeks, samples_per_week)`` for reshaping whole-week data."""
+        if not self.covers_whole_weeks():
+            raise ValueError("grid does not cover whole weeks")
+        weeks = self.duration_minutes // MINUTES_PER_WEEK
+        return (weeks, self.samples_per_week)
+
+    def one_week(self) -> "TimeGrid":
+        """A single-week grid with the same step, anchored at the same start."""
+        if not self.covers_whole_weeks():
+            raise ValueError("grid does not cover whole weeks")
+        return TimeGrid(self.start_minute, self.step_minutes, self.samples_per_week)
+
+    def require_same(self, other: "TimeGrid") -> None:
+        """Raise :class:`GridMismatchError` unless ``other`` equals this grid."""
+        if self != other:
+            raise GridMismatchError(f"grid mismatch: {self} vs {other}")

@@ -1,0 +1,180 @@
+"""Persistence for traces and fleets.
+
+Real deployments accumulate telemetry continuously; experiments must be
+replayable.  This module round-trips the substrate's objects through plain
+files:
+
+* :class:`TraceSet` ↔ compressed NPZ (matrix + grid + ids);
+* fleets of :class:`InstanceRecord` ↔ an NPZ pair (training/test) plus a
+  JSON manifest of instance metadata;
+* per-instance CSV export for interop with external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .grid import TimeGrid
+from .instance import InstanceRecord, ServiceInstance
+from .series import PowerTrace
+from .traceset import TraceSet
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace_set(traces: TraceSet, path: PathLike) -> None:
+    """Write a :class:`TraceSet` to a compressed ``.npz`` file."""
+    path = pathlib.Path(path)
+    np.savez_compressed(
+        path,
+        matrix=traces.matrix,
+        ids=np.array(traces.ids, dtype=object),
+        grid=np.array(
+            [traces.grid.start_minute, traces.grid.step_minutes, traces.grid.n_samples]
+        ),
+        version=np.array([_FORMAT_VERSION]),
+    )
+
+
+def load_trace_set(path: PathLike) -> TraceSet:
+    """Read a :class:`TraceSet` written by :func:`save_trace_set`."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=True) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace-set format version {version}")
+        start, step, n = (int(v) for v in data["grid"])
+        grid = TimeGrid(start, step, n)
+        ids = [str(x) for x in data["ids"]]
+        return TraceSet(grid, ids, data["matrix"])
+
+
+def save_fleet(records: Sequence[InstanceRecord], directory: PathLike) -> None:
+    """Persist a fleet: training/test trace sets + a JSON manifest.
+
+    Layout::
+
+        <directory>/manifest.json    instance ids, services, kinds
+        <directory>/training.npz     averaged training I-traces
+        <directory>/test.npz         held-out test traces (if present)
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if not records:
+        raise ValueError("cannot save an empty fleet")
+
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "instances": [
+            {
+                "instance_id": r.instance_id,
+                "service": r.service,
+                "kind": r.kind,
+                "has_test": r.test_trace is not None,
+            }
+            for r in records
+        ],
+    }
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+    training = TraceSet.from_traces(
+        {r.instance_id: r.training_trace for r in records}
+    )
+    save_trace_set(training, directory / "training.npz")
+
+    with_test = [r for r in records if r.test_trace is not None]
+    if with_test:
+        if len(with_test) != len(records):
+            raise ValueError("either all records or none must carry test traces")
+        test = TraceSet.from_traces({r.instance_id: r.test_trace for r in records})
+        save_trace_set(test, directory / "test.npz")
+
+
+def load_fleet(directory: PathLike) -> List[InstanceRecord]:
+    """Load a fleet written by :func:`save_fleet`."""
+    directory = pathlib.Path(directory)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported fleet format version {manifest.get('version')}")
+
+    training = load_trace_set(directory / "training.npz")
+    test_path = directory / "test.npz"
+    test = load_trace_set(test_path) if test_path.exists() else None
+
+    records: List[InstanceRecord] = []
+    for entry in manifest["instances"]:
+        instance = ServiceInstance(
+            instance_id=entry["instance_id"],
+            service=entry["service"],
+            kind=entry["kind"],
+        )
+        test_trace: Optional[PowerTrace] = None
+        if entry["has_test"]:
+            if test is None:
+                raise ValueError(
+                    f"manifest says {instance.instance_id} has a test trace "
+                    "but test.npz is missing"
+                )
+            test_trace = test[instance.instance_id]
+        records.append(
+            InstanceRecord(
+                instance=instance,
+                training_trace=training[instance.instance_id],
+                test_trace=test_trace,
+            )
+        )
+    return records
+
+
+def export_csv(traces: TraceSet, path: PathLike) -> None:
+    """Export a :class:`TraceSet` as CSV: one timestamp column + one column
+    per instance (interop with pandas/spreadsheets)."""
+    path = pathlib.Path(path)
+    timestamps = traces.grid.timestamps()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["minute"] + traces.ids)
+        for row_index in range(traces.grid.n_samples):
+            writer.writerow(
+                [int(timestamps[row_index])]
+                + [f"{v:.6g}" for v in traces.matrix[:, row_index]]
+            )
+
+
+def import_csv(path: PathLike, *, step_minutes: Optional[int] = None) -> TraceSet:
+    """Read a CSV written by :func:`export_csv` (or hand-authored in the
+    same layout) back into a :class:`TraceSet`.
+
+    ``step_minutes`` overrides the step inferred from the timestamp column
+    (needed for single-row files).
+    """
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if not header or header[0] != "minute":
+            raise ValueError("first column must be 'minute'")
+        ids = header[1:]
+        if not ids:
+            raise ValueError("no instance columns found")
+        minutes: List[int] = []
+        rows: List[List[float]] = []
+        for row in reader:
+            minutes.append(int(row[0]))
+            rows.append([float(v) for v in row[1:]])
+    if not rows:
+        raise ValueError("CSV has no samples")
+    if step_minutes is None:
+        if len(minutes) < 2:
+            raise ValueError("cannot infer step from a single sample")
+        step_minutes = minutes[1] - minutes[0]
+    grid = TimeGrid(minutes[0], step_minutes, len(minutes))
+    matrix = np.asarray(rows, dtype=np.float64).T
+    return TraceSet(grid, ids, matrix)

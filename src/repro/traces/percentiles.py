@@ -1,0 +1,99 @@
+"""Percentile bands across a fleet of traces — the view behind Figure 6.
+
+Figure 6 plots, for each service, bands like "p45-p55" across all servers
+hosting that service at every timestamp.  :func:`percentile_bands` computes
+exactly that: per-timestamp percentiles over a set of instance traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .traceset import TraceSet
+
+#: The band edges used in Figure 6 (symmetric pairs around the median).
+FIGURE6_BANDS: Tuple[Tuple[int, int], ...] = (
+    (5, 95),
+    (15, 85),
+    (25, 75),
+    (35, 65),
+    (45, 55),
+)
+
+
+@dataclass(frozen=True)
+class PercentileBand:
+    """One percentile band: per-timestamp lower and upper envelopes."""
+
+    lower_percentile: int
+    upper_percentile: int
+    lower: np.ndarray
+    upper: np.ndarray
+
+    @property
+    def label(self) -> str:
+        return f"p{self.lower_percentile}-p{self.upper_percentile}"
+
+    def width(self) -> np.ndarray:
+        """Per-timestamp band width (a spread/heterogeneity measure)."""
+        return self.upper - self.lower
+
+    def mean_width(self) -> float:
+        return float(self.width().mean())
+
+
+def percentile_bands(
+    traces: TraceSet,
+    bands: Sequence[Tuple[int, int]] = FIGURE6_BANDS,
+) -> List[PercentileBand]:
+    """Per-timestamp percentile bands over a fleet of traces.
+
+    Parameters
+    ----------
+    traces:
+        The instance traces of one service (rows) on a shared grid.
+    bands:
+        ``(lower, upper)`` percentile pairs; defaults to Figure 6's bands.
+    """
+    results: List[PercentileBand] = []
+    for low, high in bands:
+        if not 0 <= low < high <= 100:
+            raise ValueError(f"invalid percentile band ({low}, {high})")
+        lower = np.percentile(traces.matrix, low, axis=0)
+        upper = np.percentile(traces.matrix, high, axis=0)
+        results.append(PercentileBand(low, high, lower, upper))
+    return results
+
+
+def diurnal_range(traces: TraceSet) -> float:
+    """Peak-to-valley swing of the service's median trace, normalised to peak.
+
+    ~0 for flat services (hadoop), large for user-facing ones (web).
+    """
+    median = np.percentile(traces.matrix, 50, axis=0)
+    peak = float(median.max())
+    if peak == 0:
+        return 0.0
+    return float((median.max() - median.min()) / peak)
+
+
+def band_summary(traces: TraceSet) -> Dict[str, float]:
+    """Scalar summary of a service's Figure-6 panel.
+
+    Returns the median peak/valley, the diurnal swing, and the mean width of
+    the p5-p95 band (instance-level heterogeneity).
+    """
+    median = np.percentile(traces.matrix, 50, axis=0)
+    p5 = np.percentile(traces.matrix, 5, axis=0)
+    p95 = np.percentile(traces.matrix, 95, axis=0)
+    peak = float(median.max())
+    return {
+        "median_peak": peak,
+        "median_valley": float(median.min()),
+        "diurnal_swing": diurnal_range(traces),
+        "p5_p95_mean_width": float((p95 - p5).mean()),
+        "heterogeneity": float((p95 - p5).mean() / peak) if peak else 0.0,
+    }

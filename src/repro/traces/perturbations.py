@@ -1,0 +1,92 @@
+"""Trace perturbations: surges and outages.
+
+The paper repeatedly leans on short-term workload uncertainty — "bursty
+traffic due to power failure of neighboring datacenters" (Sec. 3.3), sudden
+load changes shared across power nodes (Sec. 3.2) — as the regime where
+placement quality turns into *power safety*.  These helpers inject such
+events into trace sets so experiments can measure exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .grid import MINUTES_PER_DAY
+from .traceset import TraceSet
+
+
+def window_mask(
+    traces: TraceSet, start_hour: float, end_hour: float, *, days: Optional[Sequence[int]] = None
+) -> np.ndarray:
+    """Boolean per-sample mask for a daily hour window (optionally only on
+    given days-of-week).  ``end_hour`` may wrap past midnight."""
+    hours = traces.grid.hours_of_day()
+    if start_hour <= end_hour:
+        mask = (hours >= start_hour) & (hours < end_hour)
+    else:
+        mask = (hours >= start_hour) | (hours < end_hour)
+    if days is not None:
+        day_of_week = traces.grid.days_of_week()
+        mask &= np.isin(day_of_week, list(days))
+    return mask
+
+
+def inject_surge(
+    traces: TraceSet,
+    instance_ids: Iterable[str],
+    *,
+    factor: float,
+    start_hour: float,
+    end_hour: float,
+    days: Optional[Sequence[int]] = None,
+) -> TraceSet:
+    """Scale the *dynamic* power of the named instances during a window.
+
+    Models a traffic surge (e.g. failover from a neighbouring region): the
+    affected servers' draw above their own trace valley is multiplied by
+    ``factor`` during the window.  Scaling above the idle floor rather than
+    the whole trace keeps the idle physics intact.
+    """
+    if factor < 0:
+        raise ValueError("factor cannot be negative")
+    ids = list(instance_ids)
+    missing = [i for i in ids if i not in traces]
+    if missing:
+        raise ValueError(f"unknown instances: {missing[:5]}")
+    mask = window_mask(traces, start_hour, end_hour, days=days)
+    matrix = traces.matrix.copy()
+    for instance_id in ids:
+        row = traces.index_of(instance_id)
+        idle = matrix[row].min()
+        dynamic = matrix[row] - idle
+        matrix[row] = np.where(mask, idle + dynamic * factor, matrix[row])
+    return TraceSet(traces.grid, list(traces.ids), matrix)
+
+
+def inject_outage(
+    traces: TraceSet,
+    instance_ids: Iterable[str],
+    *,
+    start_index: int,
+    duration_samples: int,
+) -> TraceSet:
+    """Zero the named instances' draw for a contiguous sample range.
+
+    Models server/rack outages — useful for testing that analyses tolerate
+    dead telemetry.
+    """
+    if duration_samples <= 0:
+        raise ValueError("duration must be positive")
+    stop = start_index + duration_samples
+    if not 0 <= start_index < stop <= traces.grid.n_samples:
+        raise ValueError("outage window outside the trace")
+    ids = list(instance_ids)
+    missing = [i for i in ids if i not in traces]
+    if missing:
+        raise ValueError(f"unknown instances: {missing[:5]}")
+    matrix = traces.matrix.copy()
+    for instance_id in ids:
+        matrix[traces.index_of(instance_id), start_index:stop] = 0.0
+    return TraceSet(traces.grid, list(traces.ids), matrix)

@@ -1,0 +1,84 @@
+"""Service power traces (S-traces) — Eq. 5 of the paper.
+
+For a service *Y*, the S-trace is the mean of the averaged I-traces of all of
+*Y*'s instances.  The S-traces of the top power-consumer services form the
+basis against which every instance's asynchrony-score vector is computed
+(Sec. 3.3-3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from .instance import InstanceRecord, group_by_service
+from .series import PowerTrace
+from .traceset import TraceSet
+
+
+def service_power_trace(records: Sequence[InstanceRecord]) -> PowerTrace:
+    """The S-trace of one service: mean of its instances' averaged I-traces."""
+    if not records:
+        raise ValueError("service has no instances")
+    services = {record.service for record in records}
+    if len(services) > 1:
+        raise ValueError(f"records span multiple services: {sorted(services)}")
+    grid = records[0].training_trace.grid
+    total = np.zeros(grid.n_samples)
+    for record in records:
+        grid.require_same(record.training_trace.grid)
+        total += record.training_trace.values
+    return PowerTrace(grid, total / len(records))
+
+
+def build_service_traces(
+    records: Iterable[InstanceRecord],
+) -> Dict[str, PowerTrace]:
+    """S-traces for every service present in ``records``."""
+    return {
+        service: service_power_trace(service_records)
+        for service, service_records in group_by_service(records).items()
+    }
+
+
+def total_energy_by_service(records: Iterable[InstanceRecord]) -> Dict[str, float]:
+    """Total training-trace energy per service (watt-minutes).
+
+    This is the quantity behind Figure 5's "30-day average power consumption"
+    breakdown: the share of each service in the datacenter's energy.
+    """
+    energy: Dict[str, float] = {}
+    for record in records:
+        energy[record.service] = energy.get(record.service, 0.0) + record.training_trace.energy()
+    return energy
+
+
+def top_power_consumers(
+    records: Sequence[InstanceRecord], top_m: int
+) -> List[str]:
+    """Names of the ``top_m`` services by total power, largest first.
+
+    These are the services whose S-traces span the asynchrony-score space
+    (the set *B* of Sec. 3.5).  Ties break by service name for determinism.
+    """
+    if top_m <= 0:
+        raise ValueError(f"top_m must be positive, got {top_m}")
+    energy = total_energy_by_service(records)
+    ranked = sorted(energy.items(), key=lambda item: (-item[1], item[0]))
+    return [service for service, _ in ranked[:top_m]]
+
+
+def extract_basis_traces(
+    records: Sequence[InstanceRecord], top_m: int
+) -> "TraceSet":
+    """S-traces of the top-``top_m`` power consumers as a :class:`TraceSet`.
+
+    The returned set's ids are service names, ordered by descending power —
+    the basis *{PS_1 .. PS_m}* of Figure 7.  ``top_m`` is clamped to the
+    number of distinct services.
+    """
+    services = top_power_consumers(records, top_m)
+    grouped = group_by_service(records)
+    traces = {service: service_power_trace(grouped[service]) for service in services}
+    return TraceSet.from_traces(traces)

@@ -1,0 +1,203 @@
+"""Synthetic power-trace generation.
+
+The paper measures three weeks of per-minute power telemetry for every server
+in three production Facebook datacenters.  We cannot obtain those traces, so
+this module synthesises the closest structural equivalent (see DESIGN.md,
+"Substitutions"): per-instance traces composed of
+
+* a service-level diurnal/weekly activity shape (:class:`ServiceProfile`),
+* per-instance heterogeneity — phase offsets, amplitude/baseline scaling —
+  drawn once per instance and stable across weeks (this is the signal the
+  placement framework exploits),
+* week-over-week variation and AR(1)-correlated short-term noise (this is
+  the signal Eq. 4's multi-week averaging is designed to suppress).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .grid import MINUTES_PER_HOUR, TimeGrid
+from .instance import InstanceRecord, ServiceInstance
+from .profiles import ServiceProfile
+from .series import PowerTrace
+from .traceset import TraceSet
+
+
+@dataclass(frozen=True)
+class InstancePersonality:
+    """Stable per-instance deviations from the service shape.
+
+    Drawn once per instance; identical across weeks.  This is precisely the
+    "instance-level heterogeneity ... from imbalanced accessing pattern or
+    skewed popularity" of Sec. 3.3.
+    """
+
+    phase_offset_hours: float
+    amplitude_scale: float
+    baseline_scale: float
+
+    def __post_init__(self) -> None:
+        if self.amplitude_scale < 0 or self.baseline_scale < 0:
+            raise ValueError("personality scales cannot be negative")
+
+
+def draw_personality(
+    profile: ServiceProfile, rng: np.random.Generator
+) -> InstancePersonality:
+    """Sample one instance's personality from the profile's jitter model."""
+    phase = float(rng.normal(0.0, profile.phase_jitter_hours))
+    amplitude = float(
+        np.clip(rng.normal(1.0, profile.amplitude_jitter), 0.2, 3.0)
+    )
+    baseline = float(
+        np.clip(rng.normal(1.0, profile.baseline_jitter), 0.2, 3.0)
+    )
+    return InstancePersonality(phase, amplitude, baseline)
+
+
+class TraceSynthesizer:
+    """Generates multi-week instance power traces for service profiles.
+
+    Parameters
+    ----------
+    weeks:
+        Number of whole weeks to synthesise (the paper collects 3: two for
+        training, one held out — Sec. 5.1).
+    step_minutes:
+        Sampling step.  The paper logs per minute; the default of 10 minutes
+        keeps fleet-scale experiments fast while preserving hourly structure.
+    seed:
+        Seed for the top-level RNG.  All randomness flows from here, so a
+        given (seed, fleet spec) pair is fully reproducible.
+    """
+
+    def __init__(
+        self,
+        *,
+        weeks: int = 3,
+        step_minutes: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if weeks <= 0:
+            raise ValueError("weeks must be positive")
+        self.weeks = weeks
+        self.grid = TimeGrid.for_weeks(weeks, step_minutes=step_minutes)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def instance_trace(
+        self,
+        profile: ServiceProfile,
+        personality: Optional[InstancePersonality] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> PowerTrace:
+        """One instance's raw multi-week power trace."""
+        rng = rng if rng is not None else self._rng
+        if personality is None:
+            personality = draw_personality(profile, rng)
+
+        hours = self.grid.hours_of_day() - personality.phase_offset_hours
+        activity = profile.activity(np.mod(hours, 24.0))
+
+        # Weekly structure: weekends dampened for user-facing services.
+        day_of_week = self.grid.days_of_week()
+        weekend = (day_of_week >= 5).astype(np.float64)
+        weekly = 1.0 - weekend * (1.0 - profile.weekend_factor)
+
+        # Week-over-week drift: each week gets a small load multiplier.
+        per_week = self.grid.samples_per_week
+        week_scale = rng.normal(1.0, 0.03, size=self.weeks).clip(0.8, 1.2)
+        week_factor = np.repeat(week_scale, per_week)[: self.grid.n_samples]
+
+        # AR(1)-correlated multiplicative noise (sensor + load jitter).
+        noise = _ar1_noise(self.grid.n_samples, profile.noise_std, rng)
+
+        utilisation = activity * weekly * week_factor * (1.0 + noise)
+        utilisation = np.clip(utilisation, 0.0, 1.5)
+
+        idle = profile.idle_watts * personality.baseline_scale
+        swing = profile.swing_watts * personality.amplitude_scale
+        values = idle + swing * utilisation
+        return PowerTrace(self.grid, np.maximum(values, 0.0))
+
+    def service_instances(
+        self,
+        profile: ServiceProfile,
+        count: int,
+        *,
+        id_prefix: Optional[str] = None,
+        test_weeks: int = 1,
+    ) -> List[InstanceRecord]:
+        """``count`` instance records for one service.
+
+        Each record holds the Eq.-4 averaged training trace (first
+        ``weeks - test_weeks`` weeks) and the held-out test week.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        prefix = id_prefix if id_prefix is not None else profile.name
+        records: List[InstanceRecord] = []
+        for index in range(count):
+            instance = ServiceInstance(
+                instance_id=f"{prefix}-{index:05d}",
+                service=profile.name,
+                kind=profile.kind,
+            )
+            raw = self.instance_trace(profile)
+            records.append(
+                InstanceRecord.from_weeks(instance, raw.split_weeks(), test_weeks=test_weeks)
+            )
+        return records
+
+    def fleet(
+        self,
+        composition: Sequence[Tuple[ServiceProfile, int]],
+        *,
+        test_weeks: int = 1,
+    ) -> List[InstanceRecord]:
+        """Instance records for a whole fleet given (profile, count) pairs."""
+        records: List[InstanceRecord] = []
+        for profile, count in composition:
+            records.extend(
+                self.service_instances(profile, count, test_weeks=test_weeks)
+            )
+        return records
+
+
+def _ar1_noise(
+    n_samples: int, std: float, rng: np.random.Generator, rho: float = 0.9
+) -> np.ndarray:
+    """Zero-mean temporally-correlated noise with marginal std ``std``.
+
+    Implemented as white noise convolved with a truncated exponential
+    kernel (the AR(1) impulse response), which vectorises cleanly.
+    """
+    if std == 0:
+        return np.zeros(n_samples)
+    # Kernel length where rho^k becomes negligible.
+    length = min(n_samples, max(8, int(np.ceil(np.log(1e-3) / np.log(rho)))))
+    kernel = rho ** np.arange(length)
+    kernel /= np.sqrt((kernel * kernel).sum())  # unit marginal variance
+    white = rng.normal(0.0, std, size=n_samples + length - 1)
+    return np.convolve(white, kernel, mode="valid")
+
+
+def training_trace_set(records: Sequence[InstanceRecord]) -> TraceSet:
+    """The fleet's averaged training I-traces as one :class:`TraceSet`."""
+    return TraceSet.from_traces(
+        {record.instance_id: record.training_trace for record in records}
+    )
+
+
+def test_trace_set(records: Sequence[InstanceRecord]) -> TraceSet:
+    """The fleet's held-out test-week traces as one :class:`TraceSet`."""
+    missing = [r.instance_id for r in records if r.test_trace is None]
+    if missing:
+        raise ValueError(f"records without test traces: {missing[:5]}")
+    return TraceSet.from_traces(
+        {record.instance_id: record.test_trace for record in records}
+    )

@@ -1,0 +1,45 @@
+"""Unit tests for the Table 1 comparison matrix."""
+
+import pytest
+
+from repro.analysis import CAPABILITIES, TABLE1, table1_headers, table1_rows
+
+
+class TestTable1:
+    def test_four_approaches(self):
+        assert [a.name for a in TABLE1] == [
+            "Power Routing",
+            "Stat. Multiplexing",
+            "DistributedUPS",
+            "SmoothOperator",
+        ]
+
+    def test_smoothoperator_supports_everything(self):
+        smoop = TABLE1[-1]
+        assert all(smoop.supports(c) for c in CAPABILITIES)
+
+    def test_no_prior_work_supports_everything(self):
+        for approach in TABLE1[:-1]:
+            assert not all(approach.supports(c) for c in CAPABILITIES)
+
+    def test_paper_checkmarks(self):
+        """Spot-check the cells given in the paper's Table 1."""
+        by_name = {a.name: a for a in TABLE1}
+        assert by_name["Power Routing"].supports("Balancing local peaks")
+        assert not by_name["Power Routing"].supports("Using existing power infra.")
+        assert by_name["Stat. Multiplexing"].supports("Using existing power infra.")
+        assert not by_name["Stat. Multiplexing"].supports("Using temporal information")
+        assert by_name["DistributedUPS"].supports("Using temporal information")
+        assert not by_name["DistributedUPS"].supports("Using existing power infra.")
+
+    def test_unknown_capability_rejected(self):
+        with pytest.raises(KeyError):
+            TABLE1[0].supports("Quantum provisioning")
+
+    def test_rows_render(self):
+        rows = table1_rows()
+        headers = table1_headers()
+        assert len(rows) == len(CAPABILITIES)
+        assert all(len(row) == len(headers) for row in rows)
+        # SmoothOperator column (last) is all "yes".
+        assert all(row[-1] == "yes" for row in rows)

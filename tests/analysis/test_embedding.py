@@ -1,0 +1,72 @@
+"""Unit tests for PCA and t-SNE embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TSNEConfig, pca_project, tsne_embed
+
+
+def two_blobs(rng, n=30, separation=20.0):
+    a = rng.normal(0, 0.5, (n, 5))
+    b = rng.normal(separation, 0.5, (n, 5))
+    return np.vstack([a, b])
+
+
+class TestPCA:
+    def test_shape(self, rng):
+        points = rng.random((20, 6))
+        assert pca_project(points, 2).shape == (20, 2)
+
+    def test_centered(self, rng):
+        projected = pca_project(rng.random((30, 4)), 2)
+        assert np.allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_first_component_captures_separation(self, rng):
+        points = two_blobs(rng)
+        projected = pca_project(points, 1)
+        assert np.sign(projected[:30].mean()) != np.sign(projected[30:].mean())
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pca_project(np.zeros(5))
+
+    def test_clamps_components(self, rng):
+        points = rng.random((10, 2))
+        assert pca_project(points, 5).shape == (10, 2)
+
+
+class TestTSNE:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TSNEConfig(perplexity=1.0)
+        with pytest.raises(ValueError):
+            TSNEConfig(n_iter=0)
+
+    def test_output_shape(self, rng):
+        points = rng.random((25, 4))
+        embedding = tsne_embed(points, TSNEConfig(n_iter=50, perplexity=5))
+        assert embedding.shape == (25, 2)
+        assert np.all(np.isfinite(embedding))
+
+    def test_requires_three_points(self, rng):
+        with pytest.raises(ValueError):
+            tsne_embed(rng.random((2, 3)))
+
+    def test_deterministic(self, rng):
+        points = rng.random((20, 3))
+        config = TSNEConfig(n_iter=40, perplexity=5, seed=1)
+        a = tsne_embed(points, config)
+        b = tsne_embed(points, config)
+        assert np.allclose(a, b)
+
+    def test_separates_blobs(self, rng):
+        """Well-separated clusters should stay separated in 2-D."""
+        points = two_blobs(rng, n=20)
+        embedding = tsne_embed(points, TSNEConfig(n_iter=200, perplexity=8, seed=0))
+        a, b = embedding[:20], embedding[20:]
+        centroid_distance = np.linalg.norm(a.mean(axis=0) - b.mean(axis=0))
+        scatter = max(
+            np.linalg.norm(a - a.mean(axis=0), axis=1).mean(),
+            np.linalg.norm(b - b.mean(axis=0), axis=1).mean(),
+        )
+        assert centroid_distance > 2 * scatter

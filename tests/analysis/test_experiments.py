@@ -1,0 +1,154 @@
+"""Small-scale tests of the per-figure experiment drivers.
+
+These run the real drivers on shrunken datacenters (96 instances, 60-minute
+sampling) — the full-scale runs live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as E
+from repro.infra import Level
+
+SMALL = dict(n_instances=96, step_minutes=60)
+
+
+@pytest.fixture(scope="module")
+def dc1():
+    return E.get_datacenter("DC1", **SMALL)
+
+
+@pytest.fixture(scope="module")
+def dc3():
+    return E.get_datacenter("DC3", **SMALL)
+
+
+class TestContext:
+    def test_cache_returns_same_object(self, dc1):
+        assert E.get_datacenter("DC1", **SMALL) is dc1
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            E.get_datacenter("DC9")
+
+
+class TestFigure5:
+    def test_shares_ordered_and_normalised(self, dc1):
+        breakdown = E.run_figure5(dc1)
+        shares = [share for _, share in breakdown]
+        assert shares == sorted(shares, reverse=True)
+        assert sum(shares) <= 1.0 + 1e-9
+        assert breakdown[0][0] in ("frontend", "cache")
+
+
+class TestFigure6:
+    def test_default_services(self, dc1):
+        summary = E.run_figure6(dc1)
+        assert len(summary) == 3
+        for stats in summary.values():
+            assert stats["median_peak"] > 0
+
+    def test_web_swings_more_than_batch(self, dc1):
+        summary = E.run_figure6(dc1, services=["frontend", "batchjob"])
+        assert summary["frontend"]["diurnal_swing"] > summary["batchjob"]["diurnal_swing"]
+
+    def test_unknown_service(self, dc1):
+        with pytest.raises(ValueError):
+            E.run_figure6(dc1, services=["nope"])
+
+
+class TestFigure8:
+    def test_clusters_and_embedding(self, dc1):
+        figure = E.run_figure8(dc1, k=4, max_points=60)
+        n = len(figure.instance_ids)
+        assert figure.scores.shape[0] == n
+        assert figure.embedding.shape == (n, 2)
+        assert figure.cluster_sizes().sum() == n
+        # Balanced clustering: sizes differ by at most one.
+        sizes = figure.cluster_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_suite_index_validated(self, dc1):
+        with pytest.raises(IndexError):
+            E.run_figure8(dc1, suite_index=99)
+
+
+class TestFigure9:
+    def test_parent_unchanged_children_smoothed(self, dc3):
+        figure = E.run_figure9(dc3)
+        assert figure.parent_peak_after == pytest.approx(
+            figure.parent_peak_before, rel=1e-9
+        )
+        # At this micro scale (a handful of instances per child) the local
+        # re-placement can be a wash; it must not be materially worse.  The
+        # full-scale run (benchmarks/bench_fig09) shows the real reduction.
+        assert figure.sum_child_peaks_after <= figure.sum_child_peaks_before * 1.03
+        assert figure.child_peak_reduction >= -0.03
+
+
+class TestFigure10:
+    def test_structure(self):
+        result = E.run_figure10(names=("DC1", "DC3"), **SMALL)
+        assert set(result) == {"DC1", "DC3"}
+        for row in result.values():
+            assert "extra_servers" in row
+            assert Level.RPP in row
+
+    def test_dc3_beats_dc1_at_rpp(self):
+        result = E.run_figure10(names=("DC1", "DC3"), **SMALL)
+        assert result["DC3"][Level.RPP] > result["DC1"][Level.RPP]
+
+    def test_reductions_grow_toward_leaves(self):
+        result = E.run_figure10(names=("DC3",), **SMALL)
+        row = result["DC3"]
+        assert row[Level.RPP] >= row[Level.SUITE] - 1e-9
+
+
+class TestFigure11:
+    def test_grid_shape(self):
+        grid = E.run_figure11("DC3", **SMALL)
+        assert Level.RPP in grid
+        rpp = grid[Level.RPP]
+        assert rpp["StatProf(0, 0)"] == pytest.approx(1.0)
+        assert rpp["SmoOp(0, 0)"] < 1.0
+
+    def test_smoop_beats_statprof_at_rpp(self):
+        grid = E.run_figure11("DC3", **SMALL)
+        rpp = grid[Level.RPP]
+        for u, d in ((0.0, 0.0), (10.0, 0.1)):
+            assert rpp[f"SmoOp({u:g}, {d:g})"] <= rpp[f"StatProf({u:g}, {d:g})"] + 1e-9
+
+
+class TestReshapingStudies:
+    def test_figure12_time_series(self):
+        study = E.run_figure12("DC3", **SMALL)
+        conv = study.comparison.scenarios["conversion"]
+        assert study.conversion_threshold <= 1.0
+        assert study.extra_conversion >= 0
+        total_extra = study.extra_conversion + study.extra_throttle_funded
+        if total_extra > 0:
+            # Conversion servers join LC at peak and leave it off-peak.
+            tb = study.comparison.scenarios["throttle_boost"]
+            assert tb.n_lc_active.max() > tb.n_lc_active.min()
+        else:
+            # Micro fleets can lack a whole server of per-rack headroom:
+            # the study still runs, with a constant LC fleet.
+            assert conv.n_lc_active.max() == conv.n_lc_active.min()
+
+    def test_figure13_improvements(self):
+        result = E.run_figure13(names=("DC1",), **SMALL)
+        row = result["DC1"]
+        assert row["lc_conversion"] >= 0
+        assert row["batch_conversion"] >= 0
+        assert row["lc_throttle_boost"] >= row["lc_conversion"]
+
+    def test_figure14_slack(self):
+        result = E.run_figure14(names=("DC1",), **SMALL)
+        row = result["DC1"]
+        assert set(row) == {"average", "off_peak", "average_vs_pre", "off_peak_vs_pre"}
+        assert row["average_vs_pre"] > 0
+
+    def test_scenarios_power_safe(self):
+        study = E.run_figure12("DC1", **SMALL)
+        for scenario in study.comparison.scenarios.values():
+            assert scenario.overload_steps() == 0

@@ -1,0 +1,156 @@
+"""Unit tests for the SVG figure toolkit and gallery builders."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    LineSeries,
+    _nice_ticks,
+    data_table,
+    figure_page,
+    grouped_bar_chart,
+    multi_panel_lines,
+    write_figure,
+)
+
+
+class TestTicks:
+    def test_clean_steps(self):
+        ticks = _nice_ticks(0, 100)
+        assert all(t % 20 == 0 or t % 25 == 0 for t in ticks)
+
+    def test_covers_range(self):
+        ticks = _nice_ticks(3, 97)
+        assert min(ticks) >= 3
+        assert max(ticks) <= 97
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5, 5)
+        assert len(ticks) >= 1
+
+
+class TestLinePanels:
+    def test_polyline_per_series(self):
+        panels = [
+            (
+                "p1",
+                [
+                    LineSeries("a", np.linspace(0, 10, 50)),
+                    LineSeries("b", np.linspace(10, 0, 50)),
+                ],
+            )
+        ]
+        svg = multi_panel_lines(panels, legend_labels=["a", "b"])
+        assert svg.count("<polyline") == 2
+        assert "var(--series-1)" in svg
+        assert "var(--series-2)" in svg
+
+    def test_band_rendered_as_wash(self):
+        values = np.linspace(1, 5, 30)
+        panels = [
+            ("p", [LineSeries("s", values, band=(values - 0.5, values + 0.5))])
+        ]
+        svg = multi_panel_lines(panels)
+        assert 'opacity="0.10"' in svg  # area wash, never a solid block
+
+    def test_single_series_no_legend(self):
+        panels = [("only", [LineSeries("only", np.ones(10))])]
+        svg = multi_panel_lines(panels)
+        assert "<rect" not in svg  # no legend swatches
+
+    def test_coordinates_inside_viewbox(self):
+        panels = [
+            ("p", [LineSeries("s", np.abs(np.sin(np.linspace(0, 9, 400))) * 1e4)])
+        ]
+        svg = multi_panel_lines(panels)
+        match = re.search(r'viewBox="0 0 (\d+) (\d+)"', svg)
+        width, height = map(float, match.groups())
+        for points in re.findall(r'points="([^"]+)"', svg):
+            for pair in points.split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= width
+                assert -1 <= y <= height + 1
+
+    def test_downsampling_bounds_point_count(self):
+        panels = [("p", [LineSeries("s", np.random.default_rng(0).random(5000))])]
+        svg = multi_panel_lines(panels)
+        points = re.search(r'points="([^"]+)"', svg).group(1)
+        assert len(points.split()) <= 400
+
+
+class TestBars:
+    def test_bar_per_value(self):
+        svg = grouped_bar_chart(
+            ["a", "b"], [("s1", [1, 2]), ("s2", [3, 4])], title="t"
+        )
+        assert svg.count("<path") == 4
+        assert svg.count("<title>") == 4  # native hover tooltips
+
+    def test_legend_present_for_multi_series(self):
+        svg = grouped_bar_chart(["a"], [("s1", [1]), ("s2", [2])])
+        assert "s1" in svg and "s2" in svg
+        assert svg.count("<rect") >= 2  # swatches
+
+    def test_values_on_caps(self):
+        svg = grouped_bar_chart(["a"], [("s", [12.5])])
+        assert ">12.5<" in svg or ">13<" in svg
+
+    def test_text_uses_text_tokens_not_series_colors(self):
+        svg = grouped_bar_chart(["a"], [("s1", [1]), ("s2", [2])])
+        for text in re.findall(r"<text[^>]*>", svg):
+            assert "--series-" not in text
+
+    def test_bars_capped_at_24px(self):
+        svg = grouped_bar_chart(["one"], [("s", [5])], width=840)
+        # Bar width appears in the path as the horizontal extent.
+        xs = [float(v) for v in re.findall(r"M([\d.]+),", svg)]
+        assert xs  # a bar was drawn
+
+
+class TestPageAssembly:
+    def test_page_structure(self):
+        page = figure_page("T", "sub", "<svg></svg>", data_table(["h"], [["v"]]))
+        assert "<!DOCTYPE html>" in page
+        assert "prefers-color-scheme: dark" in page
+        assert "<table>" in page
+        assert "T</h1>" in page
+
+    def test_table_escapes(self):
+        table = data_table(["<h>"], [["<img>"]])
+        assert "&lt;h&gt;" in table
+        assert "&lt;img&gt;" in table
+
+    def test_write_figure(self, tmp_path):
+        path = write_figure(tmp_path / "sub" / "f.html", "<html></html>")
+        assert path.exists()
+        assert path.read_text() == "<html></html>"
+
+
+class TestGalleryOnDemoData:
+    def test_build_figure6(self, demo_datacenter):
+        from repro.analysis.gallery import build_figure6
+
+        page = build_figure6(demo_datacenter, services=["web", "db", "hadoop"])
+        assert "Figure 6" in page
+        assert page.count("<polyline") == 3
+        assert "<table>" in page
+
+    def test_build_figure10(self):
+        from repro.analysis.gallery import build_figure10
+        from repro.infra import Level
+
+        results = {
+            "DC1": {
+                Level.SUITE: 0.01, Level.MSB: 0.01, Level.SB: 0.02,
+                Level.RPP: 0.025, "extra_servers": 0.03,
+            },
+            "DC3": {
+                Level.SUITE: 0.02, Level.MSB: 0.06, Level.SB: 0.12,
+                Level.RPP: 0.15, "extra_servers": 0.10,
+            },
+        }
+        page = build_figure10(results)
+        assert page.count("<path") == 8  # 2 DCs x 4 levels
+        assert "RPP" in page

@@ -1,0 +1,63 @@
+"""Tests for the remaining gallery builders (small-scale data)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis.report import format_cell
+from repro.analysis.gallery import (
+    build_figure9,
+    build_figure12,
+    build_figure14,
+    render_all,
+)
+
+SMALL = dict(n_instances=96, step_minutes=60)
+
+
+class TestFormatCell:
+    def test_float(self):
+        assert format_cell(1.23456) == "1.235"
+
+    def test_int_and_str(self):
+        assert format_cell(7) == "7"
+        assert format_cell("x") == "x"
+
+
+class TestBuilders:
+    def test_figure9_page(self):
+        dc = E.get_datacenter("DC3", **SMALL)
+        page = build_figure9(dc)
+        assert "Figure 9" in page
+        assert page.count("<polyline") >= 4  # >=2 children x 2 panels
+        assert "<table>" in page
+
+    def test_figure12_page(self):
+        study = E.run_figure12("DC1", **SMALL)
+        page = build_figure12(study)
+        assert "Figure 12" in page
+        assert page.count("<polyline") == 6  # 3 panels x 2 series
+        assert "Pre-SmoothOperator" in page
+
+    def test_figure14_page(self):
+        results = {
+            "DC1": {
+                "average": 0.33, "off_peak": 0.37,
+                "average_vs_pre": 0.45, "off_peak_vs_pre": 0.47,
+            },
+            "DC3": {
+                "average": 0.17, "off_peak": 0.21,
+                "average_vs_pre": 0.45, "off_peak_vs_pre": 0.44,
+            },
+        }
+        page = build_figure14(results)
+        assert "Figure 14" in page
+        assert page.count("<path") == 4  # 2 DCs x 2 series
+
+    def test_render_all_small(self, tmp_path):
+        paths = render_all(tmp_path, **SMALL)
+        assert len(paths) == 8
+        for path in paths:
+            assert path.exists()
+            content = path.read_text()
+            assert "<svg" in content and "</html>" in content

@@ -1,0 +1,152 @@
+"""Tests for the longitudinal drift + adaptation simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.longitudinal import (
+    DriftingFleet,
+    LongitudinalSimulation,
+    amplitude_drift,
+    combined_drift,
+    no_drift,
+    phase_drift,
+)
+from repro.core import PlacementConfig, WorkloadAwarePlacer
+from repro.infra import Level, build_topology, ocp_spec
+from repro.traces import (
+    TraceSynthesizer,
+    cache_profile,
+    db_profile,
+    hadoop_profile,
+    web_profile,
+)
+
+
+PROFILES = {
+    "web": web_profile(),
+    "cache": cache_profile(),
+    "db": db_profile(),
+    "hadoop": hadoop_profile(),
+}
+
+
+@pytest.fixture(scope="module")
+def setting():
+    synthesizer = TraceSynthesizer(weeks=2, step_minutes=60, seed=5)
+    records = synthesizer.fleet(
+        [
+            (web_profile(), 24),
+            (cache_profile(), 16),
+            (db_profile(), 16),
+            (hadoop_profile(), 8),
+        ],
+        test_weeks=0,
+    )
+    topology = build_topology(
+        ocp_spec(
+            "long",
+            suites=2,
+            msbs_per_suite=1,
+            sbs_per_msb=2,
+            rpps_per_sb=2,
+            racks_per_rpp=1,
+            servers_per_rack=10,
+        )
+    )
+    placement = WorkloadAwarePlacer(PlacementConfig(seed=0, kmeans_n_init=2)).place(
+        records, topology
+    )
+    return records, topology, placement.assignment
+
+
+class TestDriftFunctions:
+    def test_no_drift(self):
+        profile = web_profile()
+        assert no_drift(profile, 10) is profile
+
+    def test_phase_drift_shifts(self):
+        drift = phase_drift(1.0)
+        assert drift(web_profile(), 3).peak_hour == pytest.approx(17.0)
+
+    def test_phase_drift_wraps(self):
+        drift = phase_drift(6.0)
+        assert drift(web_profile(), 3).peak_hour == pytest.approx(8.0)
+
+    def test_amplitude_drift_grows(self):
+        drift = amplitude_drift(0.1)
+        base = web_profile()
+        grown = drift(base, 2)
+        assert grown.swing_watts == pytest.approx(base.swing_watts * 1.21)
+
+    def test_combined(self):
+        drift = combined_drift(phase_drift(1.0), amplitude_drift(0.1))
+        out = drift(web_profile(), 1)
+        assert out.peak_hour == pytest.approx(15.0)
+        assert out.swing_watts > web_profile().swing_watts
+
+
+class TestDriftingFleet:
+    def test_week_shapes(self, setting):
+        records, _, _ = setting
+        fleet = DriftingFleet(records, PROFILES, no_drift, step_minutes=60, seed=1)
+        week = fleet.week(0)
+        assert len(week) == len(records)
+        assert week.grid.covers_whole_weeks()
+
+    def test_personalities_stable_across_weeks(self, setting):
+        """The same instance keeps its relative standing week over week."""
+        records, _, _ = setting
+        fleet = DriftingFleet(records, PROFILES, no_drift, step_minutes=60, seed=1)
+        w0 = fleet.week(0)
+        w1 = fleet.week(1)
+        web_ids = [r.instance_id for r in records if r.service == "web"]
+        peaks0 = np.array([w0.row(i).max() for i in web_ids])
+        peaks1 = np.array([w1.row(i).max() for i in web_ids])
+        # Strong rank correlation: personality (amplitude) persists.
+        order0 = np.argsort(peaks0)
+        order1 = np.argsort(peaks1)
+        agreement = np.mean(order0[:8] == order1[:8])
+        assert np.corrcoef(peaks0, peaks1)[0, 1] > 0.8 or agreement > 0.5
+
+    def test_weeks_differ(self, setting):
+        records, _, _ = setting
+        fleet = DriftingFleet(records, PROFILES, no_drift, step_minutes=60, seed=1)
+        assert not np.allclose(fleet.week(0).matrix, fleet.week(1).matrix)
+
+    def test_drift_visible(self, setting):
+        records, _, _ = setting
+        fleet = DriftingFleet(
+            records, PROFILES, phase_drift(2.0), step_minutes=60, seed=1
+        )
+        web_ids = [r.instance_id for r in records if r.service == "web"]
+        w0 = fleet.week(0).subset(web_ids).total()
+        w5 = fleet.week(5).subset(web_ids).total()
+        assert abs(w0.peak_hour() - w5.peak_hour()) >= 4
+
+
+class TestSimulation:
+    def test_stable_world_needs_no_swaps(self, setting):
+        records, topology, assignment = setting
+        fleet = DriftingFleet(records, PROFILES, no_drift, step_minutes=60, seed=1)
+        sim = LongitudinalSimulation(fleet, assignment, level=Level.RPP)
+        result = sim.run(3)
+        assert len(result.adaptive) == 3
+        # Without drift the placement stays healthy: few or no swaps.
+        assert result.total_swaps() <= 4
+
+    def test_adaptation_tracks_drift(self, setting):
+        records, topology, assignment = setting
+        fleet = DriftingFleet(
+            records, PROFILES, phase_drift(1.5), step_minutes=60, seed=1
+        )
+        sim = LongitudinalSimulation(fleet, assignment, level=Level.RPP)
+        result = sim.run(6)
+        # The adaptive arm must end at least as good as the frozen one.
+        assert result.adaptive[-1].sum_of_peaks <= result.static[-1] * 1.005
+
+    def test_rejects_zero_weeks(self, setting):
+        records, topology, assignment = setting
+        fleet = DriftingFleet(records, PROFILES, no_drift, step_minutes=60, seed=1)
+        sim = LongitudinalSimulation(fleet, assignment, level=Level.RPP)
+        with pytest.raises(ValueError):
+            sim.run(0)

@@ -1,0 +1,100 @@
+"""Unit tests for the fragmentation monitor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FragmentationMonitor, MonitorConfig
+from repro.infra import Assignment, Level, build_topology, two_level_spec
+from repro.traces import PowerTrace, TimeGrid, TraceSet, inject_surge
+
+
+@pytest.fixture
+def setting():
+    grid = TimeGrid(0, 60, 24)
+    up = np.linspace(5, 10, 24)
+    down = np.linspace(10, 5, 24)
+    topo = build_topology(two_level_spec("dc", leaves=2, leaf_capacity=4))
+    traces = TraceSet(grid, ["u1", "d1", "u2", "d2"], np.vstack([up, down, up, down]))
+    assignment = Assignment(
+        topo, {"u1": "dc/rpp0", "d1": "dc/rpp0", "u2": "dc/rpp1", "d2": "dc/rpp1"}
+    )
+    return topo, assignment, traces
+
+
+class TestMonitorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(level=Level.RPP, sum_of_peaks_tolerance=-0.1)
+        with pytest.raises(ValueError):
+            MonitorConfig(level=Level.RPP, min_asynchrony=0.5)
+
+
+class TestMonitor:
+    def test_requires_calibration(self, setting):
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(assignment, MonitorConfig(level=Level.RPP))
+        with pytest.raises(RuntimeError):
+            monitor.observe("week1", traces)
+
+    def test_healthy_when_stable(self, setting):
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(assignment, MonitorConfig(level=Level.RPP))
+        monitor.calibrate(traces)
+        snapshot = monitor.observe("week1", traces)
+        assert snapshot.healthy
+        assert not monitor.needs_remapping()
+
+    def test_flags_sum_of_peaks_drift(self, setting):
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(
+            assignment,
+            MonitorConfig(level=Level.RPP, sum_of_peaks_tolerance=0.05, min_asynchrony=1.0),
+        )
+        monitor.calibrate(traces)
+        surged = inject_surge(
+            traces, ["u1", "u2"], factor=3.0, start_hour=0, end_hour=24
+        )
+        snapshot = monitor.observe("surge-week", surged)
+        assert not snapshot.healthy
+        assert any(a.kind == "sum_of_peaks" for a in snapshot.advisories)
+        assert monitor.needs_remapping()
+
+    def test_flags_low_asynchrony_node(self, setting):
+        topo, _, traces = setting
+        # All synchronous instances on one node: its score is ~1.0.
+        grouped = Assignment(
+            topo, {"u1": "dc/rpp0", "u2": "dc/rpp0", "d1": "dc/rpp1", "d2": "dc/rpp1"}
+        )
+        monitor = FragmentationMonitor(
+            grouped, MonitorConfig(level=Level.RPP, min_asynchrony=1.05)
+        )
+        monitor.calibrate(traces)
+        snapshot = monitor.observe("week1", traces)
+        flagged = [a for a in snapshot.advisories if a.kind == "node_asynchrony"]
+        assert flagged
+        assert all(a.node_name is not None for a in flagged)
+
+    def test_worst_node_identified(self, setting):
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(assignment, MonitorConfig(level=Level.RPP))
+        snapshot = monitor.calibrate(traces)
+        assert snapshot.worst_node in ("dc/rpp0", "dc/rpp1")
+
+    def test_history_accumulates(self, setting):
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(assignment, MonitorConfig(level=Level.RPP))
+        monitor.calibrate(traces)
+        monitor.observe("w1", traces)
+        monitor.observe("w2", traces)
+        assert [s.label for s in monitor.history] == ["calibration", "w1", "w2"]
+
+    def test_advisory_severity(self, setting):
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(
+            assignment, MonitorConfig(level=Level.RPP, sum_of_peaks_tolerance=0.0)
+        )
+        monitor.calibrate(traces)
+        surged = inject_surge(traces, ["u1"], factor=2.0, start_hour=0, end_hour=24)
+        snapshot = monitor.observe("surge", surged)
+        drift = [a for a in snapshot.advisories if a.kind == "sum_of_peaks"]
+        assert drift and drift[0].severity > 0

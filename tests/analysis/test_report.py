@@ -1,0 +1,66 @@
+"""Unit tests for text report rendering."""
+
+import pytest
+
+from repro.analysis import format_percent, format_series, format_table, sparkline
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.131) == "13.1%"
+
+    def test_digits(self):
+        assert format_percent(0.12345, digits=2) == "12.35%"
+
+    def test_negative(self):
+        assert format_percent(-0.05) == "-5.0%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title(self):
+        table = format_table(["x"], [["1"]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+        assert table.splitlines()[1] == "========"
+
+    def test_floats_formatted(self):
+        table = format_table(["v"], [[1.23456]])
+        assert "1.235" in table
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestSeries:
+    def test_format_series_samples(self):
+        text = format_series("s", list(range(100)), max_points=5)
+        assert text.startswith("s: [")
+        assert "(n=100)" in text
+
+    def test_format_series_empty(self):
+        assert "empty" in format_series("s", [])
+
+    def test_sparkline_length(self):
+        line = sparkline([1, 2, 3, 4, 5], width=5)
+        assert len(line) == 5
+
+    def test_sparkline_flat(self):
+        line = sparkline([3, 3, 3])
+        assert line == "▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_monotone(self):
+        line = sparkline(list(range(8)), width=8)
+        assert line == "▁▂▃▄▅▆▇█"

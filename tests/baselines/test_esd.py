@@ -1,0 +1,116 @@
+"""Unit tests for the energy-storage (ESD) peak-shaving comparator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BatterySpec,
+    overload_episode_durations,
+    required_battery_energy,
+    shave_peaks,
+)
+from repro.traces import PowerTrace, TimeGrid
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(0, 60, 24)
+
+
+def spike_trace(grid, base=10.0, spike=30.0, start=10, length=2):
+    values = np.full(grid.n_samples, base)
+    values[start : start + length] = spike
+    return PowerTrace(grid, values)
+
+
+class TestBatterySpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatterySpec(-1, 10, 10)
+        with pytest.raises(ValueError):
+            BatterySpec(10, -1, 10)
+        with pytest.raises(ValueError):
+            BatterySpec(10, 10, 10, efficiency=0.0)
+
+
+class TestShaving:
+    def test_short_spike_fully_shaved(self, grid):
+        trace = spike_trace(grid)
+        battery = BatterySpec(energy_wh=100, max_discharge_watts=50, max_charge_watts=10)
+        result = shave_peaks(trace, budget_watts=15.0, battery=battery)
+        assert result.unshaved_steps() == 0
+        assert result.peak_after() <= 15.0 + 1e-9
+
+    def test_long_peak_exhausts_battery(self, grid):
+        """The paper's argument: hours-long diurnal peaks drain ESDs."""
+        trace = spike_trace(grid, spike=30.0, start=6, length=12)  # 12-hour peak
+        battery = BatterySpec(energy_wh=30, max_discharge_watts=50, max_charge_watts=10)
+        result = shave_peaks(trace, budget_watts=15.0, battery=battery)
+        assert result.unshaved_steps() > 0
+        assert result.unshaved_energy(grid.step_minutes) > 0
+
+    def test_discharge_power_limit(self, grid):
+        trace = spike_trace(grid, spike=100.0, length=1)
+        battery = BatterySpec(energy_wh=1000, max_discharge_watts=20, max_charge_watts=10)
+        result = shave_peaks(trace, budget_watts=15.0, battery=battery)
+        # Needs 85 W of shaving but can only deliver 20 W.
+        assert result.unshaved[10] == pytest.approx(65.0)
+
+    def test_recharges_off_peak(self, grid):
+        trace = spike_trace(grid, start=2, length=2)
+        battery = BatterySpec(energy_wh=40, max_discharge_watts=50, max_charge_watts=30)
+        result = shave_peaks(trace, budget_watts=15.0, battery=battery, initial_soc_fraction=1.0)
+        # After discharging, the state of charge climbs back.
+        assert result.state_of_charge_wh[-1] > result.state_of_charge_wh[4]
+
+    def test_charging_respects_budget(self, grid):
+        trace = PowerTrace.constant(grid, 10.0)
+        battery = BatterySpec(energy_wh=1000, max_discharge_watts=0, max_charge_watts=500)
+        result = shave_peaks(trace, budget_watts=15.0, battery=battery, initial_soc_fraction=0.0)
+        assert result.grid_draw.max() <= 15.0 + 1e-9
+
+    def test_zero_battery_is_passthrough_overload(self, grid):
+        trace = spike_trace(grid)
+        battery = BatterySpec(energy_wh=0, max_discharge_watts=0, max_charge_watts=0)
+        result = shave_peaks(trace, budget_watts=15.0, battery=battery)
+        assert result.unshaved_steps() == 2
+        assert np.allclose(result.grid_draw, trace.values)
+
+    def test_validation(self, grid):
+        trace = spike_trace(grid)
+        battery = BatterySpec(10, 10, 10)
+        with pytest.raises(ValueError):
+            shave_peaks(trace, budget_watts=-1, battery=battery)
+        with pytest.raises(ValueError):
+            shave_peaks(trace, budget_watts=1, battery=battery, initial_soc_fraction=2.0)
+
+
+class TestSizing:
+    def test_required_energy_for_one_episode(self, grid):
+        trace = spike_trace(grid, base=10, spike=20, start=5, length=3)
+        # 5 W over budget for 3 hours = 15 Wh.
+        assert required_battery_energy(trace, 15.0) == pytest.approx(15.0)
+
+    def test_required_energy_takes_worst_episode(self, grid):
+        values = np.full(24, 10.0)
+        values[2:4] = 20.0   # 2h episode
+        values[10:16] = 20.0  # 6h episode
+        trace = PowerTrace(grid, values)
+        assert required_battery_energy(trace, 15.0) == pytest.approx(30.0)
+
+    def test_no_overload_zero_energy(self, grid):
+        trace = PowerTrace.constant(grid, 5.0)
+        assert required_battery_energy(trace, 10.0) == 0.0
+
+    def test_episode_durations(self, grid):
+        values = np.full(24, 10.0)
+        values[2:4] = 20.0
+        values[10:16] = 20.0
+        trace = PowerTrace(grid, values)
+        assert overload_episode_durations(trace, 15.0) == [120, 360]
+
+    def test_episode_at_end(self, grid):
+        values = np.full(24, 10.0)
+        values[22:] = 20.0
+        trace = PowerTrace(grid, values)
+        assert overload_episode_durations(trace, 15.0) == [120]

@@ -1,0 +1,105 @@
+"""Unit tests for the oblivious (service-grouped) baseline."""
+
+import pytest
+
+from repro.baselines import fill_leaves_in_order, oblivious_placement
+from repro.infra import AssignmentError, build_topology, two_level_spec
+
+
+class TestObliviousPlacement:
+    def test_groups_services(self, tiny_records, tiny_topology):
+        assignment = oblivious_placement(tiny_records, tiny_topology)
+        by_id = {r.instance_id: r.service for r in tiny_records}
+        # With pure grouping, at least one leaf is a monoculture.
+        monocultures = 0
+        for leaf in tiny_topology.leaves():
+            members = assignment.instances_on_leaf(leaf.name)
+            if members and len({by_id[m] for m in members}) == 1:
+                monocultures += 1
+        assert monocultures >= 1
+
+    def test_places_everything(self, tiny_records, tiny_topology):
+        assignment = oblivious_placement(tiny_records, tiny_topology)
+        assert len(assignment) == len(tiny_records)
+
+    def test_mixing_zero_deterministic(self, tiny_records, tiny_topology):
+        a = oblivious_placement(tiny_records, tiny_topology).as_mapping()
+        b = oblivious_placement(tiny_records, tiny_topology).as_mapping()
+        assert a == b
+
+    def test_full_mixing_changes_layout(self, tiny_records, tiny_topology):
+        grouped = oblivious_placement(tiny_records, tiny_topology, mixing=0.0)
+        mixed = oblivious_placement(tiny_records, tiny_topology, mixing=1.0, seed=1)
+        assert grouped.as_mapping() != mixed.as_mapping()
+
+    def test_mixing_seed_determinism(self, tiny_records, tiny_topology):
+        a = oblivious_placement(tiny_records, tiny_topology, mixing=0.5, seed=4)
+        b = oblivious_placement(tiny_records, tiny_topology, mixing=0.5, seed=4)
+        assert a.as_mapping() == b.as_mapping()
+
+    def test_mixing_reduces_grouping(self, tiny_records, tiny_topology):
+        """Higher mixing -> fewer service monocultures on leaves."""
+        by_id = {r.instance_id: r.service for r in tiny_records}
+
+        def monocultures(assignment):
+            count = 0
+            for leaf in tiny_topology.leaves():
+                members = assignment.instances_on_leaf(leaf.name)
+                if len(members) >= 2 and len({by_id[m] for m in members}) == 1:
+                    count += 1
+            return count
+
+        grouped = oblivious_placement(tiny_records, tiny_topology, mixing=0.0)
+        mixed = oblivious_placement(tiny_records, tiny_topology, mixing=1.0, seed=2)
+        assert monocultures(mixed) <= monocultures(grouped)
+
+    def test_invalid_mixing(self, tiny_records, tiny_topology):
+        with pytest.raises(ValueError):
+            oblivious_placement(tiny_records, tiny_topology, mixing=1.5)
+
+    def test_empty_rejected(self, tiny_topology):
+        with pytest.raises(ValueError):
+            oblivious_placement([], tiny_topology)
+
+
+class TestFillLeaves:
+    def test_respects_capacity(self, tiny_records, tiny_topology):
+        assignment = fill_leaves_in_order(tiny_records, tiny_topology)
+        for leaf in tiny_topology.leaves():
+            assert len(assignment.instances_on_leaf(leaf.name)) <= leaf.capacity
+
+    def test_contiguous_and_balanced_fill(self, tiny_records, tiny_topology):
+        assignment = fill_leaves_in_order(tiny_records, tiny_topology)
+        leaves = tiny_topology.leaves()
+        # Every leaf is populated with a near-equal share...
+        occupancy = [len(assignment.instances_on_leaf(l.name)) for l in leaves]
+        assert min(occupancy) > 0
+        assert max(occupancy) - min(occupancy) <= 1
+        # ...and the fill is contiguous: sorted records land in leaf order.
+        ordered = sorted(tiny_records, key=lambda r: r.instance_id)
+        filled = fill_leaves_in_order(ordered, tiny_topology)
+        seen_leaves = [filled.leaf_of(r.instance_id) for r in ordered]
+        leaf_rank = {l.name: i for i, l in enumerate(leaves)}
+        ranks = [leaf_rank[name] for name in seen_leaves]
+        assert ranks == sorted(ranks)
+
+    def test_overflow_rejected(self, synthesizer):
+        from repro.traces import web_profile
+
+        records = synthesizer.service_instances(web_profile(), 10)
+        topo = build_topology(two_level_spec("t", leaves=1, leaf_capacity=5))
+        with pytest.raises(AssignmentError):
+            fill_leaves_in_order(records, topo)
+
+    def test_unbounded_leaves_spread_evenly(self, synthesizer):
+        from repro.infra import LevelSpec, Level, TopologySpec
+
+        records = synthesizer.service_instances(
+            __import__("repro.traces", fromlist=["web_profile"]).web_profile(), 9
+        )
+        topo = build_topology(
+            TopologySpec(name="u", levels=(LevelSpec(Level.RPP, 3),))
+        )
+        assignment = fill_leaves_in_order(records, topo)
+        occupancy = list(assignment.occupancy().values())
+        assert max(occupancy) == 3

@@ -1,0 +1,69 @@
+"""Unit tests for random and round-robin baselines."""
+
+import pytest
+
+from repro.baselines import (
+    oblivious_placement,
+    random_placement,
+    round_robin_placement,
+)
+from repro.core import node_asynchrony_scores
+from repro.infra import Level, NodePowerView
+from repro.traces import training_trace_set
+
+
+class TestRandomPlacement:
+    def test_places_everything(self, tiny_records, tiny_topology):
+        assignment = random_placement(tiny_records, tiny_topology, seed=0)
+        assert len(assignment) == len(tiny_records)
+
+    def test_seed_determinism(self, tiny_records, tiny_topology):
+        a = random_placement(tiny_records, tiny_topology, seed=1).as_mapping()
+        b = random_placement(tiny_records, tiny_topology, seed=1).as_mapping()
+        assert a == b
+
+    def test_seeds_differ(self, tiny_records, tiny_topology):
+        a = random_placement(tiny_records, tiny_topology, seed=1).as_mapping()
+        b = random_placement(tiny_records, tiny_topology, seed=2).as_mapping()
+        assert a != b
+
+    def test_empty_rejected(self, tiny_topology):
+        with pytest.raises(ValueError):
+            random_placement([], tiny_topology)
+
+    def test_random_beats_oblivious_on_fragmentation(
+        self, tiny_records, tiny_topology
+    ):
+        """Accidental mixing already de-fragments vs pure grouping."""
+        traces = training_trace_set(tiny_records)
+        oblivious = oblivious_placement(tiny_records, tiny_topology)
+        random = random_placement(tiny_records, tiny_topology, seed=3)
+        obl = NodePowerView(tiny_topology, oblivious, traces).sum_of_peaks(Level.RACK)
+        rnd = NodePowerView(tiny_topology, random, traces).sum_of_peaks(Level.RACK)
+        assert rnd < obl
+
+
+class TestRoundRobin:
+    def test_places_everything(self, tiny_records, tiny_topology):
+        assignment = round_robin_placement(tiny_records, tiny_topology)
+        assert len(assignment) == len(tiny_records)
+
+    def test_spreads_services(self, tiny_records, tiny_topology):
+        assignment = round_robin_placement(tiny_records, tiny_topology)
+        by_id = {r.instance_id: r.service for r in tiny_records}
+        for leaf in tiny_topology.leaves():
+            members = assignment.instances_on_leaf(leaf.name)
+            if len(members) >= 4:
+                assert len({by_id[m] for m in members}) > 1
+
+    def test_improves_asynchrony_vs_oblivious(self, tiny_records, tiny_topology):
+        traces = training_trace_set(tiny_records)
+        oblivious = oblivious_placement(tiny_records, tiny_topology)
+        spread = round_robin_placement(tiny_records, tiny_topology)
+        obl_scores = node_asynchrony_scores(oblivious, traces, Level.RPP)
+        rr_scores = node_asynchrony_scores(spread, traces, Level.RPP)
+        assert min(rr_scores.values()) >= min(obl_scores.values())
+
+    def test_empty_rejected(self, tiny_topology):
+        with pytest.raises(ValueError):
+            round_robin_placement([], tiny_topology)

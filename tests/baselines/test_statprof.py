@@ -1,0 +1,128 @@
+"""Unit tests for the StatProf comparator (Figure 11 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FIGURE11_CONFIGS,
+    StatProfConfig,
+    instance_provisions,
+    oblivious_placement,
+    provisioning_comparison,
+    smoothoperator_required_budget,
+    statprof_node_budget,
+    statprof_required_budget,
+)
+from repro.core import PlacementConfig, WorkloadAwarePlacer
+from repro.infra import Level, NodePowerView
+from repro.traces import PowerTrace, TimeGrid, TraceSet, training_trace_set
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(0, 60, 24)
+
+
+@pytest.fixture
+def pair(grid):
+    up = np.linspace(0, 10, 24)
+    down = np.linspace(10, 0, 24)
+    return TraceSet(grid, ["u", "d"], np.vstack([up, down]))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StatProfConfig(under_provision=100)
+        with pytest.raises(ValueError):
+            StatProfConfig(overbooking=-0.1)
+
+    def test_label(self):
+        assert StatProfConfig(10, 0.1).label == "StatProf(10, 0.1)"
+
+    def test_figure11_grid(self):
+        assert (0.0, 0.0) in FIGURE11_CONFIGS
+        assert (10.0, 0.10) in FIGURE11_CONFIGS
+
+
+class TestInstanceProvisions:
+    def test_u_zero_is_peak(self, pair):
+        provisions = instance_provisions(pair, 0.0)
+        assert np.allclose(provisions, [10.0, 10.0])
+
+    def test_u_shrinks_provision(self, pair):
+        assert np.all(instance_provisions(pair, 10.0) < instance_provisions(pair, 0.0))
+
+    def test_invalid_u(self, pair):
+        with pytest.raises(ValueError):
+            instance_provisions(pair, 100.0)
+
+
+class TestNodeBudget:
+    def test_sums_member_percentiles(self, pair):
+        config = StatProfConfig(0.0, 0.0)
+        assert statprof_node_budget(["u", "d"], pair, config) == pytest.approx(20.0)
+
+    def test_overbooking_discount(self, pair):
+        config = StatProfConfig(0.0, 0.25)
+        assert statprof_node_budget(["u", "d"], pair, config) == pytest.approx(16.0)
+
+    def test_empty_node(self, pair):
+        assert statprof_node_budget([], pair, StatProfConfig()) == 0.0
+
+
+class TestPlacementBlindness:
+    def test_statprof_level_total_is_placement_independent(
+        self, tiny_records, tiny_topology
+    ):
+        """StatProf's defining weakness: it cannot see placement."""
+        traces = training_trace_set(tiny_records)
+        grouped = oblivious_placement(tiny_records, tiny_topology)
+        spread = WorkloadAwarePlacer(PlacementConfig(seed=0, kmeans_n_init=2)).place(
+            tiny_records, tiny_topology
+        ).assignment
+        config = StatProfConfig(5.0, 0.05)
+        a = statprof_required_budget(grouped, traces, Level.RACK, config)
+        b = statprof_required_budget(spread, traces, Level.RACK, config)
+        assert a == pytest.approx(b)
+
+    def test_smoothoperator_budget_placement_sensitive(
+        self, tiny_records, tiny_topology
+    ):
+        traces = training_trace_set(tiny_records)
+        grouped = oblivious_placement(tiny_records, tiny_topology)
+        spread = WorkloadAwarePlacer(PlacementConfig(seed=0, kmeans_n_init=2)).place(
+            tiny_records, tiny_topology
+        ).assignment
+        config = StatProfConfig(0.0, 0.0)
+        grouped_view = NodePowerView(tiny_topology, grouped, traces)
+        spread_view = NodePowerView(tiny_topology, spread, traces)
+        a = smoothoperator_required_budget(grouped_view, Level.RACK, config)
+        b = smoothoperator_required_budget(spread_view, Level.RACK, config)
+        assert b < a
+
+
+class TestComparisonGrid:
+    def test_structure_and_normalisation(self, tiny_records, tiny_topology):
+        traces = training_trace_set(tiny_records)
+        placement = WorkloadAwarePlacer(PlacementConfig(seed=0, kmeans_n_init=2)).place(
+            tiny_records, tiny_topology
+        ).assignment
+        view = NodePowerView(tiny_topology, placement, traces)
+        grid = provisioning_comparison(placement, view, traces)
+        assert set(grid) == set(tiny_topology.levels())
+        rack = grid[Level.RACK]
+        # StatProf(0,0) normalised against itself is exactly 1.
+        assert rack["StatProf(0, 0)"] == pytest.approx(1.0)
+        # SmoOp always at or below the placement-blind requirement.
+        for u, d in FIGURE11_CONFIGS:
+            assert rack[f"SmoOp({u:g}, {d:g})"] <= rack[f"StatProf({u:g}, {d:g})"] + 1e-9
+
+    def test_more_aggressive_configs_need_less(self, tiny_records, tiny_topology):
+        traces = training_trace_set(tiny_records)
+        placement = oblivious_placement(tiny_records, tiny_topology)
+        view = NodePowerView(tiny_topology, placement, traces)
+        grid = provisioning_comparison(placement, view, traces)
+        rack = grid[Level.RACK]
+        assert rack["StatProf(10, 0.1)"] < rack["StatProf(0, 0)"]
+        assert rack["SmoOp(10, 0.1)"] < rack["SmoOp(0, 0)"]

@@ -1,0 +1,80 @@
+"""Shared fixtures: small grids, tiny fleets, and a demo datacenter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_datacenter, small_demo_spec
+from repro.infra import build_topology, ocp_spec, two_level_spec
+from repro.traces import (
+    TimeGrid,
+    TraceSynthesizer,
+    cache_profile,
+    db_profile,
+    hadoop_profile,
+    web_profile,
+)
+
+
+@pytest.fixture
+def week_grid() -> TimeGrid:
+    """One week at 30-minute resolution (fast: 336 samples)."""
+    return TimeGrid.for_weeks(1, step_minutes=30)
+
+
+@pytest.fixture
+def day_grid() -> TimeGrid:
+    return TimeGrid.for_days(1, step_minutes=30)
+
+
+@pytest.fixture
+def synthesizer() -> TraceSynthesizer:
+    """Three weeks at 30-minute resolution, fixed seed."""
+    return TraceSynthesizer(weeks=3, step_minutes=30, seed=42)
+
+
+@pytest.fixture
+def tiny_records(synthesizer):
+    """24 instances across the four canonical archetypes."""
+    return synthesizer.fleet(
+        [
+            (web_profile(), 8),
+            (cache_profile(), 6),
+            (db_profile(), 6),
+            (hadoop_profile(), 4),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_topology():
+    """2 RPPs x 2 racks x 8 slots = 32 capacity."""
+    return build_topology(
+        ocp_spec(
+            "tiny",
+            suites=1,
+            msbs_per_suite=1,
+            sbs_per_msb=1,
+            rpps_per_sb=2,
+            racks_per_rpp=2,
+            servers_per_rack=8,
+        )
+    )
+
+
+@pytest.fixture
+def flat_topology():
+    """Two leaves, 16 slots each — the Figure 1/3 toy datacenter."""
+    return build_topology(two_level_spec("flat", leaves=2, leaf_capacity=16))
+
+
+@pytest.fixture(scope="session")
+def demo_datacenter():
+    """The small demo datacenter (120 instances, 30-min step), built once."""
+    return build_datacenter(small_demo_spec(), weeks=3, step_minutes=30)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,75 @@
+"""Unit tests for the greedy marginal-peak placer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import oblivious_placement
+from repro.core import GreedyConfig, GreedyPeakPlacer
+from repro.infra import AssignmentError, Level, NodePowerView, build_topology, two_level_spec
+from repro.traces import training_trace_set
+
+
+class TestConfig:
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyConfig(balance_slack=-1)
+
+
+class TestGreedyPlacement:
+    def test_places_everything(self, tiny_records, tiny_topology):
+        assignment = GreedyPeakPlacer().place(tiny_records, tiny_topology)
+        assert len(assignment) == len(tiny_records)
+
+    def test_respects_capacity(self, tiny_records, tiny_topology):
+        assignment = GreedyPeakPlacer().place(tiny_records, tiny_topology)
+        for leaf in tiny_topology.leaves():
+            assert len(assignment.instances_on_leaf(leaf.name)) <= leaf.capacity
+
+    def test_occupancy_balanced(self, tiny_records, tiny_topology):
+        assignment = GreedyPeakPlacer(GreedyConfig(balance_slack=1)).place(
+            tiny_records, tiny_topology
+        )
+        occupancy = list(assignment.occupancy().values())
+        assert max(occupancy) - min(occupancy) <= 2
+
+    def test_beats_oblivious(self, tiny_records, tiny_topology):
+        traces = training_trace_set(tiny_records)
+        greedy = GreedyPeakPlacer().place(tiny_records, tiny_topology)
+        grouped = oblivious_placement(tiny_records, tiny_topology)
+        g = NodePowerView(tiny_topology, greedy, traces).sum_of_peaks(Level.RACK)
+        o = NodePowerView(tiny_topology, grouped, traces).sum_of_peaks(Level.RACK)
+        assert g < o
+
+    def test_determinism(self, tiny_records, tiny_topology):
+        a = GreedyPeakPlacer().place(tiny_records, tiny_topology).as_mapping()
+        b = GreedyPeakPlacer().place(tiny_records, tiny_topology).as_mapping()
+        assert a == b
+
+    def test_empty_rejected(self, tiny_topology):
+        with pytest.raises(ValueError):
+            GreedyPeakPlacer().place([], tiny_topology)
+
+    def test_overflow_rejected(self, synthesizer):
+        from repro.traces import web_profile
+
+        records = synthesizer.service_instances(web_profile(), 12)
+        topo = build_topology(two_level_spec("s", leaves=2, leaf_capacity=5))
+        with pytest.raises(AssignmentError):
+            GreedyPeakPlacer().place(records, topo)
+
+    def test_anti_phase_pairing(self, synthesizer):
+        """Greedy pairs anti-phase instances on the same leaf (Figure 3)."""
+        from repro.traces import db_profile, web_profile
+
+        records = synthesizer.fleet(
+            [(web_profile(), 2), (db_profile(), 2)], test_weeks=1
+        )
+        topo = build_topology(two_level_spec("toy", leaves=2, leaf_capacity=2))
+        assignment = GreedyPeakPlacer().place(records, topo)
+        for leaf in topo.leaves():
+            services = {
+                r.service
+                for r in records
+                if assignment.leaf_of(r.instance_id) == leaf.name
+            }
+            assert services == {"web", "db"}

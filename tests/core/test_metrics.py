@@ -1,0 +1,100 @@
+"""Unit tests for fragmentation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    fragmentation_report,
+    node_asynchrony_scores,
+    required_budget,
+)
+from repro.infra import Assignment, Level, NodePowerView, build_topology, two_level_spec
+from repro.traces import TimeGrid, TraceSet
+
+
+@pytest.fixture
+def scene():
+    grid = TimeGrid(0, 60, 24)
+    up = np.linspace(0, 10, 24)
+    down = np.linspace(10, 0, 24)
+    topo = build_topology(two_level_spec("dc", leaves=2, leaf_capacity=4))
+    traces = TraceSet(grid, ["u1", "u2", "d1", "d2"], np.vstack([up, up, down, down]))
+    poor = Assignment(
+        topo, {"u1": "dc/rpp0", "u2": "dc/rpp0", "d1": "dc/rpp1", "d2": "dc/rpp1"}
+    )
+    good = Assignment(
+        topo, {"u1": "dc/rpp0", "d1": "dc/rpp0", "u2": "dc/rpp1", "d2": "dc/rpp1"}
+    )
+    return topo, traces, poor, good
+
+
+class TestNodeAsynchrony:
+    def test_poor_placement_scores_one(self, scene):
+        _, traces, poor, _ = scene
+        scores = node_asynchrony_scores(poor, traces, Level.RPP)
+        assert all(s == pytest.approx(1.0) for s in scores.values())
+
+    def test_good_placement_scores_two(self, scene):
+        _, traces, _, good = scene
+        scores = node_asynchrony_scores(good, traces, Level.RPP)
+        assert all(s == pytest.approx(2.0) for s in scores.values())
+
+    def test_empty_nodes_skipped(self, scene):
+        topo, traces, _, _ = scene
+        partial = Assignment(topo, {"u1": "dc/rpp0"})
+        scores = node_asynchrony_scores(partial, traces, Level.RPP)
+        assert set(scores) == {"dc/rpp0"}
+
+
+class TestFragmentationReport:
+    def test_report_levels(self, scene):
+        _, traces, poor, _ = scene
+        report = fragmentation_report(poor, traces)
+        assert set(report) == {Level.DATACENTER, Level.RPP}
+
+    def test_sum_of_peaks(self, scene):
+        _, traces, poor, good = scene
+        poor_rpp = fragmentation_report(poor, traces)[Level.RPP]
+        good_rpp = fragmentation_report(good, traces)[Level.RPP]
+        assert poor_rpp.sum_of_peaks > good_rpp.sum_of_peaks
+
+    def test_worst_node(self, scene):
+        topo, traces, _, _ = scene
+        # rpp0 gets two synchronous, rpp1 gets the complementary pair.
+        mixed = Assignment(
+            topo,
+            {"u1": "dc/rpp0", "u2": "dc/rpp0", "d1": "dc/rpp1", "d2": "dc/rpp0"},
+        )
+        report = fragmentation_report(mixed, traces)
+        level = report[Level.RPP]
+        assert level.worst_node() is not None
+        assert level.min_asynchrony <= level.mean_asynchrony
+
+    def test_worst_node_none_when_empty(self, scene):
+        from repro.core.metrics import LevelFragmentation
+
+        empty = LevelFragmentation(
+            level="rpp", sum_of_peaks=0.0, node_peaks={}, node_asynchrony={}
+        )
+        assert empty.worst_node() is None
+        assert empty.mean_asynchrony == 0.0
+
+
+class TestRequiredBudget:
+    def test_peak_budget(self, scene):
+        topo, traces, poor, _ = scene
+        view = NodePowerView(topo, poor, traces)
+        assert required_budget(view, Level.RPP) == pytest.approx(40.0)
+
+    def test_under_provisioned_budget_smaller(self, scene):
+        topo, traces, poor, _ = scene
+        view = NodePowerView(topo, poor, traces)
+        full = required_budget(view, Level.RPP)
+        shaved = required_budget(view, Level.RPP, under_provision=10)
+        assert shaved < full
+
+    def test_invalid_under_provision(self, scene):
+        topo, traces, poor, _ = scene
+        view = NodePowerView(topo, poor, traces)
+        with pytest.raises(ValueError):
+            required_budget(view, Level.RPP, under_provision=100)

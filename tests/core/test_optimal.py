@@ -1,0 +1,125 @@
+"""Tests for the exhaustive optimal placer, and heuristics vs optimum."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GreedyPeakPlacer,
+    PlacementConfig,
+    WorkloadAwarePlacer,
+    optimal_leaf_placement,
+)
+from repro.infra import NodePowerView, build_topology, two_level_spec
+from repro.traces import (
+    InstanceRecord,
+    PowerTrace,
+    ServiceInstance,
+    TimeGrid,
+    TraceSynthesizer,
+    db_profile,
+    training_trace_set,
+    web_profile,
+)
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid.for_weeks(1, step_minutes=6 * 60)
+
+
+def make_record(grid, name, values):
+    return InstanceRecord(
+        instance=ServiceInstance(name, name.split("-")[0]),
+        training_trace=PowerTrace(grid, values),
+    )
+
+
+class TestOptimal:
+    def test_figure3_toy_case(self, grid):
+        """Two synchronous + two anti-phase instances, two leaves: the
+        optimum mixes one of each (the Figure 3 'optimal placement')."""
+        n = grid.n_samples
+        up = np.linspace(0, 10, n)
+        down = np.linspace(10, 0, n)
+        records = [
+            make_record(grid, "up-0", up),
+            make_record(grid, "up-1", up),
+            make_record(grid, "down-0", down),
+            make_record(grid, "down-1", down),
+        ]
+        topo = build_topology(two_level_spec("toy", leaves=2, leaf_capacity=2))
+        result = optimal_leaf_placement(records, topo)
+        assert result.sum_of_leaf_peaks == pytest.approx(20.0)
+        for leaf in topo.leaves():
+            members = result.assignment.instances_on_leaf(leaf.name)
+            services = {m.split("-")[0] for m in members}
+            assert services == {"up", "down"}
+
+    def test_counts_layouts(self, grid):
+        records = [
+            make_record(grid, f"x-{i}", np.full(grid.n_samples, float(i + 1)))
+            for i in range(4)
+        ]
+        topo = build_topology(two_level_spec("toy", leaves=2, leaf_capacity=2))
+        result = optimal_leaf_placement(records, topo)
+        # 4!/(2!2!) = 6 distinct balanced layouts.
+        assert result.evaluated_layouts == 6
+
+    def test_size_limit(self, grid):
+        records = [
+            make_record(grid, f"x-{i}", np.ones(grid.n_samples)) for i in range(13)
+        ]
+        topo = build_topology(two_level_spec("toy", leaves=2, leaf_capacity=20))
+        with pytest.raises(ValueError):
+            optimal_leaf_placement(records, topo)
+
+    def test_empty_rejected(self):
+        topo = build_topology(two_level_spec("toy", leaves=2, leaf_capacity=2))
+        with pytest.raises(ValueError):
+            optimal_leaf_placement([], topo)
+
+
+class TestHeuristicsVsOptimum:
+    @pytest.fixture
+    def small_fleet(self):
+        synthesizer = TraceSynthesizer(weeks=2, step_minutes=120, seed=17)
+        return synthesizer.fleet(
+            [(web_profile(), 4), (db_profile(), 4)], test_weeks=0
+        )
+
+    def test_workload_aware_near_optimal(self, small_fleet):
+        topo = build_topology(two_level_spec("cmp", leaves=2, leaf_capacity=4))
+        optimum = optimal_leaf_placement(small_fleet, topo)
+        traces = training_trace_set(small_fleet)
+        heuristic = WorkloadAwarePlacer(
+            PlacementConfig(seed=0, kmeans_n_init=4)
+        ).place(small_fleet, topo)
+        leaf_level = topo.levels()[-1]
+        value = NodePowerView(topo, heuristic.assignment, traces).sum_of_peaks(
+            leaf_level
+        )
+        assert value <= optimum.sum_of_leaf_peaks * 1.05
+
+    def test_greedy_near_optimal(self, small_fleet):
+        topo = build_topology(two_level_spec("cmp", leaves=2, leaf_capacity=4))
+        optimum = optimal_leaf_placement(small_fleet, topo)
+        traces = training_trace_set(small_fleet)
+        greedy = GreedyPeakPlacer().place(small_fleet, topo)
+        leaf_level = topo.levels()[-1]
+        value = NodePowerView(topo, greedy, traces).sum_of_peaks(leaf_level)
+        assert value <= optimum.sum_of_leaf_peaks * 1.05
+
+    def test_optimum_is_a_lower_bound(self, small_fleet):
+        """No heuristic may beat the exhaustive optimum."""
+        topo = build_topology(two_level_spec("cmp", leaves=2, leaf_capacity=4))
+        optimum = optimal_leaf_placement(small_fleet, topo)
+        traces = training_trace_set(small_fleet)
+        leaf_level = topo.levels()[-1]
+        for assignment in (
+            WorkloadAwarePlacer(PlacementConfig(seed=1)).place(
+                small_fleet, topo
+            ).assignment,
+            GreedyPeakPlacer().place(small_fleet, topo),
+        ):
+            value = NodePowerView(topo, assignment, traces).sum_of_peaks(leaf_level)
+            assert value >= optimum.sum_of_leaf_peaks - 1e-9

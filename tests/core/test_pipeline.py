@@ -1,0 +1,86 @@
+"""Unit tests for the SmoothOperator pipeline facade."""
+
+import pytest
+
+from repro.core import (
+    PlacementConfig,
+    RemapConfig,
+    SmoothOperator,
+    SmoothOperatorConfig,
+)
+from repro.infra import Level
+
+
+@pytest.fixture
+def operator():
+    return SmoothOperator(
+        SmoothOperatorConfig(placement=PlacementConfig(seed=3, kmeans_n_init=2))
+    )
+
+
+class TestOptimize:
+    def test_returns_assignment(self, operator, tiny_records, tiny_topology):
+        outcome = operator.optimize(tiny_records, tiny_topology)
+        assert len(outcome.assignment) == len(tiny_records)
+        assert outcome.remap is None
+
+    def test_with_remapping(self, tiny_records, tiny_topology):
+        operator = SmoothOperator(
+            SmoothOperatorConfig(
+                placement=PlacementConfig(seed=3, kmeans_n_init=2),
+                remap=RemapConfig(level=Level.RPP, max_swaps=5),
+            )
+        )
+        outcome = operator.optimize(tiny_records, tiny_topology)
+        assert outcome.remap is not None
+        assert len(outcome.assignment) == len(tiny_records)
+
+
+class TestEvaluate:
+    def test_report_structure(self, operator, tiny_records, tiny_topology):
+        from repro.baselines import oblivious_placement
+
+        outcome = operator.optimize(tiny_records, tiny_topology)
+        baseline = oblivious_placement(tiny_records, tiny_topology)
+        report = operator.evaluate(tiny_records, baseline, outcome.assignment)
+        assert set(report.peak_reduction) == set(tiny_topology.levels())
+        assert report.extra_server_fraction >= 0.0
+
+    def test_leaf_reduction_positive(self, operator, tiny_records, tiny_topology):
+        from repro.baselines import oblivious_placement
+
+        outcome = operator.optimize(tiny_records, tiny_topology)
+        baseline = oblivious_placement(tiny_records, tiny_topology)
+        report = operator.evaluate(tiny_records, baseline, outcome.assignment)
+        assert report.peak_reduction[Level.RACK] > 0
+
+    def test_budgets_written_to_topology(self, operator, tiny_records, tiny_topology):
+        from repro.baselines import oblivious_placement
+
+        outcome = operator.optimize(tiny_records, tiny_topology)
+        baseline = oblivious_placement(tiny_records, tiny_topology)
+        operator.evaluate(tiny_records, baseline, outcome.assignment)
+        assert tiny_topology.root.budget_watts is not None
+
+    def test_evaluate_on_training_week(self, operator, tiny_records, tiny_topology):
+        from repro.baselines import oblivious_placement
+
+        outcome = operator.optimize(tiny_records, tiny_topology)
+        baseline = oblivious_placement(tiny_records, tiny_topology)
+        report = operator.evaluate(
+            tiny_records, baseline, outcome.assignment, use_test_week=False
+        )
+        assert report.sum_of_peaks_before[Level.RACK] > 0
+
+    def test_custom_per_server_watts(self, operator, tiny_records, tiny_topology):
+        from repro.baselines import oblivious_placement
+
+        outcome = operator.optimize(tiny_records, tiny_topology)
+        baseline = oblivious_placement(tiny_records, tiny_topology)
+        frugal = operator.evaluate(
+            tiny_records, baseline, outcome.assignment, per_server_watts=50.0
+        )
+        hungry = operator.evaluate(
+            tiny_records, baseline, outcome.assignment, per_server_watts=500.0
+        )
+        assert frugal.expansion.total_extra >= hungry.expansion.total_extra

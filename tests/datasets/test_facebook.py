@@ -1,0 +1,110 @@
+"""Unit tests for the DC1/DC2/DC3 dataset definitions."""
+
+import pytest
+
+from repro.datasets import (
+    DatacenterSpec,
+    all_datacenter_specs,
+    build_datacenter,
+    dc1_spec,
+    dc2_spec,
+    dc3_spec,
+    small_demo_spec,
+)
+from repro.traces import ServiceKind
+
+
+class TestSpecs:
+    def test_three_datacenters(self):
+        specs = all_datacenter_specs()
+        assert [s.name for s in specs] == ["DC1", "DC2", "DC3"]
+
+    def test_heterogeneity_ordering(self):
+        """DC1 < DC2 < DC3 per Sec. 5.2.1."""
+        assert dc1_spec().heterogeneity < dc2_spec().heterogeneity < dc3_spec().heterogeneity
+
+    def test_baseline_mixing_ordering(self):
+        """DC1's original placement is the most balanced; DC3 fully grouped."""
+        assert dc1_spec().baseline_mixing > dc2_spec().baseline_mixing
+        assert dc3_spec().baseline_mixing == 0.0
+
+    def test_instance_counts_sum(self):
+        spec = dc1_spec(n_instances=500)
+        counts = spec.instance_counts()
+        assert sum(c for _, c in counts) == 500
+
+    def test_largest_remainder_apportionment(self):
+        spec = small_demo_spec(n_instances=7)
+        counts = spec.instance_counts()
+        assert sum(c for _, c in counts) == 7
+        assert all(c > 0 for _, c in counts)
+
+    def test_capacity_validated(self):
+        base = dc1_spec(n_instances=100)
+        with pytest.raises(ValueError):
+            DatacenterSpec(
+                name="x",
+                composition=base.composition,
+                heterogeneity=1.0,
+                baseline_mixing=0.0,
+                topology=base.topology,
+                n_instances=base.topology.total_capacity() + 1,
+            )
+
+    def test_factories_scale_topology_with_fleet(self):
+        small = dc1_spec(n_instances=96)
+        big = dc1_spec(n_instances=1440)
+        assert small.topology.total_capacity() < big.topology.total_capacity()
+        # Occupancy stays high at every scale.
+        for spec in (small, big):
+            assert spec.n_instances / spec.topology.total_capacity() > 0.6
+
+    def test_invalid_heterogeneity(self):
+        spec = dc1_spec()
+        with pytest.raises(ValueError):
+            DatacenterSpec(
+                name="x",
+                composition=spec.composition,
+                heterogeneity=-1,
+                baseline_mixing=0.0,
+                topology=spec.topology,
+                n_instances=100,
+            )
+
+
+class TestBuild:
+    def test_demo_builds(self, demo_datacenter):
+        assert len(demo_datacenter.records) == 120
+        assert demo_datacenter.name == "demo"
+        assert len(demo_datacenter.baseline) == 120
+
+    def test_demo_traces(self, demo_datacenter):
+        train = demo_datacenter.training_traces()
+        test = demo_datacenter.test_traces()
+        assert len(train) == len(test) == 120
+        assert train.grid.covers_whole_weeks()
+
+    def test_counts_by_kind(self, demo_datacenter):
+        counts = demo_datacenter.counts_by_kind()
+        assert counts[ServiceKind.LATENCY_CRITICAL] > 0
+        assert counts[ServiceKind.BATCH] > 0
+
+    def test_build_determinism(self):
+        a = build_datacenter(small_demo_spec(), weeks=2, step_minutes=60)
+        b = build_datacenter(small_demo_spec(), weeks=2, step_minutes=60)
+        assert a.baseline.as_mapping() == b.baseline.as_mapping()
+        assert a.records[0].training_trace == b.records[0].training_trace
+
+    def test_dc3_baseline_is_service_grouped(self):
+        dc = build_datacenter(dc3_spec(n_instances=96), weeks=2, step_minutes=120)
+        by_id = {r.instance_id: r.service for r in dc.records}
+        monocultures = 0
+        used_leaves = 0
+        for leaf in dc.topology.leaves():
+            members = dc.baseline.instances_on_leaf(leaf.name)
+            if not members:
+                continue
+            used_leaves += 1
+            if len({by_id[m] for m in members}) == 1:
+                monocultures += 1
+        assert monocultures > used_leaves / 2

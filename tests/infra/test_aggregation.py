@@ -1,0 +1,136 @@
+"""Unit tests for per-node power aggregation and fragmentation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.infra import (
+    Assignment,
+    Level,
+    NodePowerView,
+    build_topology,
+    peak_reduction_by_level,
+    two_level_spec,
+)
+from repro.traces import PowerTrace, TimeGrid, TraceSet
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(0, 60, 24)
+
+
+@pytest.fixture
+def topo():
+    return build_topology(two_level_spec("dc", leaves=2, leaf_capacity=4))
+
+
+@pytest.fixture
+def traces(grid):
+    """Two synchronous ramps and two anti-phase ramps."""
+    up = np.linspace(0, 10, 24)
+    down = np.linspace(10, 0, 24)
+    return TraceSet(
+        grid,
+        ["up1", "up2", "down1", "down2"],
+        np.vstack([up, up, down, down]),
+    )
+
+
+def view_for(topo, traces, mapping):
+    return NodePowerView(topo, Assignment(topo, mapping), traces)
+
+
+class TestNodeTraces:
+    def test_leaf_aggregate(self, topo, traces):
+        view = view_for(
+            topo, traces,
+            {"up1": "dc/rpp0", "up2": "dc/rpp0", "down1": "dc/rpp1", "down2": "dc/rpp1"},
+        )
+        assert view.node_peak("dc/rpp0") == pytest.approx(20.0)
+        assert view.node_peak("dc/rpp1") == pytest.approx(20.0)
+
+    def test_root_is_sum_of_children(self, topo, traces):
+        view = view_for(
+            topo, traces,
+            {"up1": "dc/rpp0", "up2": "dc/rpp0", "down1": "dc/rpp1", "down2": "dc/rpp1"},
+        )
+        root = view.node_trace("dc")
+        children = view.node_trace("dc/rpp0") + view.node_trace("dc/rpp1")
+        assert root == children
+
+    def test_empty_leaf_is_zero(self, topo, traces):
+        view = view_for(
+            topo, traces,
+            {"up1": "dc/rpp0", "up2": "dc/rpp0", "down1": "dc/rpp0", "down2": "dc/rpp0"},
+        )
+        assert view.node_peak("dc/rpp1") == 0.0
+
+    def test_node_mean(self, topo, traces):
+        view = view_for(topo, traces, {"up1": "dc/rpp0"})
+        assert view.node_mean("dc/rpp0") == pytest.approx(5.0)
+
+    def test_missing_traces_rejected(self, topo, traces):
+        with pytest.raises(ValueError):
+            NodePowerView(
+                topo,
+                Assignment(topo, {"ghost": "dc/rpp0"}),
+                traces,
+            )
+
+
+class TestFragmentationMetrics:
+    def test_sum_of_peaks_poor_vs_good(self, topo, traces):
+        """Grouping synchronous instances doubles leaf peaks (Figure 3)."""
+        poor = view_for(
+            topo, traces,
+            {"up1": "dc/rpp0", "up2": "dc/rpp0", "down1": "dc/rpp1", "down2": "dc/rpp1"},
+        )
+        good = view_for(
+            topo, traces,
+            {"up1": "dc/rpp0", "down1": "dc/rpp0", "up2": "dc/rpp1", "down2": "dc/rpp1"},
+        )
+        assert poor.sum_of_peaks(Level.RPP) == pytest.approx(40.0)
+        assert good.sum_of_peaks(Level.RPP) == pytest.approx(20.0)
+        # Root peak unaffected by leaf arrangement.
+        assert poor.node_peak("dc") == pytest.approx(good.node_peak("dc"))
+
+    def test_sum_of_peaks_by_level(self, topo, traces):
+        view = view_for(
+            topo, traces,
+            {"up1": "dc/rpp0", "up2": "dc/rpp1", "down1": "dc/rpp0", "down2": "dc/rpp1"},
+        )
+        by_level = view.sum_of_peaks_by_level()
+        assert set(by_level) == {Level.DATACENTER, Level.RPP}
+
+    def test_peak_reduction_by_level(self, topo, traces):
+        poor = view_for(
+            topo, traces,
+            {"up1": "dc/rpp0", "up2": "dc/rpp0", "down1": "dc/rpp1", "down2": "dc/rpp1"},
+        )
+        good = view_for(
+            topo, traces,
+            {"up1": "dc/rpp0", "down1": "dc/rpp0", "up2": "dc/rpp1", "down2": "dc/rpp1"},
+        )
+        reductions = peak_reduction_by_level(poor, good)
+        assert reductions[Level.RPP] == pytest.approx(0.5)
+        assert reductions[Level.DATACENTER] == pytest.approx(0.0)
+
+    def test_node_percentile(self, topo, traces):
+        view = view_for(topo, traces, {"up1": "dc/rpp0"})
+        assert view.node_percentile("dc/rpp0", 100) == pytest.approx(10.0)
+        assert view.node_percentile("dc/rpp0", 50) == pytest.approx(5.0)
+
+
+class TestSlackMetrics:
+    def test_requires_budget(self, topo, traces):
+        view = view_for(topo, traces, {"up1": "dc/rpp0"})
+        with pytest.raises(ValueError):
+            view.power_slack("dc/rpp0")
+
+    def test_slack_and_utilization(self, topo, traces):
+        view = view_for(topo, traces, {"up1": "dc/rpp0"})
+        topo.node("dc/rpp0").budget_watts = 20.0
+        slack = view.power_slack("dc/rpp0")
+        assert slack.min() == pytest.approx(10.0)
+        assert view.utilization("dc/rpp0") == pytest.approx(0.25)
+        assert view.energy_slack("dc/rpp0") > 0

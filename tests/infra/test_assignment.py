@@ -1,0 +1,103 @@
+"""Unit tests for instance-to-leaf assignments."""
+
+import pytest
+
+from repro.infra import Assignment, AssignmentError, build_topology, two_level_spec
+
+
+@pytest.fixture
+def topo():
+    return build_topology(two_level_spec("dc", leaves=2, leaf_capacity=3))
+
+
+LEAF0 = "dc/rpp0"
+LEAF1 = "dc/rpp1"
+
+
+@pytest.fixture
+def assignment(topo):
+    return Assignment(
+        topo, {"a": LEAF0, "b": LEAF0, "c": LEAF1}
+    )
+
+
+class TestValidation:
+    def test_valid(self, assignment):
+        assert len(assignment) == 3
+
+    def test_unknown_leaf_rejected(self, topo):
+        with pytest.raises(AssignmentError):
+            Assignment(topo, {"a": "dc/ghost"})
+
+    def test_internal_node_rejected(self, topo):
+        with pytest.raises(AssignmentError):
+            Assignment(topo, {"a": "dc"})
+
+    def test_over_capacity_rejected(self, topo):
+        mapping = {f"i{k}": LEAF0 for k in range(4)}
+        with pytest.raises(AssignmentError):
+            Assignment(topo, mapping)
+
+
+class TestQueries:
+    def test_leaf_of(self, assignment):
+        assert assignment.leaf_of("a") == LEAF0
+        assert assignment.leaf_of("c") == LEAF1
+
+    def test_leaf_of_unplaced(self, assignment):
+        with pytest.raises(AssignmentError):
+            assignment.leaf_of("zzz")
+
+    def test_contains(self, assignment):
+        assert "a" in assignment
+        assert "z" not in assignment
+
+    def test_instances_on_leaf(self, assignment):
+        assert assignment.instances_on_leaf(LEAF0) == ["a", "b"]
+
+    def test_instances_on_leaf_requires_leaf(self, assignment):
+        with pytest.raises(AssignmentError):
+            assignment.instances_on_leaf("dc")
+
+    def test_instances_under_root(self, assignment):
+        assert sorted(assignment.instances_under("dc")) == ["a", "b", "c"]
+
+    def test_instances_under_leaf(self, assignment):
+        assert assignment.instances_under(LEAF1) == ["c"]
+
+    def test_occupancy(self, assignment):
+        assert assignment.occupancy() == {LEAF0: 2, LEAF1: 1}
+
+    def test_free_capacity(self, assignment):
+        assert assignment.free_capacity() == {LEAF0: 1, LEAF1: 2}
+
+    def test_as_mapping_copy(self, assignment):
+        mapping = assignment.as_mapping()
+        mapping["a"] = LEAF1
+        assert assignment.leaf_of("a") == LEAF0
+
+
+class TestMutationsReturnNew:
+    def test_with_swap(self, assignment):
+        swapped = assignment.with_swap("a", "c")
+        assert swapped.leaf_of("a") == LEAF1
+        assert swapped.leaf_of("c") == LEAF0
+        # Original untouched.
+        assert assignment.leaf_of("a") == LEAF0
+
+    def test_swap_same_leaf_rejected(self, assignment):
+        with pytest.raises(AssignmentError):
+            assignment.with_swap("a", "b")
+
+    def test_with_added(self, assignment):
+        grown = assignment.with_added({"d": LEAF1})
+        assert len(grown) == 4
+        assert grown.leaf_of("d") == LEAF1
+
+    def test_with_added_duplicate_rejected(self, assignment):
+        with pytest.raises(AssignmentError):
+            assignment.with_added({"a": LEAF1})
+
+    def test_with_added_capacity_checked(self, assignment):
+        with pytest.raises(AssignmentError):
+            assignment.with_added({"d": LEAF0, "e": LEAF0})

@@ -1,0 +1,104 @@
+"""Unit tests for the circuit-breaker model."""
+
+import numpy as np
+import pytest
+
+from repro.infra import (
+    Assignment,
+    BreakerModel,
+    NodePowerView,
+    audit_view,
+    build_topology,
+    two_level_spec,
+)
+from repro.traces import PowerTrace, TimeGrid, TraceSet
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(0, 10, 60)
+
+
+def trace_with_overload(grid, start, length, level=20.0, base=5.0):
+    values = np.full(grid.n_samples, base)
+    values[start : start + length] = level
+    return PowerTrace(grid, values)
+
+
+class TestTripDetection:
+    def test_no_trip_under_budget(self, grid):
+        model = BreakerModel(tolerance_minutes=10)
+        trace = PowerTrace.constant(grid, 5)
+        assert model.trips(trace, budget=10) == []
+
+    def test_trip_on_sustained_overload(self, grid):
+        model = BreakerModel(tolerance_minutes=30)
+        trace = trace_with_overload(grid, start=10, length=5)
+        trips = model.trips(trace, budget=10, node_name="n")
+        assert len(trips) == 1
+        assert trips[0].node_name == "n"
+        assert trips[0].start_index == 10
+        assert trips[0].duration_samples == 5
+        assert trips[0].peak_overload_watts == pytest.approx(10.0)
+
+    def test_short_blip_tolerated(self, grid):
+        model = BreakerModel(tolerance_minutes=30)
+        trace = trace_with_overload(grid, start=10, length=2)
+        assert model.trips(trace, budget=10) == []
+
+    def test_overload_at_end_of_trace(self, grid):
+        model = BreakerModel(tolerance_minutes=10)
+        trace = trace_with_overload(grid, start=55, length=5)
+        trips = model.trips(trace, budget=10)
+        assert len(trips) == 1
+
+    def test_multiple_trips(self, grid):
+        model = BreakerModel(tolerance_minutes=10)
+        values = np.full(grid.n_samples, 5.0)
+        values[5:10] = 20
+        values[30:35] = 20
+        trips = model.trips(PowerTrace(grid, values), budget=10)
+        assert len(trips) == 2
+
+    def test_zero_tolerance_trips_immediately(self, grid):
+        model = BreakerModel(tolerance_minutes=0)
+        trace = trace_with_overload(grid, start=3, length=1)
+        assert len(model.trips(trace, budget=10)) == 1
+
+    def test_negative_budget_rejected(self, grid):
+        with pytest.raises(ValueError):
+            BreakerModel().trips(PowerTrace.zeros(grid), budget=-1)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            BreakerModel(tolerance_minutes=-1)
+
+
+class TestAudit:
+    def test_audit_flags_only_overloaded(self, grid):
+        topo = build_topology(two_level_spec("dc", leaves=2, leaf_capacity=2))
+        traces = TraceSet(
+            grid,
+            ["hot", "cool"],
+            np.vstack(
+                [
+                    trace_with_overload(grid, 5, 10).values,
+                    PowerTrace.constant(grid, 1).values,
+                ]
+            ),
+        )
+        assignment = Assignment(topo, {"hot": "dc/rpp0", "cool": "dc/rpp1"})
+        view = NodePowerView(topo, assignment, traces)
+        topo.node("dc/rpp0").budget_watts = 10.0
+        topo.node("dc/rpp1").budget_watts = 10.0
+        # Root left unbudgeted: should be skipped.
+        report = audit_view(view, BreakerModel(tolerance_minutes=10))
+        assert set(report) == {"dc/rpp0"}
+
+    def test_audit_clean_view_empty(self, grid):
+        topo = build_topology(two_level_spec("dc", leaves=1, leaf_capacity=2))
+        traces = TraceSet(grid, ["a"], PowerTrace.constant(grid, 1).values[None, :])
+        assignment = Assignment(topo, {"a": "dc/rpp0"})
+        view = NodePowerView(topo, assignment, traces)
+        topo.node("dc/rpp0").budget_watts = 10.0
+        assert audit_view(view) == {}

@@ -1,0 +1,69 @@
+"""Unit tests for topology builders."""
+
+import pytest
+
+from repro.infra import (
+    Level,
+    LevelSpec,
+    TopologySpec,
+    build_topology,
+    ocp_spec,
+    two_level_spec,
+)
+
+
+class TestSpecs:
+    def test_levelspec_rejects_zero_fanout(self):
+        with pytest.raises(ValueError):
+            LevelSpec(Level.SUITE, 0)
+
+    def test_topologyspec_requires_levels(self):
+        with pytest.raises(ValueError):
+            TopologySpec(name="x", levels=())
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(ValueError):
+            TopologySpec(
+                name="x",
+                levels=(LevelSpec(Level.SUITE, 2), LevelSpec(Level.SUITE, 2)),
+            )
+
+    def test_n_leaves(self):
+        spec = ocp_spec("dc", suites=2, msbs_per_suite=2, sbs_per_msb=2,
+                        rpps_per_sb=2, racks_per_rpp=2, servers_per_rack=10)
+        assert spec.n_leaves() == 32
+        assert spec.total_capacity() == 320
+
+
+class TestBuild:
+    def test_ocp_structure(self):
+        topo = build_topology(ocp_spec("dc"))
+        assert len(topo.nodes_at_level(Level.SUITE)) == 4
+        assert len(topo.nodes_at_level(Level.MSB)) == 8
+        assert len(topo.nodes_at_level(Level.SB)) == 16
+        assert len(topo.nodes_at_level(Level.RPP)) == 48
+        assert len(topo.nodes_at_level(Level.RACK)) == 192
+
+    def test_hierarchical_names(self):
+        topo = build_topology(ocp_spec("dc"))
+        leaf = topo.leaves()[0]
+        assert leaf.name == "dc/suite0/msb0/sb0/rpp0/rack0"
+
+    def test_leaf_capacity_set(self):
+        topo = build_topology(ocp_spec("dc", servers_per_rack=17))
+        assert all(leaf.capacity == 17 for leaf in topo.leaves())
+
+    def test_internal_nodes_unbounded(self):
+        topo = build_topology(ocp_spec("dc"))
+        assert topo.node("dc/suite0").capacity is None
+
+    def test_two_level(self):
+        topo = build_topology(two_level_spec("toy", leaves=3, leaf_capacity=5))
+        assert len(topo.leaves()) == 3
+        assert topo.total_leaf_capacity() == 15
+        assert topo.levels() == [Level.DATACENTER, Level.RPP]
+
+    def test_root_is_datacenter(self):
+        topo = build_topology(two_level_spec("toy", leaves=2, leaf_capacity=1))
+        assert topo.root.level == Level.DATACENTER
+        assert topo.root.name == "toy"

@@ -1,0 +1,90 @@
+"""Unit tests for topology / assignment persistence."""
+
+import pytest
+
+from repro.infra import (
+    Assignment,
+    build_topology,
+    load_assignment,
+    load_topology,
+    ocp_spec,
+    save_assignment,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+    two_level_spec,
+)
+
+
+@pytest.fixture
+def topo():
+    t = build_topology(two_level_spec("dc", leaves=3, leaf_capacity=4))
+    t.node("dc").budget_watts = 100.0
+    t.node("dc/rpp0").budget_watts = 40.0
+    return t
+
+
+class TestTopologyRoundTrip:
+    def test_dict_roundtrip(self, topo):
+        rebuilt = topology_from_dict(topology_to_dict(topo))
+        assert {n.name for n in rebuilt.nodes()} == {n.name for n in topo.nodes()}
+        assert rebuilt.node("dc").budget_watts == 100.0
+        assert rebuilt.node("dc/rpp0").budget_watts == 40.0
+        assert rebuilt.node("dc/rpp1").budget_watts is None
+        assert rebuilt.node("dc/rpp0").capacity == 4
+
+    def test_file_roundtrip(self, topo, tmp_path):
+        path = tmp_path / "topo.json"
+        save_topology(topo, path)
+        rebuilt = load_topology(path)
+        assert rebuilt.describe() == topo.describe()
+
+    def test_deep_tree(self, tmp_path):
+        deep = build_topology(ocp_spec("big"))
+        path = tmp_path / "deep.json"
+        save_topology(deep, path)
+        rebuilt = load_topology(path)
+        assert len(rebuilt.leaves()) == len(deep.leaves())
+        assert rebuilt.levels() == deep.levels()
+
+    def test_bad_version(self, topo):
+        payload = topology_to_dict(topo)
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            topology_from_dict(payload)
+
+
+class TestAssignmentRoundTrip:
+    def test_roundtrip(self, topo, tmp_path):
+        assignment = Assignment(topo, {"a": "dc/rpp0", "b": "dc/rpp2"})
+        path = tmp_path / "assignment.json"
+        save_assignment(assignment, path)
+        loaded = load_assignment(path)
+        assert loaded.as_mapping() == assignment.as_mapping()
+
+    def test_bind_to_live_topology(self, topo, tmp_path):
+        assignment = Assignment(topo, {"a": "dc/rpp0"})
+        path = tmp_path / "assignment.json"
+        save_assignment(assignment, path)
+        loaded = load_assignment(path, topology=topo)
+        assert loaded.topology is topo
+
+    def test_bind_rejects_mismatched_topology(self, topo, tmp_path):
+        assignment = Assignment(topo, {"a": "dc/rpp0"})
+        path = tmp_path / "assignment.json"
+        save_assignment(assignment, path)
+        other = build_topology(two_level_spec("other", leaves=2, leaf_capacity=4))
+        with pytest.raises(ValueError):
+            load_assignment(path, topology=other)
+
+    def test_capacity_enforced_on_load(self, topo, tmp_path):
+        import json
+
+        assignment = Assignment(topo, {"a": "dc/rpp0"})
+        path = tmp_path / "assignment.json"
+        save_assignment(assignment, path)
+        payload = json.loads(path.read_text())
+        payload["mapping"] = {f"i{k}": "dc/rpp0" for k in range(9)}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(Exception):
+            load_assignment(path)

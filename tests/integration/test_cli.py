@@ -1,0 +1,46 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "table1" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SmoothOperator" in out
+        assert "Power Routing" in out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--instances", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "%" in out
+
+    def test_fig10_small(self, capsys):
+        assert main(["fig10", "--instances", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "RPP" in out
+        assert "extra servers" in out
+
+    def test_safety_small(self, capsys):
+        assert main(["safety", "--instances", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "Power safety" in out
+        assert "smoothoperator" in out
+
+    def test_predictability_small(self, capsys):
+        assert main(["predictability", "--instances", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "MAPE" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

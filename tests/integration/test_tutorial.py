@@ -1,0 +1,24 @@
+"""The tutorial's code blocks must execute, in order, exactly as written."""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).resolve().parents[2] / "docs" / "TUTORIAL.md"
+
+
+@pytest.mark.slow
+def test_tutorial_blocks_execute(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    blocks = re.findall(
+        r"```python\n(.*?)```", TUTORIAL.read_text(), re.S
+    )
+    assert len(blocks) >= 10
+    namespace = {}
+    for index, block in enumerate(blocks):
+        exec(compile(block, f"<tutorial block {index}>", "exec"), namespace)
+    # The walk-through really did the work it claims.
+    assert namespace["plan"].total_extra >= 0
+    assert namespace["report"].lc_energy_shed >= 0
+    assert (tmp_path / "artifacts" / "placement.json").exists()

@@ -1,0 +1,90 @@
+"""Property-based tests for asynchrony scores (Eq. 6-7 invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    asynchrony_score,
+    differential_scores_for_node,
+    pairwise_asynchrony,
+    score_matrix,
+)
+from repro.traces import PowerTrace, TimeGrid, TraceSet
+
+GRID = TimeGrid(0, 60, 24)
+
+
+def trace_values(min_peak=1e-3):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=24,
+        elements=st.floats(0, 1e3, allow_nan=False, allow_infinity=False),
+    ).filter(lambda v: v.max() > min_peak)
+
+
+def trace_sets(n_min=2, n_max=6):
+    return st.integers(n_min, n_max).flatmap(
+        lambda n: hnp.arrays(
+            dtype=np.float64,
+            shape=(n, 24),
+            elements=st.floats(0, 1e3, allow_nan=False, allow_infinity=False),
+        ).filter(lambda m: np.all(m.max(axis=1) > 1e-3))
+    )
+
+
+class TestScoreBounds:
+    @given(trace_sets())
+    def test_score_in_range(self, matrix):
+        """1 <= A_M <= |M| (Sec. 3.4)."""
+        ts = TraceSet(GRID, [f"t{i}" for i in range(matrix.shape[0])], matrix)
+        score = asynchrony_score(ts)
+        assert 1.0 - 1e-9 <= score <= matrix.shape[0] + 1e-9
+
+    @given(trace_values())
+    def test_self_pair_scores_one(self, values):
+        trace = PowerTrace(GRID, values)
+        assert pairwise_asynchrony(trace, trace) == pytest.approx(1.0)
+
+    @given(trace_values(), st.floats(0.01, 100, allow_nan=False))
+    def test_scaling_one_member_keeps_bounds(self, values, factor):
+        a = PowerTrace(GRID, values)
+        b = a * factor
+        score = pairwise_asynchrony(a, b)
+        assert score == pytest.approx(1.0)  # scaled copies peak together
+
+    @given(trace_sets())
+    def test_permutation_invariance(self, matrix):
+        ts = TraceSet(GRID, [f"t{i}" for i in range(matrix.shape[0])], matrix)
+        reversed_ts = ts.subset(list(reversed(ts.ids)))
+        assert asynchrony_score(ts) == pytest.approx(asynchrony_score(reversed_ts))
+
+    @given(trace_values(), trace_values())
+    def test_pairwise_symmetry(self, va, vb):
+        a, b = PowerTrace(GRID, va), PowerTrace(GRID, vb)
+        assert pairwise_asynchrony(a, b) == pytest.approx(pairwise_asynchrony(b, a))
+
+
+class TestScoreMatrixProperties:
+    @given(trace_sets(2, 4), trace_sets(2, 3))
+    def test_matrix_entries_bounded(self, instances_matrix, basis_matrix):
+        instances = TraceSet(
+            GRID, [f"i{k}" for k in range(instances_matrix.shape[0])], instances_matrix
+        )
+        basis = TraceSet(
+            GRID, [f"s{k}" for k in range(basis_matrix.shape[0])], basis_matrix
+        )
+        scores = score_matrix(instances, basis)
+        assert np.all(scores >= 1.0 - 1e-9)
+        assert np.all(scores <= 2.0 + 1e-9)  # pairwise scores cap at 2
+
+
+class TestDifferentialScores:
+    @given(trace_sets(3, 6))
+    def test_differential_scores_bounded(self, matrix):
+        ts = TraceSet(GRID, [f"t{i}" for i in range(matrix.shape[0])], matrix)
+        scores = differential_scores_for_node(ts)
+        for value in scores.values():
+            assert 1.0 - 1e-9 <= value <= 2.0 + 1e-9

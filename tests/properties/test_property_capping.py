@@ -1,0 +1,131 @@
+"""Property-based tests for the capping simulator and battery model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines import BatterySpec, required_battery_energy, shave_peaks
+from repro.infra import (
+    Assignment,
+    CappingSimulator,
+    build_topology,
+    two_level_spec,
+)
+from repro.traces import PowerTrace, ServiceKind, TimeGrid, TraceSet
+
+GRID = TimeGrid(0, 60, 24)
+
+
+def fleet_matrices():
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=(4, 24),
+        elements=st.floats(0, 100, allow_nan=False, allow_infinity=False),
+    )
+
+
+def make_scene(matrix, budget):
+    topo = build_topology(two_level_spec("dc", leaves=2, leaf_capacity=4))
+    ids = ["lc0", "lc1", "b0", "b1"]
+    traces = TraceSet(GRID, ids, matrix)
+    assignment = Assignment(
+        topo, {"lc0": "dc/rpp0", "b0": "dc/rpp0", "lc1": "dc/rpp1", "b1": "dc/rpp1"}
+    )
+    for node in topo.nodes():
+        node.budget_watts = budget
+    kinds = {
+        "lc0": ServiceKind.LATENCY_CRITICAL,
+        "lc1": ServiceKind.LATENCY_CRITICAL,
+        "b0": ServiceKind.BATCH,
+        "b1": ServiceKind.BATCH,
+    }
+    return topo, assignment, traces, kinds
+
+
+class TestCappingProperties:
+    @given(fleet_matrices(), st.floats(1, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_shed_is_nonnegative_and_bounded(self, matrix, budget):
+        topo, assignment, traces, kinds = make_scene(matrix, budget)
+        report = CappingSimulator(topo, assignment, traces, kinds).run()
+        total_energy = float(matrix.sum()) * GRID.step_minutes
+        assert 0.0 <= report.total_energy_shed <= total_energy + 1e-6
+
+    @given(fleet_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_generous_budget_never_caps(self, matrix):
+        budget = float(matrix.sum()) + 1.0
+        topo, assignment, traces, kinds = make_scene(matrix, budget)
+        report = CappingSimulator(topo, assignment, traces, kinds).run()
+        assert report.total_event_steps == 0
+        assert report.total_energy_shed == 0.0
+
+    @given(fleet_matrices(), st.floats(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_lc_shed_only_after_batch(self, matrix, budget):
+        """LC is only shed at nodes where batch was shed to its floor."""
+        topo, assignment, traces, kinds = make_scene(matrix, budget)
+        report = CappingSimulator(topo, assignment, traces, kinds).run()
+        for stats in report.nodes.values():
+            if ServiceKind.LATENCY_CRITICAL in stats.shed_by_kind:
+                # some batch shedding (or no batch present) must have happened
+                assert (
+                    ServiceKind.BATCH in stats.shed_by_kind
+                    or not stats.shed_by_kind.get(ServiceKind.BATCH)
+                )
+
+
+class TestBatteryProperties:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=24,
+            elements=st.floats(0, 100, allow_nan=False, allow_infinity=False),
+        ),
+        st.floats(1, 150),
+        st.floats(0, 200),
+        st.floats(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_soc_stays_in_bounds(self, values, budget, energy, discharge):
+        trace = PowerTrace(GRID, values)
+        battery = BatterySpec(
+            energy_wh=energy, max_discharge_watts=discharge, max_charge_watts=20
+        )
+        result = shave_peaks(trace, budget, battery)
+        assert np.all(result.state_of_charge_wh >= -1e-9)
+        assert np.all(result.state_of_charge_wh <= energy + 1e-9)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=24,
+            elements=st.floats(0, 100, allow_nan=False, allow_infinity=False),
+        ),
+        st.floats(1, 150),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_grid_draw_never_below_shaved_load(self, values, budget):
+        """The battery cannot create energy: draw + unshaved >= load where
+        overloaded, and draw >= load never violates the budget while
+        charging."""
+        trace = PowerTrace(GRID, values)
+        battery = BatterySpec(energy_wh=50, max_discharge_watts=30, max_charge_watts=10)
+        result = shave_peaks(trace, budget, battery)
+        over = values > budget
+        # While overloaded: grid draw + what the battery delivered = load.
+        assert np.all(result.grid_draw[over] <= values[over] + 1e-9)
+        # While under budget we may charge, but never past the budget.
+        assert np.all(result.grid_draw[~over] <= budget + 1e-9)
+
+    @given(st.floats(0, 150), st.floats(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_required_energy_zero_iff_under_budget(self, level, budget):
+        trace = PowerTrace.constant(GRID, level)
+        required = required_battery_energy(trace, budget)
+        if level <= budget:
+            assert required == 0.0
+        else:
+            assert required > 0.0

@@ -1,0 +1,61 @@
+"""Property-based tests for k-means invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import balanced_kmeans, kmeans
+
+
+def point_sets(max_n=40, dims=3):
+    return st.integers(2, max_n).flatmap(
+        lambda n: hnp.arrays(
+            dtype=np.float64,
+            shape=(n, dims),
+            elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+        )
+    )
+
+
+class TestKMeansProperties:
+    @given(point_sets(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_labels_valid_and_inertia_nonnegative(self, points, data):
+        k = data.draw(st.integers(1, points.shape[0]))
+        result = kmeans(points, k, seed=0, n_init=1, max_iter=20)
+        assert result.labels.shape == (points.shape[0],)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < k
+        assert result.inertia >= 0
+
+    @given(point_sets(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_assignment_is_nearest_centroid(self, points, data):
+        k = data.draw(st.integers(1, min(4, points.shape[0])))
+        result = kmeans(points, k, seed=0, n_init=1, max_iter=20)
+        diff = points[:, None, :] - result.centroids[None, :, :]
+        distances = (diff * diff).sum(axis=2)
+        best = distances.min(axis=1)
+        chosen = distances[np.arange(points.shape[0]), result.labels]
+        assert np.allclose(chosen, best)
+
+
+class TestBalancedProperties:
+    @given(point_sets(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_sizes_near_equal(self, points, data):
+        n = points.shape[0]
+        k = data.draw(st.integers(1, n))
+        result = balanced_kmeans(points, k, seed=0, n_init=1, max_iter=20)
+        sizes = result.sizes()
+        assert sizes.sum() == n
+        assert sizes.max() - sizes.min() <= 1
+
+    @given(point_sets(), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_every_point_assigned_once(self, points, data):
+        k = data.draw(st.integers(1, points.shape[0]))
+        result = balanced_kmeans(points, k, seed=1, n_init=1, max_iter=20)
+        total = sum(len(result.members(c)) for c in range(result.k))
+        assert total == points.shape[0]

@@ -1,0 +1,86 @@
+"""Property-based round-trip tests for persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.infra import (
+    Assignment,
+    build_topology,
+    load_assignment,
+    load_topology,
+    save_assignment,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+    two_level_spec,
+)
+from repro.traces import TimeGrid, TraceSet, load_trace_set, save_trace_set
+
+GRID = TimeGrid(0, 60, 24)
+
+
+def trace_set_strategy(max_traces=6):
+    return st.integers(1, max_traces).flatmap(
+        lambda n: hnp.arrays(
+            dtype=np.float64,
+            shape=(n, 24),
+            elements=st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+        ).map(lambda m: TraceSet(GRID, [f"t{i}" for i in range(m.shape[0])], m))
+    )
+
+
+class TestTraceSetRoundTrip:
+    @given(traces=trace_set_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_npz_roundtrip_exact(self, traces, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ts") / "t.npz"
+        save_trace_set(traces, path)
+        loaded = load_trace_set(path)
+        assert loaded.ids == traces.ids
+        assert loaded.grid == traces.grid
+        assert np.array_equal(loaded.matrix, traces.matrix)
+
+
+class TestTopologyRoundTrip:
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 10),
+        st.lists(st.floats(0, 1e6, allow_nan=False), min_size=0, max_size=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dict_roundtrip(self, leaves, capacity, budgets):
+        topo = build_topology(two_level_spec("p", leaves=leaves, leaf_capacity=capacity))
+        for node, budget in zip(topo.nodes(), budgets):
+            node.budget_watts = budget
+        rebuilt = topology_from_dict(topology_to_dict(topo))
+        assert [n.name for n in rebuilt.nodes()] == [n.name for n in topo.nodes()]
+        for a, b in zip(topo.nodes(), rebuilt.nodes()):
+            assert a.budget_watts == b.budget_watts
+            assert a.capacity == b.capacity
+            assert a.level == b.level
+
+
+class TestAssignmentRoundTrip:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_json_roundtrip(self, data, tmp_path_factory):
+        leaves = data.draw(st.integers(1, 4))
+        capacity = data.draw(st.integers(1, 5))
+        topo = build_topology(two_level_spec("a", leaves=leaves, leaf_capacity=capacity))
+        leaf_names = topo.leaf_names()
+        n = data.draw(st.integers(0, leaves * capacity))
+        mapping = {}
+        counts = {name: 0 for name in leaf_names}
+        for i in range(n):
+            options = [name for name in leaf_names if counts[name] < capacity]
+            choice = data.draw(st.sampled_from(options))
+            mapping[f"i{i}"] = choice
+            counts[choice] += 1
+        assignment = Assignment(topo, mapping)
+        path = tmp_path_factory.mktemp("a") / "a.json"
+        save_assignment(assignment, path)
+        loaded = load_assignment(path)
+        assert loaded.as_mapping() == mapping

@@ -1,0 +1,95 @@
+"""Property-based tests for placement invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import oblivious_placement, random_placement
+from repro.core import PlacementConfig, WorkloadAwarePlacer
+from repro.infra import NodePowerView, build_topology, two_level_spec
+from repro.traces import (
+    TraceSynthesizer,
+    cache_profile,
+    db_profile,
+    hadoop_profile,
+    training_trace_set,
+    web_profile,
+)
+
+PROFILES = [web_profile(), cache_profile(), db_profile(), hadoop_profile()]
+
+
+@st.composite
+def fleets(draw):
+    """A small random fleet plus a topology that can hold it."""
+    seed = draw(st.integers(0, 10_000))
+    counts = [draw(st.integers(1, 6)) for _ in PROFILES]
+    synthesizer = TraceSynthesizer(weeks=2, step_minutes=120, seed=seed)
+    records = synthesizer.fleet(list(zip(PROFILES, counts)))
+    n = len(records)
+    leaves = draw(st.integers(2, 4))
+    capacity = max(1, -(-n // leaves)) + draw(st.integers(0, 2))
+    topology = build_topology(
+        two_level_spec(f"dc{seed}", leaves=leaves, leaf_capacity=capacity)
+    )
+    return records, topology
+
+
+class TestPlacementInvariants:
+    @given(fleets())
+    @settings(max_examples=15, deadline=None)
+    def test_placement_is_a_bijection_onto_the_fleet(self, fleet):
+        records, topology = fleet
+        placer = WorkloadAwarePlacer(
+            PlacementConfig(seed=0, kmeans_n_init=1, kmeans_max_iter=10)
+        )
+        assignment = placer.place(records, topology).assignment
+        assert sorted(assignment.instance_ids()) == sorted(
+            r.instance_id for r in records
+        )
+
+    @given(fleets())
+    @settings(max_examples=15, deadline=None)
+    def test_capacity_never_violated(self, fleet):
+        records, topology = fleet
+        placer = WorkloadAwarePlacer(
+            PlacementConfig(seed=0, kmeans_n_init=1, kmeans_max_iter=10)
+        )
+        assignment = placer.place(records, topology).assignment
+        for leaf in topology.leaves():
+            assert len(assignment.instances_on_leaf(leaf.name)) <= leaf.capacity
+
+    @given(fleets())
+    @settings(max_examples=10, deadline=None)
+    def test_total_power_is_placement_invariant(self, fleet):
+        """Moving instances around never changes the DC-level trace."""
+        records, topology = fleet
+        traces = training_trace_set(records)
+        placer = WorkloadAwarePlacer(
+            PlacementConfig(seed=0, kmeans_n_init=1, kmeans_max_iter=10)
+        )
+        placements = [
+            placer.place(records, topology).assignment,
+            oblivious_placement(records, topology),
+            random_placement(records, topology, seed=1),
+        ]
+        root = topology.root.name
+        totals = [
+            NodePowerView(topology, p, traces).node_trace(root) for p in placements
+        ]
+        for other in totals[1:]:
+            assert np.allclose(totals[0].values, other.values)
+
+    @given(fleets())
+    @settings(max_examples=10, deadline=None)
+    def test_leaf_sum_of_peaks_at_least_root_peak(self, fleet):
+        """Fragmentation can only hurt: Σ leaf peaks >= root peak."""
+        records, topology = fleet
+        traces = training_trace_set(records)
+        placer = WorkloadAwarePlacer(
+            PlacementConfig(seed=0, kmeans_n_init=1, kmeans_max_iter=10)
+        )
+        assignment = placer.place(records, topology).assignment
+        view = NodePowerView(topology, assignment, traces)
+        leaf_level = topology.levels()[-1]
+        assert view.sum_of_peaks(leaf_level) >= view.node_peak(topology.root.name) - 1e-9

@@ -1,0 +1,93 @@
+"""Property-based tests for remapping and monitoring invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis import FragmentationMonitor, MonitorConfig
+from repro.core import RemapConfig, RemappingEngine
+from repro.infra import Assignment, Level, NodePowerView, build_topology, two_level_spec
+from repro.traces import TimeGrid, TraceSet
+
+GRID = TimeGrid(0, 60, 24)
+
+
+@st.composite
+def remap_scenes(draw):
+    """A random fleet on a random 2-4 leaf topology, contiguously placed."""
+    leaves = draw(st.integers(2, 4))
+    per_leaf = draw(st.integers(2, 4))
+    n = leaves * per_leaf
+    matrix = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n, 24),
+            elements=st.floats(0.1, 100, allow_nan=False, allow_infinity=False),
+        )
+    )
+    topo = build_topology(two_level_spec("r", leaves=leaves, leaf_capacity=per_leaf))
+    ids = [f"i{k}" for k in range(n)]
+    traces = TraceSet(GRID, ids, matrix)
+    leaf_names = topo.leaf_names()
+    mapping = {ids[k]: leaf_names[k // per_leaf] for k in range(n)}
+    return topo, Assignment(topo, mapping), traces
+
+
+class TestRemappingInvariants:
+    @given(scene=remap_scenes(), max_swaps=st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_preserves_fleet_and_capacity(self, scene, max_swaps):
+        topo, assignment, traces = scene
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=max_swaps))
+        result = engine.run(assignment, traces)
+        # Same instances, nothing lost or duplicated.
+        assert sorted(result.assignment.instance_ids()) == sorted(
+            assignment.instance_ids()
+        )
+        # Capacity still honoured everywhere.
+        for leaf in topo.leaves():
+            assert (
+                len(result.assignment.instances_on_leaf(leaf.name)) <= leaf.capacity
+            )
+
+    @given(scene=remap_scenes())
+    @settings(max_examples=25, deadline=None)
+    def test_swaps_preserve_per_leaf_counts(self, scene):
+        """Swaps exchange instances 1:1: occupancies never change."""
+        topo, assignment, traces = scene
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=8))
+        result = engine.run(assignment, traces)
+        assert result.assignment.occupancy() == assignment.occupancy()
+
+    @given(scene=remap_scenes())
+    @settings(max_examples=20, deadline=None)
+    def test_total_power_invariant(self, scene):
+        topo, assignment, traces = scene
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=8))
+        result = engine.run(assignment, traces)
+        before = NodePowerView(topo, assignment, traces).node_trace(topo.root.name)
+        after = NodePowerView(topo, result.assignment, traces).node_trace(
+            topo.root.name
+        )
+        assert np.allclose(before.values, after.values)
+
+
+class TestMonitorInvariants:
+    @given(scene=remap_scenes(), tolerance=st.floats(0.01, 0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_observing_calibration_traces_is_healthy(self, scene, tolerance):
+        """Identical telemetry can never raise a sum-of-peaks advisory."""
+        _, assignment, traces = scene
+        monitor = FragmentationMonitor(
+            assignment,
+            MonitorConfig(
+                level=Level.RPP,
+                sum_of_peaks_tolerance=tolerance,
+                min_asynchrony=1.0,
+            ),
+        )
+        monitor.calibrate(traces)
+        snapshot = monitor.observe("same", traces)
+        assert snapshot.healthy

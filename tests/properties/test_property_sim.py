@@ -1,0 +1,75 @@
+"""Property-based tests for the simulation substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sim import DVFSModel, ServerPowerModel, batch_throughput, dispatch
+
+
+def nonneg_arrays(n=24, max_value=100.0):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=n,
+        elements=st.floats(0, max_value, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestDispatchProperties:
+    @given(nonneg_arrays(), nonneg_arrays(max_value=50), st.floats(0.1, 1.0))
+    def test_conservation(self, demand, servers, guard):
+        outcome = dispatch(demand, servers, guard)
+        assert np.allclose(outcome.served + outcome.dropped, demand)
+
+    @given(nonneg_arrays(), nonneg_arrays(max_value=50), st.floats(0.1, 1.0))
+    def test_guard_respected(self, demand, servers, guard):
+        outcome = dispatch(demand, servers, guard)
+        assert np.all(outcome.per_server_load <= guard + 1e-9)
+
+    @given(nonneg_arrays(), st.floats(1, 50), st.floats(0.1, 1.0))
+    def test_more_servers_never_serve_less(self, demand, base_servers, guard):
+        few = dispatch(demand, np.full(24, base_servers), guard)
+        many = dispatch(demand, np.full(24, base_servers * 2), guard)
+        assert many.total_served() >= few.total_served() - 1e-9
+
+
+class TestPowerModelProperties:
+    @given(
+        st.floats(0, 300, allow_nan=False),
+        st.floats(0, 300, allow_nan=False),
+        st.floats(0, 1),
+        st.floats(0, 1),
+    )
+    def test_power_monotone_in_load(self, idle, swing, load_a, load_b):
+        model = ServerPowerModel(idle, idle + swing + 1.0)
+        lo, hi = sorted([load_a, load_b])
+        assert model.power(lo) <= model.power(hi) + 1e-9
+
+    @given(st.floats(0.5, 1.5), st.floats(0.5, 1.5))
+    def test_power_monotone_in_freq(self, freq_a, freq_b):
+        model = ServerPowerModel(100, 200, gamma=3.0)
+        lo, hi = sorted([freq_a, freq_b])
+        assert model.power(1.0, lo) <= model.power(1.0, hi) + 1e-9
+
+    @given(st.floats(0, 1))
+    def test_power_bounded(self, load):
+        model = ServerPowerModel(100, 200)
+        assert 100 - 1e-9 <= model.power(load) <= 200 + 1e-9
+
+
+class TestBatchProperties:
+    @given(nonneg_arrays(max_value=50), nonneg_arrays(max_value=2.0))
+    def test_throughput_nonnegative(self, servers, freq):
+        dvfs = DVFSModel(min_freq=0.5, max_freq=1.5)
+        outcome = batch_throughput(servers, np.maximum(freq, 0.01), dvfs)
+        assert np.all(outcome.throughput >= 0)
+
+    @given(st.floats(0.5, 1.0), st.floats(1.0, 1.5))
+    def test_throughput_monotone_in_freq(self, low, high):
+        dvfs = DVFSModel(min_freq=0.5, max_freq=1.5, boost_efficiency=0.5)
+        servers = np.full(4, 10.0)
+        a = batch_throughput(servers, np.full(4, low), dvfs)
+        b = batch_throughput(servers, np.full(4, high), dvfs)
+        assert b.total() >= a.total() - 1e-9

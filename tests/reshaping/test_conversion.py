@@ -1,0 +1,85 @@
+"""Unit tests for the conversion policy's phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.reshaping import ConversionPolicy
+from repro.sim import DemandTrace
+from repro.traces import TimeGrid
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(0, 60, 48)
+
+
+class TestValidation:
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            ConversionPolicy(conversion_threshold=0.0)
+        with pytest.raises(ValueError):
+            ConversionPolicy(conversion_threshold=1.2)
+
+    def test_trigger_bounds(self):
+        with pytest.raises(ValueError):
+            ConversionPolicy(conversion_threshold=0.8, trigger_fraction=0.0)
+
+    def test_negative_cap(self):
+        with pytest.raises(ValueError):
+            ConversionPolicy(
+                conversion_threshold=0.8, max_batch_conversion_fraction=-0.1
+            )
+
+
+class TestPhases:
+    def test_lc_heavy_at_peak(self, grid):
+        policy = ConversionPolicy(conversion_threshold=0.8, trigger_fraction=1.0)
+        demand = DemandTrace(grid, np.concatenate([np.full(24, 2.0), np.full(24, 9.0)]))
+        mask = policy.lc_heavy_mask(demand, n_lc_original=10)
+        assert not mask[:24].any()
+        assert mask[24:].all()
+
+    def test_trigger_fraction_fires_earlier(self, grid):
+        demand = DemandTrace(grid, np.linspace(0, 8, 48))
+        strict = ConversionPolicy(conversion_threshold=0.8, trigger_fraction=1.0)
+        eager = ConversionPolicy(conversion_threshold=0.8, trigger_fraction=0.8)
+        assert eager.lc_heavy_mask(demand, 10).sum() > strict.lc_heavy_mask(
+            demand, 10
+        ).sum()
+
+    def test_phase_fractions_sum_to_one(self, grid):
+        policy = ConversionPolicy(conversion_threshold=0.8)
+        demand = DemandTrace(grid, np.linspace(0, 10, 48))
+        fractions = policy.phase_fractions(demand, 10)
+        assert fractions["lc_heavy"] + fractions["batch_heavy"] == pytest.approx(1.0)
+
+    def test_requires_positive_fleet(self, grid):
+        policy = ConversionPolicy(conversion_threshold=0.8)
+        demand = DemandTrace(grid, np.ones(48))
+        with pytest.raises(ValueError):
+            policy.lc_heavy_mask(demand, 0)
+
+
+class TestBatchConvertible:
+    def test_cap_binds(self):
+        policy = ConversionPolicy(
+            conversion_threshold=0.8, max_batch_conversion_fraction=0.1
+        )
+        assert policy.batch_convertible(100, 200) == 20
+
+    def test_extra_binds(self):
+        policy = ConversionPolicy(
+            conversion_threshold=0.8, max_batch_conversion_fraction=0.5
+        )
+        assert policy.batch_convertible(10, 200) == 10
+
+    def test_unbounded(self):
+        policy = ConversionPolicy(
+            conversion_threshold=0.8, max_batch_conversion_fraction=None
+        )
+        assert policy.batch_convertible(100, 10) == 100
+
+    def test_negative_rejected(self):
+        policy = ConversionPolicy(conversion_threshold=0.8)
+        with pytest.raises(ValueError):
+            policy.batch_convertible(-1, 10)

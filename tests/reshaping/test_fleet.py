@@ -1,0 +1,94 @@
+"""Unit tests for fleet description derivation."""
+
+import pytest
+
+from repro.reshaping import (
+    aggregate_trace,
+    derive_demand,
+    describe_fleet,
+    estimate_server_model,
+    split_by_kind,
+)
+from repro.traces import ServiceKind
+
+
+class TestSplit:
+    def test_partitions_by_kind(self, tiny_records):
+        lc, batch, other = split_by_kind(tiny_records)
+        assert all(r.kind == ServiceKind.LATENCY_CRITICAL for r in lc)
+        assert all(r.kind == ServiceKind.BATCH for r in batch)
+        assert len(lc) + len(batch) + len(other) == len(tiny_records)
+
+    def test_web_and_cache_are_lc(self, tiny_records):
+        lc, _, _ = split_by_kind(tiny_records)
+        assert {r.service for r in lc} == {"web", "cache"}
+
+
+class TestModelEstimation:
+    def test_peak_stat(self, tiny_records):
+        lc, _, _ = split_by_kind(tiny_records)
+        model = estimate_server_model(lc)
+        assert model.idle_watts < model.peak_watts
+        assert model.idle_watts > 0
+
+    def test_mean_stat_lower_than_peak_stat(self, tiny_records):
+        _, batch, _ = split_by_kind(tiny_records)
+        by_peak = estimate_server_model(batch, full_load_stat="peak")
+        by_mean = estimate_server_model(batch, full_load_stat="mean")
+        assert by_mean.peak_watts <= by_peak.peak_watts
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_server_model([])
+
+    def test_unknown_stat_rejected(self, tiny_records):
+        with pytest.raises(ValueError):
+            estimate_server_model(tiny_records, full_load_stat="median")
+
+    def test_training_vs_test_source(self, tiny_records):
+        a = estimate_server_model(tiny_records, use_test=True)
+        b = estimate_server_model(tiny_records, use_test=False)
+        assert a.peak_watts != b.peak_watts  # different weeks differ
+
+
+class TestAggregateAndDescribe:
+    def test_aggregate_none_for_empty(self):
+        assert aggregate_trace([]) is None
+
+    def test_aggregate_sums(self, tiny_records):
+        total = aggregate_trace(tiny_records)
+        assert total.peak() > max(r.test_trace.peak() for r in tiny_records)
+
+    def test_describe_fleet(self, tiny_records):
+        fleet = describe_fleet(tiny_records, budget_watts=100_000.0)
+        lc, batch, other = split_by_kind(tiny_records)
+        assert fleet.n_lc == len(lc)
+        assert fleet.n_batch == len(batch)
+        assert fleet.other_power is not None  # db instances are storage
+        assert fleet.budget_watts == 100_000.0
+
+    def test_describe_requires_lc(self, synthesizer):
+        from repro.traces import hadoop_profile
+
+        records = synthesizer.service_instances(hadoop_profile(), 4)
+        with pytest.raises(ValueError):
+            describe_fleet(records, budget_watts=1000.0)
+
+
+class TestDemandDerivation:
+    def test_calibrated_peak_load(self, tiny_records):
+        demand = derive_demand(tiny_records, peak_load=0.8)
+        lc, _, _ = split_by_kind(tiny_records)
+        assert demand.per_server_load(len(lc)).max() == pytest.approx(0.8)
+
+    def test_training_and_test_differ(self, tiny_records):
+        train = derive_demand(tiny_records, use_test=False)
+        test = derive_demand(tiny_records, use_test=True)
+        assert not (train.values == test.values).all()
+
+    def test_requires_lc(self, synthesizer):
+        from repro.traces import hadoop_profile
+
+        records = synthesizer.service_instances(hadoop_profile(), 4)
+        with pytest.raises(ValueError):
+            derive_demand(records)

@@ -1,0 +1,57 @@
+"""Unit tests for conversion-threshold learning."""
+
+import numpy as np
+import pytest
+
+from repro.reshaping import ThresholdPolicy, learn_conversion_threshold
+from repro.sim import DemandTrace
+from repro.traces import TimeGrid
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(0, 60, 48)
+
+
+class TestThresholdPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(percentile=0)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(headroom=0.9)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(ceiling=1.5)
+
+
+class TestLearning:
+    def test_percentile_of_load(self, grid):
+        demand = DemandTrace(grid, np.linspace(0, 8, 48))
+        threshold = learn_conversion_threshold(
+            demand, 10, ThresholdPolicy(percentile=100.0)
+        )
+        assert threshold == pytest.approx(0.8)
+
+    def test_ceiling_caps(self, grid):
+        demand = DemandTrace(grid, np.full(48, 20.0))
+        threshold = learn_conversion_threshold(demand, 10)
+        assert threshold == 1.0
+
+    def test_headroom_pads(self, grid):
+        demand = DemandTrace(grid, np.full(48, 5.0))
+        base = learn_conversion_threshold(
+            demand, 10, ThresholdPolicy(percentile=100.0)
+        )
+        padded = learn_conversion_threshold(
+            demand, 10, ThresholdPolicy(percentile=100.0, headroom=1.1)
+        )
+        assert padded == pytest.approx(base * 1.1)
+
+    def test_zero_demand_rejected(self, grid):
+        demand = DemandTrace(grid, np.zeros(48))
+        with pytest.raises(ValueError):
+            learn_conversion_threshold(demand, 10)
+
+    def test_requires_servers(self, grid):
+        demand = DemandTrace(grid, np.ones(48))
+        with pytest.raises(ValueError):
+            learn_conversion_threshold(demand, 0)

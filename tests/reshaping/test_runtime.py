@@ -1,0 +1,176 @@
+"""Unit tests for the reshaping runtime scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.reshaping import (
+    ConversionPolicy,
+    FleetDescription,
+    ReshapingComparison,
+    ReshapingRuntime,
+    ThrottleBoostPolicy,
+)
+from repro.sim import DemandTrace, DVFSModel, ServerPowerModel
+from repro.traces import TimeGrid
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid.for_days(2, step_minutes=60)
+
+
+@pytest.fixture
+def fleet():
+    return FleetDescription(
+        n_lc=100,
+        n_batch=40,
+        lc_model=ServerPowerModel(90, 240),
+        batch_model=ServerPowerModel(150, 235),
+        budget_watts=45_000.0,
+    )
+
+
+@pytest.fixture
+def demand(grid):
+    """Diurnal demand: peak per-server load 0.85 on the original fleet."""
+    hours = grid.hours_of_day()
+    shape = 0.35 + 0.5 * np.exp(2.0 * (np.cos(2 * np.pi * (hours - 14) / 24) - 1))
+    return DemandTrace(grid, shape * 100.0)
+
+
+@pytest.fixture
+def runtime(fleet):
+    return ReshapingRuntime(
+        fleet,
+        ConversionPolicy(conversion_threshold=0.85),
+        throttle=ThrottleBoostPolicy(),
+        dvfs=DVFSModel(),
+    )
+
+
+class TestFleetValidation:
+    def test_requires_lc(self):
+        with pytest.raises(ValueError):
+            FleetDescription(
+                n_lc=0, n_batch=1,
+                lc_model=ServerPowerModel(90, 240),
+                batch_model=ServerPowerModel(150, 235),
+                budget_watts=1000,
+            )
+
+    def test_requires_budget(self):
+        with pytest.raises(ValueError):
+            FleetDescription(
+                n_lc=1, n_batch=1,
+                lc_model=ServerPowerModel(90, 240),
+                batch_model=ServerPowerModel(150, 235),
+                budget_watts=0,
+            )
+
+
+class TestPre:
+    def test_no_drops_at_calibrated_demand(self, runtime, demand):
+        result = runtime.run_pre(demand)
+        assert result.dropped_fraction() == pytest.approx(0.0, abs=1e-9)
+
+    def test_power_positive_and_bounded(self, runtime, demand, fleet):
+        result = runtime.run_pre(demand)
+        assert result.total_power.min() > 0
+        assert result.peak_power() <= fleet.budget_watts
+
+    def test_slack_metrics(self, runtime, demand):
+        result = runtime.run_pre(demand)
+        assert result.mean_slack() > 0
+        assert result.energy_slack() > 0
+        assert result.overload_steps() == 0
+
+
+class TestLCOnly:
+    def test_more_servers_serve_more(self, runtime, demand):
+        pre = runtime.run_pre(demand)
+        grown = runtime.run_lc_only(demand.scaled(1.1), 10)
+        assert grown.lc_total() > pre.lc_total()
+
+    def test_negative_extra_rejected(self, runtime, demand):
+        with pytest.raises(ValueError):
+            runtime.run_lc_only(demand, -1)
+
+
+class TestConversion:
+    def test_phase_switching_visible(self, runtime, demand):
+        result = runtime.run_conversion(demand.scaled(1.1), 10)
+        # Conversion servers join LC at peak...
+        assert result.n_lc_active.max() == pytest.approx(110.0)
+        # ...and leave it off-peak.
+        assert result.n_lc_active.min() == pytest.approx(100.0)
+
+    def test_batch_gains_during_offpeak(self, runtime, demand, fleet):
+        pre = runtime.run_pre(demand)
+        conv = runtime.run_conversion(demand.scaled(1.1), 10)
+        assert conv.batch_total() > pre.batch_total()
+
+    def test_convertible_cap_respected(self, fleet, demand):
+        policy = ConversionPolicy(
+            conversion_threshold=0.85, max_batch_conversion_fraction=0.1
+        )
+        runtime = ReshapingRuntime(fleet, policy)
+        result = runtime.run_conversion(demand.scaled(1.1), 10)
+        assert result.n_batch_active.max() <= fleet.n_batch + 4
+
+
+class TestThrottleBoost:
+    def test_throttles_during_peak(self, runtime, demand):
+        result = runtime.run_throttle_boost(demand.scaled(1.1), 10, 5)
+        assert result.batch_freq.min() == pytest.approx(0.8)
+
+    def test_boosts_during_offpeak(self, runtime, demand):
+        result = runtime.run_throttle_boost(demand.scaled(1.1), 10, 5)
+        assert result.batch_freq.max() > 1.0
+
+    def test_stays_under_budget(self, runtime, demand, fleet):
+        result = runtime.run_throttle_boost(demand.scaled(1.1), 10, 5)
+        assert result.overload_steps() == 0
+
+    def test_default_e_th_from_policy(self, runtime, demand):
+        result = runtime.run_throttle_boost(demand.scaled(1.1), 10)
+        assert result.n_lc_active.max() >= 110.0
+
+    def test_negative_e_th_rejected(self, runtime, demand):
+        with pytest.raises(ValueError):
+            runtime.run_throttle_boost(demand, 10, -1)
+
+
+class TestComparison:
+    def test_improvements_and_slack(self, runtime, demand):
+        comparison = ReshapingComparison(pre=runtime.run_pre(demand))
+        comparison.scenarios["conversion"] = runtime.run_conversion(
+            demand.scaled(1.1), 10
+        )
+        comparison.scenarios["throttle_boost"] = runtime.run_throttle_boost(
+            demand.scaled(1.15), 10, 5
+        )
+        assert comparison.lc_improvement("conversion") > 0
+        assert comparison.batch_improvement("conversion") > 0
+        assert comparison.lc_improvement("throttle_boost") > comparison.lc_improvement(
+            "conversion"
+        )
+        assert comparison.slack_reduction("throttle_boost") > 0
+
+    def test_slack_reduction_with_mask(self, runtime, demand):
+        comparison = ReshapingComparison(pre=runtime.run_pre(demand))
+        comparison.scenarios["conversion"] = runtime.run_conversion(
+            demand.scaled(1.1), 10
+        )
+        mask = np.zeros(demand.grid.n_samples, dtype=bool)
+        mask[:10] = True
+        value = comparison.slack_reduction("conversion", mask=mask)
+        assert isinstance(value, float)
+
+    def test_scenario_baseline(self, runtime, demand):
+        comparison = ReshapingComparison(pre=runtime.run_pre(demand))
+        comparison.scenarios["lc_only"] = runtime.run_lc_only(demand.scaled(1.1), 10)
+        comparison.scenarios["conversion"] = runtime.run_conversion(
+            demand.scaled(1.1), 10
+        )
+        value = comparison.slack_reduction("conversion", baseline="lc_only")
+        assert isinstance(value, float)

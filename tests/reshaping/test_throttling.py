@@ -1,0 +1,115 @@
+"""Unit tests for the proactive throttling and boosting policy."""
+
+import numpy as np
+import pytest
+
+from repro.reshaping import ThrottleBoostPolicy
+from repro.sim import DVFSModel, ServerPowerModel
+
+
+@pytest.fixture
+def batch_model():
+    return ServerPowerModel(idle_watts=150, peak_watts=240, gamma=3.0)
+
+
+@pytest.fixture
+def lc_model():
+    return ServerPowerModel(idle_watts=90, peak_watts=240, gamma=3.0)
+
+
+class TestValidation:
+    def test_throttle_freq_bounds(self):
+        with pytest.raises(ValueError):
+            ThrottleBoostPolicy(throttle_freq=0.0)
+        with pytest.raises(ValueError):
+            ThrottleBoostPolicy(throttle_freq=1.2)
+
+    def test_boost_safety_bounds(self):
+        with pytest.raises(ValueError):
+            ThrottleBoostPolicy(boost_safety=1.5)
+
+    def test_negative_extra_fraction(self):
+        with pytest.raises(ValueError):
+            ThrottleBoostPolicy(max_extra_lc_fraction=-0.1)
+
+
+class TestFreedWatts:
+    def test_positive_when_throttling(self, batch_model):
+        policy = ThrottleBoostPolicy(throttle_freq=0.8)
+        freed = policy.freed_watts(100, batch_model)
+        expected_per_server = batch_model.max_power(1.0) - batch_model.max_power(0.8)
+        assert freed == pytest.approx(100 * expected_per_server)
+
+    def test_zero_fleet(self, batch_model):
+        assert ThrottleBoostPolicy().freed_watts(0, batch_model) == 0.0
+
+    def test_negative_fleet_rejected(self, batch_model):
+        with pytest.raises(ValueError):
+            ThrottleBoostPolicy().freed_watts(-1, batch_model)
+
+    def test_deeper_throttle_frees_more(self, batch_model):
+        shallow = ThrottleBoostPolicy(throttle_freq=0.9).freed_watts(10, batch_model)
+        deep = ThrottleBoostPolicy(throttle_freq=0.7).freed_watts(10, batch_model)
+        assert deep > shallow
+
+
+class TestExtraConversionServers:
+    def test_funded_count(self, batch_model, lc_model):
+        policy = ThrottleBoostPolicy(throttle_freq=0.8)
+        e_th = policy.extra_conversion_servers(100, batch_model, lc_model)
+        freed = policy.freed_watts(100, batch_model)
+        assert e_th == int(freed // lc_model.max_power(1.0))
+
+    def test_lc_cap(self, batch_model, lc_model):
+        policy = ThrottleBoostPolicy(throttle_freq=0.6, max_extra_lc_fraction=0.05)
+        uncapped = policy.extra_conversion_servers(1000, batch_model, lc_model)
+        capped = policy.extra_conversion_servers(
+            1000, batch_model, lc_model, n_lc=100
+        )
+        assert capped == min(uncapped, 5)
+
+    def test_zero_batch_zero_extras(self, batch_model, lc_model):
+        assert (
+            ThrottleBoostPolicy().extra_conversion_servers(0, batch_model, lc_model)
+            == 0
+        )
+
+
+class TestBoostSchedule:
+    def test_fits_within_slack(self, batch_model):
+        policy = ThrottleBoostPolicy(boost_safety=0.5)
+        dvfs = DVFSModel(max_freq=2.0)
+        slack = np.full(4, 1000.0)
+        n_batch = np.full(4, 10.0)
+        freq = policy.boost_schedule(slack, n_batch, batch_model, dvfs)
+        extra_power = n_batch * batch_model.swing_watts * (freq**3 - 1.0)
+        assert np.all(extra_power <= slack * 0.5 + 1e-6)
+
+    def test_never_below_nominal(self, batch_model):
+        policy = ThrottleBoostPolicy()
+        freq = policy.boost_schedule(
+            np.zeros(3), np.full(3, 10.0), batch_model, DVFSModel()
+        )
+        assert np.all(freq >= 1.0)
+
+    def test_clamped_at_max(self, batch_model):
+        policy = ThrottleBoostPolicy(boost_safety=1.0)
+        dvfs = DVFSModel(max_freq=1.2)
+        freq = policy.boost_schedule(
+            np.full(2, 1e9), np.full(2, 1.0), batch_model, dvfs
+        )
+        assert np.allclose(freq, 1.2)
+
+    def test_zero_batch_fleet(self, batch_model):
+        policy = ThrottleBoostPolicy()
+        freq = policy.boost_schedule(
+            np.full(2, 100.0), np.zeros(2), batch_model, DVFSModel()
+        )
+        assert np.all(freq >= 1.0)
+
+    def test_negative_slack_no_boost(self, batch_model):
+        policy = ThrottleBoostPolicy()
+        freq = policy.boost_schedule(
+            np.full(2, -50.0), np.full(2, 10.0), batch_model, DVFSModel()
+        )
+        assert np.allclose(freq, 1.0)

@@ -1,0 +1,45 @@
+"""Unit tests for batch throughput accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DVFSModel, batch_throughput
+
+
+class TestBatchThroughput:
+    def test_nominal(self):
+        outcome = batch_throughput(
+            np.full(4, 10.0), np.ones(4), DVFSModel()
+        )
+        assert np.allclose(outcome.throughput, 10.0)
+        assert outcome.total() == pytest.approx(40.0)
+
+    def test_throttled(self):
+        dvfs = DVFSModel(min_freq=0.5)
+        outcome = batch_throughput(np.full(2, 10.0), np.full(2, 0.5), dvfs)
+        assert np.allclose(outcome.throughput, 5.0)
+
+    def test_boost_sublinear(self):
+        dvfs = DVFSModel(max_freq=1.5, boost_efficiency=0.5)
+        outcome = batch_throughput(np.array([10.0]), np.array([1.4]), dvfs)
+        assert outcome.throughput[0] == pytest.approx(12.0)
+
+    def test_freq_clamped(self):
+        dvfs = DVFSModel(min_freq=0.6, max_freq=1.2)
+        outcome = batch_throughput(np.array([10.0]), np.array([0.1]), dvfs)
+        assert outcome.freq[0] == pytest.approx(0.6)
+
+    def test_zero_servers(self):
+        outcome = batch_throughput(np.zeros(3), np.ones(3), DVFSModel())
+        assert outcome.total() == 0.0
+
+    def test_negative_servers_rejected(self):
+        with pytest.raises(ValueError):
+            batch_throughput(np.array([-1.0]), np.array([1.0]), DVFSModel())
+
+    def test_varying_schedule(self):
+        dvfs = DVFSModel(min_freq=0.5, max_freq=1.2, boost_efficiency=1.0)
+        servers = np.array([10.0, 10.0, 10.0])
+        freq = np.array([0.5, 1.0, 1.2])
+        outcome = batch_throughput(servers, freq, dvfs)
+        assert outcome.throughput[0] < outcome.throughput[1] < outcome.throughput[2]

@@ -1,0 +1,93 @@
+"""Unit tests for LC demand models."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DemandTrace, demand_at_target_load, demand_from_power
+from repro.traces import PowerTrace, TimeGrid
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(0, 60, 24)
+
+
+class TestDemandTrace:
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            DemandTrace(grid, np.ones(10))
+        with pytest.raises(ValueError):
+            DemandTrace(grid, -np.ones(24))
+
+    def test_peak(self, grid):
+        demand = DemandTrace(grid, np.linspace(0, 8, 24))
+        assert demand.peak() == pytest.approx(8.0)
+
+    def test_scaled(self, grid):
+        demand = DemandTrace(grid, np.ones(24))
+        assert demand.scaled(1.5).peak() == pytest.approx(1.5)
+
+    def test_scaled_negative_rejected(self, grid):
+        with pytest.raises(ValueError):
+            DemandTrace(grid, np.ones(24)).scaled(-1)
+
+    def test_per_server_load(self, grid):
+        demand = DemandTrace(grid, np.full(24, 10.0))
+        assert np.allclose(demand.per_server_load(20), 0.5)
+
+    def test_per_server_load_requires_servers(self, grid):
+        with pytest.raises(ValueError):
+            DemandTrace(grid, np.ones(24)).per_server_load(0)
+
+
+class TestDemandFromPower:
+    def test_linear_inversion(self, grid):
+        # 10 servers, 100 W idle each, 100 W swing; 5 fully-loaded-servers
+        # of work -> 1000 + 500 W.
+        power = PowerTrace.constant(grid, 1500.0)
+        demand = demand_from_power(
+            power, idle_watts_total=1000.0, swing_watts_per_server=100.0
+        )
+        assert np.allclose(demand.values, 5.0)
+
+    def test_clamps_below_idle(self, grid):
+        power = PowerTrace.constant(grid, 500.0)
+        demand = demand_from_power(
+            power, idle_watts_total=1000.0, swing_watts_per_server=100.0
+        )
+        assert np.allclose(demand.values, 0.0)
+
+    def test_validation(self, grid):
+        power = PowerTrace.constant(grid, 1.0)
+        with pytest.raises(ValueError):
+            demand_from_power(power, idle_watts_total=-1, swing_watts_per_server=1)
+        with pytest.raises(ValueError):
+            demand_from_power(power, idle_watts_total=0, swing_watts_per_server=0)
+
+
+class TestDemandAtTargetLoad:
+    def test_peak_load_calibration(self, grid):
+        power = PowerTrace(grid, 100 + 100 * np.sin(np.linspace(0, np.pi, 24)))
+        demand = demand_at_target_load(power, n_servers=10, peak_load=0.8)
+        assert demand.peak() == pytest.approx(8.0)
+
+    def test_preserves_shape(self, grid):
+        values = 100 + 100 * np.sin(np.linspace(0, np.pi, 24))
+        power = PowerTrace(grid, values)
+        demand = demand_at_target_load(power, n_servers=10, peak_load=0.8)
+        assert np.allclose(
+            demand.values / demand.peak(), values / values.max()
+        )
+
+    def test_dead_signal(self, grid):
+        demand = demand_at_target_load(
+            PowerTrace.zeros(grid), n_servers=4, peak_load=0.5
+        )
+        assert np.allclose(demand.values, 2.0)
+
+    def test_validation(self, grid):
+        power = PowerTrace.constant(grid, 1.0)
+        with pytest.raises(ValueError):
+            demand_at_target_load(power, n_servers=0)
+        with pytest.raises(ValueError):
+            demand_at_target_load(power, n_servers=5, peak_load=1.5)

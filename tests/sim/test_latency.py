@@ -1,0 +1,85 @@
+"""Unit tests for the M/M/1 latency model and SLO-derived thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.reshaping import threshold_from_slo
+from repro.sim import LatencyModel
+
+
+class TestLatencyModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(service_time_ms=0)
+        with pytest.raises(ValueError):
+            LatencyModel(max_load=1.0)
+
+    def test_idle_latency_is_service_time(self):
+        model = LatencyModel(service_time_ms=5.0)
+        assert model.mean_latency_ms(0.0) == pytest.approx(5.0)
+
+    def test_latency_monotone_in_load(self):
+        model = LatencyModel(service_time_ms=5.0)
+        loads = np.linspace(0, 0.95, 20)
+        latencies = model.mean_latency_ms(loads)
+        assert np.all(np.diff(latencies) > 0)
+
+    def test_halfway_doubles(self):
+        model = LatencyModel(service_time_ms=4.0)
+        assert model.mean_latency_ms(0.5) == pytest.approx(8.0)
+
+    def test_load_clipped(self):
+        model = LatencyModel(service_time_ms=5.0, max_load=0.99)
+        assert np.isfinite(model.mean_latency_ms(1.5))
+
+    def test_percentile_factor(self):
+        model = LatencyModel(service_time_ms=5.0)
+        p50 = model.percentile_latency_ms(0.0, percentile=50.0)
+        # Exponential median = ln(2) x mean.
+        assert p50 == pytest.approx(5.0 * np.log(2))
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel().percentile_latency_ms(0.5, percentile=100)
+
+    def test_array_input(self):
+        model = LatencyModel()
+        out = model.percentile_latency_ms(np.array([0.1, 0.5]), 99.0)
+        assert out.shape == (2,)
+
+
+class TestSLOInversion:
+    def test_roundtrip(self):
+        model = LatencyModel(service_time_ms=5.0)
+        load = model.load_for_slo(100.0, percentile=99.0)
+        assert model.percentile_latency_ms(load, 99.0) == pytest.approx(100.0, rel=1e-6)
+
+    def test_tighter_slo_lower_load(self):
+        model = LatencyModel(service_time_ms=5.0)
+        assert model.load_for_slo(50.0) < model.load_for_slo(200.0)
+
+    def test_unachievable_slo(self):
+        model = LatencyModel(service_time_ms=5.0)
+        with pytest.raises(ValueError):
+            model.load_for_slo(1.0, percentile=99.0)
+
+    def test_slo_satisfied(self):
+        model = LatencyModel(service_time_ms=5.0)
+        load = model.load_for_slo(100.0)
+        assert model.slo_satisfied(load - 0.01, 100.0)
+        assert not model.slo_satisfied(min(load + 0.05, 0.99), 100.0)
+
+    def test_threshold_from_slo(self):
+        model = LatencyModel(service_time_ms=5.0)
+        threshold = threshold_from_slo(model, 100.0)
+        assert 0 < threshold <= 1.0
+        assert threshold == pytest.approx(model.load_for_slo(100.0))
+
+    def test_threshold_ceiling(self):
+        model = LatencyModel(service_time_ms=0.001)
+        threshold = threshold_from_slo(model, 1000.0, ceiling=0.9)
+        assert threshold == 0.9
+
+    def test_threshold_ceiling_validation(self):
+        with pytest.raises(ValueError):
+            threshold_from_slo(LatencyModel(), 100.0, ceiling=0.0)

@@ -1,0 +1,56 @@
+"""Unit tests for the guarded LC load balancer."""
+
+import numpy as np
+import pytest
+
+from repro.sim import dispatch
+
+
+class TestDispatch:
+    def test_all_served_under_capacity(self):
+        outcome = dispatch(np.array([4.0]), np.array([10.0]), guard_load=0.8)
+        assert outcome.served[0] == pytest.approx(4.0)
+        assert outcome.dropped[0] == pytest.approx(0.0)
+        assert outcome.per_server_load[0] == pytest.approx(0.4)
+
+    def test_drops_beyond_guard(self):
+        outcome = dispatch(np.array([9.0]), np.array([10.0]), guard_load=0.8)
+        assert outcome.served[0] == pytest.approx(8.0)
+        assert outcome.dropped[0] == pytest.approx(1.0)
+        assert outcome.per_server_load[0] == pytest.approx(0.8)
+
+    def test_zero_servers(self):
+        outcome = dispatch(np.array([5.0]), np.array([0.0]), guard_load=0.9)
+        assert outcome.served[0] == 0.0
+        assert outcome.dropped[0] == 5.0
+        assert outcome.per_server_load[0] == 0.0
+
+    def test_time_varying_servers(self):
+        demand = np.array([4.0, 4.0])
+        servers = np.array([10.0, 4.0])
+        outcome = dispatch(demand, servers, guard_load=0.5)
+        assert outcome.served[0] == pytest.approx(4.0)
+        assert outcome.served[1] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dispatch(np.array([1.0]), np.array([1.0]), guard_load=0.0)
+        with pytest.raises(ValueError):
+            dispatch(np.array([-1.0]), np.array([1.0]), guard_load=0.5)
+        with pytest.raises(ValueError):
+            dispatch(np.array([1.0]), np.array([-1.0]), guard_load=0.5)
+
+    def test_totals_and_violations(self):
+        demand = np.array([1.0, 5.0, 1.0])
+        servers = np.full(3, 4.0)
+        outcome = dispatch(demand, servers, guard_load=1.0)
+        assert outcome.total_served() == pytest.approx(6.0)
+        assert outcome.total_dropped() == pytest.approx(1.0)
+        assert outcome.violation_fraction() == pytest.approx(1 / 3)
+
+    def test_conservation(self, rng):
+        demand = rng.random(50) * 10
+        servers = np.full(50, 8.0)
+        outcome = dispatch(demand, servers, guard_load=0.7)
+        assert np.allclose(outcome.served + outcome.dropped, demand)
+        assert np.all(outcome.per_server_load <= 0.7 + 1e-12)

@@ -1,0 +1,92 @@
+"""Unit tests for server power and DVFS models."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DVFSModel, ServerPowerModel
+
+
+class TestServerPowerModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerPowerModel(idle_watts=-1, peak_watts=100)
+        with pytest.raises(ValueError):
+            ServerPowerModel(idle_watts=200, peak_watts=100)
+        with pytest.raises(ValueError):
+            ServerPowerModel(100, 200, alpha=0)
+        with pytest.raises(ValueError):
+            ServerPowerModel(100, 200, gamma=-1)
+
+    def test_idle_and_peak(self):
+        model = ServerPowerModel(100, 250)
+        assert model.power(0.0) == pytest.approx(100.0)
+        assert model.power(1.0) == pytest.approx(250.0)
+        assert model.swing_watts == pytest.approx(150.0)
+
+    def test_linear_midpoint(self):
+        model = ServerPowerModel(100, 200, alpha=1.0)
+        assert model.power(0.5) == pytest.approx(150.0)
+
+    def test_alpha_curvature(self):
+        model = ServerPowerModel(100, 200, alpha=2.0)
+        assert model.power(0.5) == pytest.approx(125.0)
+
+    def test_load_clipped(self):
+        model = ServerPowerModel(100, 200)
+        assert model.power(1.5) == model.power(1.0)
+        assert model.power(-0.5) == model.power(0.0)
+
+    def test_freq_scaling_cubic(self):
+        model = ServerPowerModel(100, 200, gamma=3.0)
+        assert model.power(1.0, 2.0) == pytest.approx(100 + 100 * 8.0)
+
+    def test_freq_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ServerPowerModel(100, 200).power(1.0, 0.0)
+
+    def test_array_inputs(self):
+        model = ServerPowerModel(100, 200)
+        loads = np.array([0.0, 0.5, 1.0])
+        powers = model.power(loads)
+        assert powers.shape == (3,)
+        assert powers[0] == pytest.approx(100.0)
+
+    def test_max_power(self):
+        model = ServerPowerModel(100, 200, gamma=3.0)
+        assert model.max_power() == pytest.approx(200.0)
+        assert model.max_power(0.5) == pytest.approx(100 + 100 * 0.125)
+
+
+class TestDVFSModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DVFSModel(min_freq=1.2, max_freq=1.4)
+        with pytest.raises(ValueError):
+            DVFSModel(min_freq=0.5, max_freq=0.9)
+        with pytest.raises(ValueError):
+            DVFSModel(boost_efficiency=2.0)
+
+    def test_clamp(self):
+        dvfs = DVFSModel(min_freq=0.6, max_freq=1.2)
+        assert dvfs.clamp(0.1) == pytest.approx(0.6)
+        assert dvfs.clamp(2.0) == pytest.approx(1.2)
+        assert dvfs.clamp(1.0) == pytest.approx(1.0)
+
+    def test_throughput_linear_below_nominal(self):
+        dvfs = DVFSModel(min_freq=0.6, max_freq=1.4, boost_efficiency=0.5)
+        assert dvfs.throughput_factor(0.8) == pytest.approx(0.8)
+
+    def test_throughput_sublinear_above_nominal(self):
+        dvfs = DVFSModel(min_freq=0.6, max_freq=1.4, boost_efficiency=0.5)
+        assert dvfs.throughput_factor(1.4) == pytest.approx(1.2)
+
+    def test_throughput_continuous_at_nominal(self):
+        dvfs = DVFSModel()
+        assert dvfs.throughput_factor(1.0) == pytest.approx(1.0)
+
+    def test_array_input(self):
+        dvfs = DVFSModel(boost_efficiency=0.5)
+        freqs = np.array([0.8, 1.0, 1.2])
+        factors = dvfs.throughput_factor(freqs)
+        assert factors.shape == (3,)
+        assert factors[2] == pytest.approx(1.1)

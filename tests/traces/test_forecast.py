@@ -1,0 +1,96 @@
+"""Unit tests for forecasting and predictability validation."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    InstanceRecord,
+    PowerTrace,
+    ServiceInstance,
+    TimeGrid,
+    mape,
+    peak_error,
+    peak_time_error_minutes,
+    predictability_report,
+    seasonal_naive_forecast,
+    web_profile,
+)
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid.for_weeks(1, step_minutes=60)
+
+
+def record_with(grid, training_values, test_values):
+    return InstanceRecord(
+        instance=ServiceInstance("x-0", "x"),
+        training_trace=PowerTrace(grid, training_values),
+        test_trace=PowerTrace(grid, test_values),
+    )
+
+
+class TestForecast:
+    def test_seasonal_naive_is_training_trace(self, grid):
+        record = record_with(grid, np.full(168, 7.0), np.full(168, 9.0))
+        forecast = seasonal_naive_forecast(record)
+        assert forecast == record.training_trace
+        # And it is a copy, not a view.
+        forecast.values[0] = 999
+        assert record.training_trace.values[0] == 7.0
+
+
+class TestErrorMetrics:
+    def test_mape_zero_for_perfect(self, grid):
+        trace = PowerTrace(grid, np.linspace(1, 10, 168))
+        assert mape(trace, trace) == pytest.approx(0.0)
+
+    def test_mape_value(self, grid):
+        actual = PowerTrace.constant(grid, 10.0)
+        forecast = PowerTrace.constant(grid, 12.0)
+        assert mape(forecast, actual) == pytest.approx(0.2)
+
+    def test_mape_ignores_zero_actuals(self, grid):
+        actual = PowerTrace.zeros(grid)
+        forecast = PowerTrace.constant(grid, 5.0)
+        assert mape(forecast, actual) == 0.0
+
+    def test_peak_error_sign(self, grid):
+        actual = PowerTrace.constant(grid, 10.0)
+        under = PowerTrace.constant(grid, 8.0)
+        over = PowerTrace.constant(grid, 12.0)
+        assert peak_error(under, actual) > 0   # under-forecast: dangerous
+        assert peak_error(over, actual) < 0    # over-forecast: wasteful
+
+    def test_peak_time_error_circular(self, grid):
+        early = np.zeros(168)
+        early[1] = 10.0  # peak at 01:00
+        late = np.zeros(168)
+        late[23] = 10.0  # peak at 23:00
+        error = peak_time_error_minutes(
+            PowerTrace(grid, early), PowerTrace(grid, late)
+        )
+        assert error == pytest.approx(120.0)  # 2h around midnight, not 22h
+
+
+class TestReport:
+    def test_synthetic_fleet_is_predictable(self, synthesizer):
+        """The weekly-periodic synthetic fleet must forecast well — the
+        premise the paper's Sec. 5.1 protocol rests on."""
+        records = synthesizer.service_instances(web_profile(), 8)
+        report = predictability_report(records)
+        assert report.mean_mape < 0.25
+        assert report.mean_abs_peak_error < 0.15
+        assert report.mean_peak_time_error_minutes < 6 * 60
+
+    def test_worst_instances(self, synthesizer):
+        records = synthesizer.service_instances(web_profile(), 6)
+        report = predictability_report(records)
+        worst = report.worst_instances(2)
+        assert len(worst) == 2
+        assert report.per_instance_mape[worst[0]] >= report.per_instance_mape[worst[1]]
+
+    def test_requires_test_traces(self, synthesizer):
+        records = synthesizer.service_instances(web_profile(), 2, test_weeks=0)
+        with pytest.raises(ValueError):
+            predictability_report(records)

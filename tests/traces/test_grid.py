@@ -1,0 +1,128 @@
+"""Unit tests for TimeGrid."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    MINUTES_PER_DAY,
+    MINUTES_PER_WEEK,
+    GridMismatchError,
+    TimeGrid,
+)
+
+
+class TestConstruction:
+    def test_for_days(self):
+        grid = TimeGrid.for_days(2, step_minutes=60)
+        assert grid.n_samples == 48
+        assert grid.duration_minutes == 2 * MINUTES_PER_DAY
+
+    def test_for_weeks(self):
+        grid = TimeGrid.for_weeks(1, step_minutes=10)
+        assert grid.n_samples == 1008
+        assert grid.duration_minutes == MINUTES_PER_WEEK
+
+    def test_rejects_non_divisor_step(self):
+        with pytest.raises(ValueError):
+            TimeGrid.for_days(1, step_minutes=7)
+
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            TimeGrid.for_days(0)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            TimeGrid(0, 0, 10)
+        with pytest.raises(ValueError):
+            TimeGrid(0, -5, 10)
+
+    def test_rejects_bad_n_samples(self):
+        with pytest.raises(ValueError):
+            TimeGrid(0, 10, 0)
+
+
+class TestProperties:
+    def test_samples_per_day(self):
+        assert TimeGrid.for_days(1, step_minutes=30).samples_per_day == 48
+
+    def test_samples_per_week(self):
+        assert TimeGrid.for_weeks(1, step_minutes=60).samples_per_week == 168
+
+    def test_n_days_and_weeks(self):
+        grid = TimeGrid.for_weeks(2, step_minutes=60)
+        assert grid.n_days == 14
+        assert grid.n_weeks == 2
+
+    def test_covers_whole_days(self):
+        assert TimeGrid.for_days(3, step_minutes=30).covers_whole_days()
+        assert not TimeGrid(0, 30, 47).covers_whole_days()
+
+    def test_covers_whole_weeks(self):
+        assert TimeGrid.for_weeks(2, step_minutes=30).covers_whole_weeks()
+        assert not TimeGrid.for_days(5, step_minutes=30).covers_whole_weeks()
+
+
+class TestTimestamps:
+    def test_timestamps_shape_and_spacing(self):
+        grid = TimeGrid(100, 15, 8)
+        ts = grid.timestamps()
+        assert ts.shape == (8,)
+        assert ts[0] == 100
+        assert np.all(np.diff(ts) == 15)
+
+    def test_hours_of_day_range(self):
+        grid = TimeGrid.for_days(2, step_minutes=30)
+        hours = grid.hours_of_day()
+        assert hours.min() >= 0
+        assert hours.max() < 24
+        # Midnight of day 2 wraps to hour 0.
+        assert hours[48] == 0.0
+
+    def test_days_of_week(self):
+        grid = TimeGrid.for_weeks(1, step_minutes=60 * 24)
+        assert list(grid.days_of_week()) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_index_at(self):
+        grid = TimeGrid(0, 10, 100)
+        assert grid.index_at(0) == 0
+        assert grid.index_at(990) == 99
+
+    def test_index_at_off_grid(self):
+        grid = TimeGrid(0, 10, 100)
+        with pytest.raises(ValueError):
+            grid.index_at(5)
+
+    def test_index_at_outside(self):
+        grid = TimeGrid(0, 10, 100)
+        with pytest.raises(IndexError):
+            grid.index_at(1000)
+
+
+class TestWeekViews:
+    def test_week_view_shape(self):
+        grid = TimeGrid.for_weeks(3, step_minutes=60)
+        assert grid.week_view_shape() == (3, 168)
+
+    def test_week_view_requires_whole_weeks(self):
+        with pytest.raises(ValueError):
+            TimeGrid.for_days(10, step_minutes=60).week_view_shape()
+
+    def test_one_week(self):
+        grid = TimeGrid.for_weeks(3, step_minutes=60)
+        one = grid.one_week()
+        assert one.n_samples == 168
+        assert one.step_minutes == 60
+        assert one.start_minute == grid.start_minute
+
+
+class TestEquality:
+    def test_require_same_passes(self):
+        a = TimeGrid(0, 10, 100)
+        b = TimeGrid(0, 10, 100)
+        a.require_same(b)  # no raise
+
+    def test_require_same_raises(self):
+        a = TimeGrid(0, 10, 100)
+        b = TimeGrid(0, 20, 100)
+        with pytest.raises(GridMismatchError):
+            a.require_same(b)

@@ -1,0 +1,123 @@
+"""Unit tests for service instances and I-trace construction (Eq. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    InstanceRecord,
+    PowerTrace,
+    ServiceInstance,
+    ServiceKind,
+    TimeGrid,
+    average_instance_trace,
+    group_by_service,
+)
+
+
+@pytest.fixture
+def week():
+    return TimeGrid.for_weeks(1, step_minutes=6 * 60)
+
+
+def make_instance(name="web-0", service="web"):
+    return ServiceInstance(name, service, ServiceKind.LATENCY_CRITICAL)
+
+
+class TestServiceInstance:
+    def test_valid(self):
+        inst = make_instance()
+        assert inst.instance_id == "web-0"
+        assert inst.kind == ServiceKind.LATENCY_CRITICAL
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceInstance("", "web")
+
+    def test_empty_service_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceInstance("x", "")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceInstance("x", "web", kind="mystery")
+
+    def test_frozen(self):
+        inst = make_instance()
+        with pytest.raises(Exception):
+            inst.service = "other"
+
+
+class TestAveraging:
+    def test_average_of_two_weeks(self, week):
+        w1 = PowerTrace.constant(week, 10)
+        w2 = PowerTrace.constant(week, 20)
+        averaged = average_instance_trace([w1, w2])
+        assert averaged.mean() == pytest.approx(15.0)
+
+    def test_average_elementwise(self, week):
+        n = week.n_samples
+        w1 = PowerTrace(week, np.arange(n, dtype=float))
+        w2 = PowerTrace(week, np.arange(n, dtype=float) * 3)
+        averaged = average_instance_trace([w1, w2])
+        assert averaged.values[5] == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_instance_trace([])
+
+    def test_shape_mismatch_rejected(self, week):
+        other = TimeGrid.for_weeks(1, step_minutes=12 * 60)
+        with pytest.raises(ValueError):
+            average_instance_trace(
+                [PowerTrace.constant(week, 1), PowerTrace.constant(other, 1)]
+            )
+
+
+class TestInstanceRecord:
+    def test_from_weeks_splits_train_test(self, week):
+        weeks = [PowerTrace.constant(week, v) for v in (10, 20, 60)]
+        record = InstanceRecord.from_weeks(make_instance(), weeks, test_weeks=1)
+        assert record.training_trace.mean() == pytest.approx(15.0)
+        assert record.test_trace.mean() == pytest.approx(60.0)
+
+    def test_from_weeks_no_test(self, week):
+        weeks = [PowerTrace.constant(week, v) for v in (10, 20)]
+        record = InstanceRecord.from_weeks(make_instance(), weeks, test_weeks=0)
+        assert record.test_trace is None
+        assert record.training_trace.mean() == pytest.approx(15.0)
+
+    def test_from_weeks_needs_enough_weeks(self, week):
+        with pytest.raises(ValueError):
+            InstanceRecord.from_weeks(
+                make_instance(), [PowerTrace.constant(week, 1)], test_weeks=1
+            )
+
+    def test_negative_test_weeks_rejected(self, week):
+        with pytest.raises(ValueError):
+            InstanceRecord.from_weeks(
+                make_instance(), [PowerTrace.constant(week, 1)], test_weeks=-1
+            )
+
+    def test_delegated_properties(self, week):
+        record = InstanceRecord.from_weeks(
+            make_instance("db-3", "db"),
+            [PowerTrace.constant(week, 1)] * 2,
+        )
+        assert record.instance_id == "db-3"
+        assert record.service == "db"
+        assert record.kind == ServiceKind.LATENCY_CRITICAL
+
+
+class TestGrouping:
+    def test_group_by_service(self, week):
+        records = [
+            InstanceRecord.from_weeks(
+                ServiceInstance(f"{svc}-{i}", svc),
+                [PowerTrace.constant(week, 1)] * 2,
+            )
+            for svc in ("web", "db")
+            for i in range(2)
+        ]
+        grouped = group_by_service(records)
+        assert set(grouped) == {"web", "db"}
+        assert len(grouped["web"]) == 2

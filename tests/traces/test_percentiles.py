@@ -1,0 +1,105 @@
+"""Unit tests for percentile bands (Figure 6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    FIGURE6_BANDS,
+    PowerTrace,
+    TimeGrid,
+    TraceSet,
+    band_summary,
+    diurnal_range,
+    percentile_bands,
+)
+
+
+@pytest.fixture
+def fleet():
+    grid = TimeGrid(0, 60, 24)
+    traces = {
+        f"s{i}": PowerTrace.constant(grid, float(i)) for i in range(1, 11)
+    }
+    return TraceSet.from_traces(traces)
+
+
+class TestBands:
+    def test_default_bands_match_figure6(self, fleet):
+        bands = percentile_bands(fleet)
+        assert [(b.lower_percentile, b.upper_percentile) for b in bands] == list(
+            FIGURE6_BANDS
+        )
+
+    def test_band_ordering(self, fleet):
+        bands = percentile_bands(fleet)
+        for band in bands:
+            assert np.all(band.lower <= band.upper)
+
+    def test_nested_bands(self, fleet):
+        bands = percentile_bands(fleet)
+        outer, inner = bands[0], bands[-1]
+        assert np.all(outer.lower <= inner.lower)
+        assert np.all(inner.upper <= outer.upper)
+
+    def test_band_label(self, fleet):
+        band = percentile_bands(fleet)[0]
+        assert band.label == "p5-p95"
+
+    def test_band_width(self, fleet):
+        band = percentile_bands(fleet, bands=[(10, 90)])[0]
+        assert band.mean_width() > 0
+        assert band.width().shape == (24,)
+
+    def test_invalid_band_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            percentile_bands(fleet, bands=[(90, 10)])
+
+    def test_identical_fleet_zero_width(self):
+        grid = TimeGrid(0, 60, 24)
+        ts = TraceSet.from_traces(
+            {f"s{i}": PowerTrace.constant(grid, 5.0) for i in range(4)}
+        )
+        band = percentile_bands(ts, bands=[(5, 95)])[0]
+        assert band.mean_width() == pytest.approx(0.0)
+
+
+class TestDiurnalRange:
+    def test_flat_fleet(self, fleet):
+        assert diurnal_range(fleet) == pytest.approx(0.0)
+
+    def test_swinging_fleet(self):
+        grid = TimeGrid(0, 60, 24)
+        values = 50 + 50 * np.sin(np.linspace(0, 2 * np.pi, 24))
+        ts = TraceSet.from_traces(
+            {f"s{i}": PowerTrace(grid, values) for i in range(3)}
+        )
+        assert diurnal_range(ts) > 0.9
+
+    def test_zero_fleet(self):
+        grid = TimeGrid(0, 60, 24)
+        ts = TraceSet.from_traces({"z": PowerTrace.zeros(grid)})
+        assert diurnal_range(ts) == 0.0
+
+
+class TestSummary:
+    def test_keys(self, fleet):
+        summary = band_summary(fleet)
+        assert set(summary) == {
+            "median_peak",
+            "median_valley",
+            "diurnal_swing",
+            "p5_p95_mean_width",
+            "heterogeneity",
+        }
+
+    def test_web_vs_hadoop_summary(self, synthesizer):
+        from repro.traces import hadoop_profile, training_trace_set, web_profile
+
+        web = training_trace_set(synthesizer.service_instances(web_profile(), 10))
+        hadoop = training_trace_set(
+            synthesizer.service_instances(hadoop_profile(), 10)
+        )
+        assert (
+            band_summary(web)["diurnal_swing"]
+            > band_summary(hadoop)["diurnal_swing"]
+        )

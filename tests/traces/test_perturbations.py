@@ -1,0 +1,95 @@
+"""Unit tests for trace perturbations (surges, outages)."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    PowerTrace,
+    TimeGrid,
+    TraceSet,
+    inject_outage,
+    inject_surge,
+    window_mask,
+)
+
+
+@pytest.fixture
+def fleet():
+    grid = TimeGrid.for_days(2, step_minutes=60)
+    values = 100 + 50 * np.sin(np.linspace(0, 4 * np.pi, 48))
+    return TraceSet(
+        grid,
+        ["a", "b"],
+        np.vstack([values, np.full(48, 80.0)]),
+    )
+
+
+class TestWindowMask:
+    def test_simple_window(self, fleet):
+        mask = window_mask(fleet, 9, 17)
+        hours = fleet.grid.hours_of_day()
+        assert np.array_equal(mask, (hours >= 9) & (hours < 17))
+
+    def test_wrapping_window(self, fleet):
+        mask = window_mask(fleet, 22, 2)
+        hours = fleet.grid.hours_of_day()
+        assert np.array_equal(mask, (hours >= 22) | (hours < 2))
+
+    def test_day_restriction(self, fleet):
+        mask = window_mask(fleet, 0, 24, days=[0])
+        days = fleet.grid.days_of_week()
+        assert np.array_equal(mask, days == 0)
+
+
+class TestSurge:
+    def test_scales_dynamic_power_in_window(self, fleet):
+        surged = inject_surge(fleet, ["a"], factor=2.0, start_hour=9, end_hour=17)
+        mask = window_mask(fleet, 9, 17)
+        idle = fleet.row("a").min()
+        expected = idle + (fleet.row("a") - idle) * 2.0
+        assert np.allclose(surged.row("a")[mask], expected[mask])
+        assert np.allclose(surged.row("a")[~mask], fleet.row("a")[~mask])
+
+    def test_untouched_instances(self, fleet):
+        surged = inject_surge(fleet, ["a"], factor=2.0, start_hour=9, end_hour=17)
+        assert np.array_equal(surged.row("b"), fleet.row("b"))
+
+    def test_original_not_mutated(self, fleet):
+        before = fleet.matrix.copy()
+        inject_surge(fleet, ["a"], factor=3.0, start_hour=0, end_hour=24)
+        assert np.array_equal(fleet.matrix, before)
+
+    def test_factor_one_is_identity(self, fleet):
+        surged = inject_surge(fleet, ["a", "b"], factor=1.0, start_hour=0, end_hour=24)
+        assert np.allclose(surged.matrix, fleet.matrix)
+
+    def test_unknown_instance_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            inject_surge(fleet, ["ghost"], factor=2.0, start_hour=9, end_hour=17)
+
+    def test_negative_factor_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            inject_surge(fleet, ["a"], factor=-1.0, start_hour=9, end_hour=17)
+
+    def test_flat_trace_unchanged(self, fleet):
+        """A flat trace has no dynamic power: surging it is a no-op."""
+        surged = inject_surge(fleet, ["b"], factor=5.0, start_hour=0, end_hour=24)
+        assert np.allclose(surged.row("b"), fleet.row("b"))
+
+
+class TestOutage:
+    def test_zeroes_window(self, fleet):
+        failed = inject_outage(fleet, ["a"], start_index=10, duration_samples=5)
+        assert np.allclose(failed.row("a")[10:15], 0.0)
+        assert np.array_equal(failed.row("a")[:10], fleet.row("a")[:10])
+        assert np.array_equal(failed.row("b"), fleet.row("b"))
+
+    def test_bounds_checked(self, fleet):
+        with pytest.raises(ValueError):
+            inject_outage(fleet, ["a"], start_index=40, duration_samples=20)
+        with pytest.raises(ValueError):
+            inject_outage(fleet, ["a"], start_index=0, duration_samples=0)
+
+    def test_unknown_instance_rejected(self, fleet):
+        with pytest.raises(ValueError):
+            inject_outage(fleet, ["nope"], start_index=0, duration_samples=1)

@@ -1,0 +1,124 @@
+"""Unit tests for service power-profile archetypes."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    CANONICAL_PROFILES,
+    ServiceKind,
+    ServiceProfile,
+    Shape,
+    cache_profile,
+    db_profile,
+    dev_profile,
+    hadoop_profile,
+    media_profile,
+    web_profile,
+)
+
+HOURS = np.linspace(0, 24, 240, endpoint=False)
+
+
+class TestValidation:
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            ServiceProfile(name="x", shape="sawtooth")
+
+    def test_peak_below_idle(self):
+        with pytest.raises(ValueError):
+            ServiceProfile(name="x", idle_watts=200, peak_watts=100)
+
+    def test_bad_peak_hour(self):
+        with pytest.raises(ValueError):
+            ServiceProfile(name="x", peak_hour=24.0)
+
+    def test_negative_jitter(self):
+        with pytest.raises(ValueError):
+            ServiceProfile(name="x", phase_jitter_hours=-1)
+
+    def test_nonpositive_sharpness(self):
+        with pytest.raises(ValueError):
+            ServiceProfile(name="x", sharpness=0)
+
+
+class TestActivityShapes:
+    def test_diurnal_peaks_at_peak_hour(self):
+        profile = web_profile()
+        activity = profile.activity(HOURS)
+        peak_hour = HOURS[activity.argmax()]
+        assert abs(peak_hour - profile.peak_hour) < 0.5
+
+    def test_diurnal_bounded(self):
+        activity = web_profile().activity(HOURS)
+        assert activity.max() <= 1.0 + 1e-12
+        assert activity.min() >= 0.0
+
+    def test_nocturnal_peaks_at_night(self):
+        profile = db_profile()
+        activity = profile.activity(HOURS)
+        assert HOURS[activity.argmax()] < 6
+
+    def test_flat_is_constant(self):
+        activity = hadoop_profile().activity(HOURS)
+        assert np.allclose(activity, 1.0)
+
+    def test_double_peak_has_two_maxima(self):
+        activity = media_profile().activity(HOURS)
+        # Count strict local maxima over the periodic signal.
+        rolled_prev = np.roll(activity, 1)
+        rolled_next = np.roll(activity, -1)
+        peaks = np.sum((activity > rolled_prev) & (activity > rolled_next))
+        assert peaks == 2
+
+    def test_office_plateau_flat_midday(self):
+        profile = dev_profile()
+        activity = profile.activity(HOURS)
+        midday = activity[(HOURS > 11) & (HOURS < 16)]
+        assert midday.min() > 0.8 * activity.max()
+
+    def test_office_quiet_at_night(self):
+        activity = dev_profile().activity(HOURS)
+        night = activity[(HOURS > 0) & (HOURS < 4)]
+        assert night.max() < 0.3
+
+
+class TestHeterogeneity:
+    def test_scaling(self):
+        base = web_profile()
+        scaled = base.with_heterogeneity(2.0)
+        assert scaled.phase_jitter_hours == pytest.approx(2 * base.phase_jitter_hours)
+        assert scaled.amplitude_jitter == pytest.approx(2 * base.amplitude_jitter)
+        assert scaled.baseline_jitter == pytest.approx(2 * base.baseline_jitter)
+
+    def test_zero_heterogeneity(self):
+        scaled = web_profile().with_heterogeneity(0.0)
+        assert scaled.phase_jitter_hours == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            web_profile().with_heterogeneity(-1)
+
+    def test_preserves_other_fields(self):
+        base = cache_profile()
+        scaled = base.with_heterogeneity(0.5)
+        assert scaled.idle_watts == base.idle_watts
+        assert scaled.peak_hour == base.peak_hour
+
+
+class TestCanonical:
+    def test_registry_complete(self):
+        assert {"web", "cache", "db", "hadoop"} <= set(CANONICAL_PROFILES)
+
+    def test_kinds(self):
+        assert CANONICAL_PROFILES["web"].kind == ServiceKind.LATENCY_CRITICAL
+        assert CANONICAL_PROFILES["hadoop"].kind == ServiceKind.BATCH
+        assert CANONICAL_PROFILES["db"].kind == ServiceKind.STORAGE
+
+    def test_swing(self):
+        profile = web_profile()
+        assert profile.swing_watts == pytest.approx(
+            profile.peak_watts - profile.idle_watts
+        )
+
+    def test_custom_name(self):
+        assert web_profile("frontend").name == "frontend"
