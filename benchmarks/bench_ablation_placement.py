@@ -15,7 +15,7 @@ import pytest
 
 from repro.analysis import experiments as E
 from repro.analysis.report import format_percent, format_table
-from repro.baselines import oblivious_placement, random_placement, round_robin_placement
+from repro.baselines import random_placement, round_robin_placement
 from repro.core import (
     GreedyPeakPlacer,
     PlacementConfig,

@@ -1,0 +1,35 @@
+"""The chaos suite at experiment scale.
+
+Runs every named fault scenario — dirty telemetry, server failures, flaky
+conversions, browned-out budgets — through the full synthesize → inject →
+repair → place → reshape pipeline and asserts the robustness acceptance
+criteria: repaired-input placements stay within 5% of clean quality, and
+the recovered reshaping scenarios end with zero overload steps and zero
+breaker trips.
+"""
+
+import pytest
+
+from repro.faults import format_chaos_table, run_chaos_suite
+
+
+def _run(full_scale):
+    return run_chaos_suite(dc_name="DC1", **full_scale)
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_suite(benchmark, emit_report, full_scale):
+    outcomes = benchmark.pedantic(_run, args=(full_scale,), rounds=1, iterations=1)
+
+    emit_report("chaos_suite", format_chaos_table(outcomes))
+
+    failed = [o.scenario.name for o in outcomes if not o.passed]
+    assert not failed, f"chaos scenarios failed: {failed}"
+
+    by_name = {o.scenario.name: o for o in outcomes}
+    # The browned-out scenarios must actually exercise the fallback …
+    assert by_name["surge_overload"].reshaping.recovery.engaged
+    assert by_name["perfect_storm"].reshaping.recovery.engaged
+    # … and the control run must not.
+    assert not by_name["clean"].reshaping.recovery.engaged
+    assert by_name["clean"].placement_trips == 0

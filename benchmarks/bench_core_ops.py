@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.core import balanced_kmeans, score_matrix
-from repro.infra import NodePowerView
 from repro.traces import TimeGrid, TraceSet
 
 

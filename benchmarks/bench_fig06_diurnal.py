@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis import experiments as E
 from repro.analysis.report import format_percent, format_table, sparkline
-from repro.traces import TraceSet, percentile_bands
+from repro.traces import percentile_bands
 
 
 def _run(full_scale):

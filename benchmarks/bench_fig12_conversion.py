@@ -6,7 +6,6 @@ LC-heavy Phase they convert to LC, reducing per-LC-server load below what
 the original fleet would suffer while serving more traffic.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import experiments as E

@@ -61,9 +61,9 @@ def main(name: str = "DC1") -> None:
     print(f"  pre            {sparkline(pre.power_slack())}")
     print(f"  throttle_boost {sparkline(tb.power_slack())}")
     print(
-        f"\nslack reduction from dynamic reshaping: "
+        "\nslack reduction from dynamic reshaping: "
         f"{format_percent(comparison.slack_reduction('throttle_boost', baseline='lc_only_matched'))}"
-        f" (vs static extra servers); "
+        " (vs static extra servers); "
         f"{format_percent(comparison.slack_reduction('throttle_boost'))} vs pre"
     )
 

@@ -54,7 +54,7 @@ def main(workdir: str = "") -> None:
     save_topology(dc.topology, base / "topology.json")  # includes budgets
     save_assignment(outcome.assignment, base / "placement.json")
     print(
-        f"saved placement: RPP reduction "
+        "saved placement: RPP reduction "
         f"{format_percent(report.peak_reduction['rpp'])}, "
         f"{report.expansion.total_extra} extra servers"
     )

@@ -33,7 +33,7 @@ def main() -> None:
     print(format_table(["level", "peak reduction"], rows, title="Sum-of-peaks reduction"))
     print()
     print(
-        f"Extra servers hostable under the unchanged infrastructure: "
+        "Extra servers hostable under the unchanged infrastructure: "
         f"{report.expansion.total_extra} "
         f"({format_percent(report.extra_server_fraction)} of the fleet)"
     )

@@ -11,7 +11,7 @@ by every figure, exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,12 +32,11 @@ from ..datasets.facebook import (
 from ..infra.aggregation import NodePowerView
 from ..infra.topology import Level, PowerTopology
 from ..reshaping.conversion import ConversionPolicy
-from ..reshaping.fleet import derive_demand, describe_fleet, split_by_kind
+from ..reshaping.fleet import derive_demand, describe_fleet
 from ..reshaping.lconv import learn_conversion_threshold
 from ..reshaping.runtime import ReshapingComparison, ReshapingRuntime
 from ..reshaping.throttling import ThrottleBoostPolicy
-from ..traces.instance import InstanceRecord
-from ..traces.percentiles import band_summary, percentile_bands
+from ..traces.percentiles import band_summary
 from ..traces.service import extract_basis_traces, total_energy_by_service
 from ..traces.traceset import TraceSet
 from .embedding import TSNEConfig, tsne_embed

@@ -16,7 +16,7 @@ import html
 import math
 import pathlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -228,12 +228,12 @@ def line_panel(
             )
             parts.append(
                 f'<polygon points="{points_up} {points_down}" fill="{color}" '
-                f'opacity="0.10" stroke="none"/>'
+                'opacity="0.10" stroke="none"/>'
             )
         points = " ".join(f"{sx(i, n):.1f},{sy(v):.1f}" for i, v in enumerate(s.values))
         parts.append(
             f'<polyline points="{points}" fill="none" stroke="{color}" '
-            f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round">'
+            'stroke-width="2" stroke-linejoin="round" stroke-linecap="round">'
             f"<title>{html.escape(s.label)}</title></polyline>"
         )
     return "".join(parts), height
@@ -438,7 +438,7 @@ def scatter_chart(
         label = cluster_labels[cluster] if cluster < len(cluster_labels) else str(cluster)
         parts.append(
             f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="4" fill="{color}" '
-            f'stroke="var(--surface-1)" stroke-width="2">'
+            'stroke="var(--surface-1)" stroke-width="2">'
             f"<title>{html.escape(label)}</title></circle>"
         )
     return (

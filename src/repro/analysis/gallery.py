@@ -8,7 +8,7 @@ Couples the experiment drivers to the SVG toolkit in
 from __future__ import annotations
 
 import pathlib
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 

@@ -19,14 +19,13 @@ placement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..core.remapping import RemapConfig, RemappingEngine
 from ..infra.aggregation import NodePowerView
 from ..infra.assignment import Assignment
-from ..infra.topology import PowerTopology
 from ..traces.instance import InstanceRecord
 from ..traces.profiles import ServiceProfile
 from ..traces.synthesis import InstancePersonality, TraceSynthesizer, draw_personality

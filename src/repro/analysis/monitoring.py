@@ -13,7 +13,7 @@ engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from ..core.metrics import node_asynchrony_scores
 from ..infra.aggregation import NodePowerView

@@ -12,7 +12,7 @@ out a diurnal peak vs what placement achieves for free?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

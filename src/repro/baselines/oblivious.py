@@ -11,7 +11,7 @@ strongly service-grouped (Sec. 5.2.1), which is why DC3 gains most.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

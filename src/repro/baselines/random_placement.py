@@ -7,7 +7,7 @@ placer: SmoothOperator should beat random, and random should beat oblivious.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -6,6 +6,7 @@ Usage::
     smoothoperator fig10 [--instances N]
     smoothoperator fig13
     smoothoperator table1
+    smoothoperator chaos [--instances N]
 """
 
 from __future__ import annotations
@@ -151,6 +152,17 @@ def _cmd_safety(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    from .faults import format_chaos_table, run_chaos_suite
+
+    outcomes = run_chaos_suite(dc_name="DC1", n_instances=args.instances)
+    print(format_chaos_table(outcomes))
+    failed = [o.scenario.name for o in outcomes if not o.passed]
+    if failed:
+        print(f"\nFAILED scenarios: {', '.join(failed)}")
+        raise SystemExit(1)
+
+
 def _cmd_predictability(args: argparse.Namespace) -> None:
     from .traces import predictability_report
 
@@ -176,6 +188,7 @@ def _cmd_predictability(args: argparse.Namespace) -> None:
 
 
 _COMMANDS = {
+    "chaos": _cmd_chaos,
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,
     "fig10": _cmd_fig10,

@@ -16,7 +16,7 @@ across power nodes).  Two requirements shape this implementation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -9,13 +9,12 @@ decide when a placement has gone stale (Sec. 3.6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..infra.aggregation import NodePowerView
 from ..infra.assignment import Assignment
-from ..infra.topology import PowerTopology
 from ..traces.traceset import TraceSet
 
 

@@ -61,7 +61,6 @@ def optimal_leaf_placement(
     if capacity_total is not None and n > capacity_total:
         raise ValueError("fleet exceeds capacity")
 
-    grid = records[0].training_trace.grid
     matrix = np.vstack([r.training_trace.values for r in records])
 
     # Candidate leaf-label vectors: each position i gets a leaf index.

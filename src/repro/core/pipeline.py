@@ -8,7 +8,7 @@ optimise on the averaged training traces, measure on the held-out test week.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..infra.aggregation import NodePowerView, peak_reduction_by_level
 from ..infra.assignment import Assignment
@@ -17,7 +17,6 @@ from ..infra.headroom import ExpansionPlan, plan_expansion
 from ..infra.topology import PowerTopology
 from ..traces.instance import InstanceRecord
 from ..traces.synthesis import test_trace_set, training_trace_set
-from ..traces.traceset import TraceSet
 from .placement import PlacementConfig, PlacementResult, WorkloadAwarePlacer
 from .remapping import RemapConfig, RemappingEngine, RemapResult
 

@@ -11,13 +11,12 @@ scores improve at *both* nodes involved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..infra.assignment import Assignment
 from ..traces.traceset import TraceSet
-from .metrics import node_asynchrony_scores
 
 
 @dataclass(frozen=True)

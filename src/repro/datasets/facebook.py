@@ -23,14 +23,14 @@ from __future__ import annotations
 
 import math
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
 
 from ..baselines.oblivious import oblivious_placement
 from ..infra.assignment import Assignment
 from ..infra.builder import TopologySpec, build_topology, ocp_spec
 from ..infra.topology import PowerTopology
-from ..traces.instance import InstanceRecord, ServiceKind
+from ..traces.instance import InstanceRecord
 from ..traces.profiles import (
     ServiceProfile,
     cache_profile,

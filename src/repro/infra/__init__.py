@@ -23,7 +23,7 @@ from .persistence import (
     topology_to_dict,
 )
 from .assignment import Assignment, AssignmentError
-from .breaker import BreakerModel, BreakerTrip, audit_view
+from .breaker import BreakerModel, BreakerTrip, audit_view, power_safe
 from .budget import (
     PeakProvisioningPolicy,
     PercentileProvisioningPolicy,
@@ -73,4 +73,5 @@ __all__ = [
     "BreakerModel",
     "BreakerTrip",
     "audit_view",
+    "power_safe",
 ]

@@ -9,7 +9,7 @@ power/energy slack (metric 2) — read off this view.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict
 
 import numpy as np
 

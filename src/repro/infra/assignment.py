@@ -8,9 +8,9 @@ the reshaping runtime.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional
 
-from .topology import PowerNode, PowerTopology, TopologyError
+from .topology import PowerTopology
 
 
 class AssignmentError(ValueError):

@@ -9,7 +9,7 @@ tolerate brief excursions; a trip requires the overload to persist.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -94,3 +94,12 @@ def audit_view(view: NodePowerView, model: Optional[BreakerModel] = None) -> Dic
         if trips:
             result[node.name] = trips
     return result
+
+
+def power_safe(view: NodePowerView, model: Optional[BreakerModel] = None) -> bool:
+    """True when no budgeted node of ``view`` trips a breaker.
+
+    Convenience wrapper over :func:`audit_view` for safety assertions: the
+    chaos harness calls this after every recovery step.
+    """
+    return not audit_view(view, model)

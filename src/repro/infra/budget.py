@@ -11,7 +11,7 @@ provisioning (StatProf) at several levels of aggressiveness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping
 
 from .aggregation import NodePowerView
 from .topology import PowerTopology

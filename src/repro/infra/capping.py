@@ -143,11 +143,27 @@ class CappingSimulator:
     # ------------------------------------------------------------------
     def run(self) -> CappingReport:
         """Run the capping loop over the whole trace span."""
+        report, _ = self._run()
+        return report
+
+    def run_capped(self) -> Tuple[CappingReport, TraceSet]:
+        """Like :meth:`run`, but also return the post-capping traces.
+
+        The second element holds every placed instance's draw *after* the
+        caps bit — what the servers actually drew.  Used by the emergency
+        fallback of :mod:`repro.faults.runtime` to rebuild a power-safe
+        scenario from the capped components.
+        """
+        report, values = self._run()
+        return report, TraceSet(
+            self.traces.grid, self.assignment.instance_ids(), values
+        )
+
+    def _run(self) -> Tuple[CappingReport, np.ndarray]:
         # Working copy of every placed instance's draw, mutated as caps bite.
         ids = self.assignment.instance_ids()
         index_of = {instance_id: row for row, instance_id in enumerate(ids)}
         values = np.vstack([self.traces.row(i) for i in ids]).copy()
-        n_samples = self.traces.grid.n_samples
 
         members_under: Dict[str, List[int]] = {}
         for node in self.topology.nodes():
@@ -193,13 +209,14 @@ class CappingSimulator:
                 residual_overload_steps=residual,
             )
 
-        return CappingReport(
+        report = CappingReport(
             step_minutes=self.traces.grid.step_minutes,
             nodes=node_stats,
             shed_by_kind={k: v for k, v in shed_totals.items() if v > 0},
             total_event_steps=sum(s.event_steps for s in node_stats.values()),
             residual_overload_steps=residual_total,
         )
+        return report, values
 
     # ------------------------------------------------------------------
     def _shed_class(

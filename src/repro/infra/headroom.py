@@ -10,11 +10,10 @@ that hierarchy-aware greedy fill.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from .aggregation import NodePowerView
-from .topology import PowerTopology
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
 from .assignment import Assignment
 from .topology import PowerNode, PowerTopology

@@ -13,7 +13,7 @@ This module models that tree.  Nodes are identified by unique names; servers
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class Level:

@@ -73,6 +73,8 @@ class ScenarioResult:
     batch_throughput: np.ndarray
     batch_freq: np.ndarray
     total_power: np.ndarray
+    #: Conversion servers idling between modes (OS up, no work), per step.
+    parked: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def lc_total(self) -> float:
@@ -155,17 +157,9 @@ class ReshapingRuntime:
         any remainder stays in LC mode (the batch tier cannot absorb them).
         """
         self._check_extra(extra_servers)
-        lc_heavy = self.conversion.lc_heavy_mask(demand, self.fleet.n_lc)
-        convertible = self.conversion.batch_convertible(
-            extra_servers, self.fleet.n_batch
+        _, n_lc_active, n_batch_active, parked = self.conversion_plan(
+            demand, extra_servers
         )
-        batch_heavy = (~lc_heavy).astype(np.float64)
-        # Batch-heavy: the original LC fleet suffices ("we do not need extra
-        # computing power"); converted extras run batch, the rest sit parked
-        # at idle, OS up, ready to convert.
-        n_lc_active = self.fleet.n_lc + extra_servers * lc_heavy.astype(np.float64)
-        n_batch_active = self.fleet.n_batch + convertible * batch_heavy
-        parked = (extra_servers - convertible) * batch_heavy
         return self._assemble(
             "conversion",
             demand,
@@ -198,15 +192,10 @@ class ReshapingRuntime:
             raise ValueError("extra_throttle_funded cannot be negative")
         total_extra = extra_conversion + extra_throttle_funded
 
-        lc_heavy = self.conversion.lc_heavy_mask(demand, self.fleet.n_lc)
-        batch_heavy = ~lc_heavy
-        convertible = self.conversion.batch_convertible(
-            total_extra, self.fleet.n_batch
+        lc_heavy, n_lc_active, n_batch_active, parked = self.conversion_plan(
+            demand, total_extra
         )
-        batch_heavy_f = batch_heavy.astype(np.float64)
-        n_lc_active = self.fleet.n_lc + total_extra * lc_heavy.astype(np.float64)
-        n_batch_active = self.fleet.n_batch + convertible * batch_heavy_f
-        parked = (total_extra - convertible) * batch_heavy_f
+        batch_heavy = ~lc_heavy
 
         # LC-heavy: batch throttled.  Batch-heavy: boost into the slack left
         # by the nominal-frequency power draw.
@@ -224,7 +213,7 @@ class ReshapingRuntime:
             slack, n_batch_active, self.fleet.batch_model, self.dvfs
         )
         freq = np.where(batch_heavy, np.maximum(boost, 1.0), freq)
-        return self._assemble(
+        boosted = self._assemble(
             "throttle_boost",
             demand,
             n_lc_active=n_lc_active,
@@ -232,6 +221,71 @@ class ReshapingRuntime:
             batch_freq=freq,
             parked=parked,
         )
+        # Regression guard: the boost schedule is solved against the
+        # *nominal* run's slack.  Wherever the realised scenario still
+        # exceeds budget (pre-existing overload, full-safety rounding),
+        # re-solve the batch frequency against the actual non-batch draw so
+        # the boosted scenario never trades throughput for a breaker trip.
+        if boosted.overload_steps():
+            freq = self._fit_freq_to_budget(boosted, freq)
+            boosted = self._assemble(
+                "throttle_boost",
+                demand,
+                n_lc_active=n_lc_active,
+                n_batch_active=n_batch_active,
+                batch_freq=freq,
+                parked=parked,
+            )
+        return boosted
+
+    # ------------------------------------------------------------------
+    def conversion_plan(
+        self, demand: DemandTrace, total_extra: int
+    ) -> "tuple":
+        """Per-step fleet plan for ``total_extra`` conversion servers.
+
+        Returns ``(lc_heavy, n_lc_active, n_batch_active, parked)``: during
+        LC-heavy Phase every extra runs LC; during Batch-heavy Phase at most
+        ``batch_convertible`` extras run batch and the remainder sit parked
+        at idle, OS up, ready to convert (Sec. 4.2).
+        """
+        lc_heavy = self.conversion.lc_heavy_mask(demand, self.fleet.n_lc)
+        convertible = self.conversion.batch_convertible(
+            total_extra, self.fleet.n_batch
+        )
+        batch_heavy_f = (~lc_heavy).astype(np.float64)
+        n_lc_active = self.fleet.n_lc + total_extra * lc_heavy.astype(np.float64)
+        n_batch_active = self.fleet.n_batch + convertible * batch_heavy_f
+        parked = (total_extra - convertible) * batch_heavy_f
+        return lc_heavy, n_lc_active, n_batch_active, parked
+
+    def _fit_freq_to_budget(
+        self, result: ScenarioResult, freq: np.ndarray
+    ) -> np.ndarray:
+        """Lower the batch frequency wherever ``result`` exceeds its budget.
+
+        Solves ``n x (idle + swing x f^gamma) <= budget - non_batch_power``
+        per step and clamps into the DVFS range; steps already within budget
+        keep their schedule.  Overload that batch throttling alone cannot
+        cure (non-batch draw above budget even at ``min_freq``) is left for
+        the emergency capping fallback (:mod:`repro.faults.runtime`).
+        """
+        over = result.total_power > result.budget_watts + 1e-9
+        if not np.any(over):
+            return freq
+        model = self.fleet.batch_model
+        n_batch = result.n_batch_active
+        batch_power = n_batch * model.power(1.0, result.batch_freq)
+        non_batch = result.total_power - batch_power
+        allowed = result.budget_watts - non_batch - 1e-6
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_server = np.where(
+                n_batch > 0, allowed / np.maximum(n_batch, 1e-12), np.inf
+            )
+        ratio = np.maximum((per_server - model.idle_watts) / model.swing_watts, 0.0)
+        safe = np.power(ratio, 1.0 / model.gamma)
+        safe = np.clip(safe, self.dvfs.min_freq, self.dvfs.max_freq)
+        return np.where(over, np.minimum(freq, safe), freq)
 
     # ------------------------------------------------------------------
     def _check_extra(self, extra: int) -> None:
@@ -279,6 +333,11 @@ class ReshapingRuntime:
             batch_throughput=batch.throughput,
             batch_freq=batch.freq,
             total_power=total,
+            parked=(
+                np.asarray(parked, dtype=np.float64).copy()
+                if parked is not None
+                else np.zeros(demand.grid.n_samples)
+            ),
         )
 
 

@@ -10,7 +10,6 @@ archetypes we synthesise — and express demand in *server-loads*: a demand of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,6 @@ even spreader this reduces to: each server carries ``demand / n`` up to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

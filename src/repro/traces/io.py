@@ -15,7 +15,7 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 

@@ -9,11 +9,10 @@ events into trace sets so experiments can measure exactly that.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from .grid import MINUTES_PER_DAY
 from .traceset import TraceSet
 
 

@@ -14,8 +14,8 @@ for one service; Sec. 2.3 motivates the three canonical archetypes —
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict
 
 import numpy as np
 

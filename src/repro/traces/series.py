@@ -13,7 +13,7 @@ from typing import Iterable, Sequence, Union
 
 import numpy as np
 
-from .grid import MINUTES_PER_HOUR, TimeGrid
+from .grid import TimeGrid
 
 Number = Union[int, float]
 

@@ -8,7 +8,7 @@ basis against which every instance's asynchrony-score vector is computed
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 

@@ -16,11 +16,11 @@ this module synthesises the closest structural equivalent (see DESIGN.md,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .grid import MINUTES_PER_HOUR, TimeGrid
+from .grid import TimeGrid
 from .instance import InstanceRecord, ServiceInstance
 from .profiles import ServiceProfile
 from .series import PowerTrace

@@ -9,7 +9,7 @@ placement framework needs (row peaks, group aggregates, sub-setting).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 

@@ -4,7 +4,6 @@ These run the real drivers on shrunken datacenters (96 instances, 60-minute
 sampling) — the full-scale runs live in benchmarks/.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import experiments as E

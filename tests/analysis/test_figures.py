@@ -3,7 +3,6 @@
 import re
 
 import numpy as np
-import pytest
 
 from repro.analysis.figures import (
     LineSeries,

@@ -1,8 +1,5 @@
 """Tests for the remaining gallery builders (small-scale data)."""
 
-import numpy as np
-import pytest
-
 from repro.analysis import experiments as E
 from repro.analysis.report import format_cell
 from repro.analysis.gallery import (

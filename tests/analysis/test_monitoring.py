@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis import FragmentationMonitor, MonitorConfig
 from repro.infra import Assignment, Level, build_topology, two_level_spec
-from repro.traces import PowerTrace, TimeGrid, TraceSet, inject_surge
+from repro.traces import TimeGrid, TraceSet, inject_surge
 
 
 @pytest.fixture

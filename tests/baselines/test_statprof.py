@@ -15,7 +15,7 @@ from repro.baselines import (
 )
 from repro.core import PlacementConfig, WorkloadAwarePlacer
 from repro.infra import Level, NodePowerView
-from repro.traces import PowerTrace, TimeGrid, TraceSet, training_trace_set
+from repro.traces import TimeGrid, TraceSet, training_trace_set
 
 
 @pytest.fixture

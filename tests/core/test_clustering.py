@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ClusteringResult, balanced_kmeans, kmeans
+from repro.core import balanced_kmeans, kmeans
 
 
 def blobs(rng, centers, per_cluster=20, spread=0.1):

@@ -1,6 +1,5 @@
 """Unit tests for the greedy marginal-peak placer."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import oblivious_placement

@@ -1,6 +1,5 @@
 """Unit tests for the workload-aware hierarchical placer (Sec. 3.5)."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import oblivious_placement
@@ -10,7 +9,6 @@ from repro.infra import (
     Level,
     NodePowerView,
     build_topology,
-    ocp_spec,
     two_level_spec,
 )
 from repro.traces import training_trace_set

@@ -10,7 +10,7 @@ from repro.core import (
     node_asynchrony_scores,
 )
 from repro.infra import Assignment, Level, NodePowerView, build_topology, two_level_spec
-from repro.traces import PowerTrace, TimeGrid, TraceSet, training_trace_set
+from repro.traces import TimeGrid, TraceSet, training_trace_set
 
 
 @pytest.fixture

@@ -1,0 +1,93 @@
+"""End-to-end tests of the chaos harness at small scale."""
+
+import pytest
+
+from repro.faults import (
+    DEFAULT_SUITE,
+    format_chaos_table,
+    run_chaos_scenario,
+    scenario_by_name,
+)
+
+SMALL = dict(n_instances=96, step_minutes=60, weeks=2)
+
+
+@pytest.fixture(scope="module")
+def clean_outcome():
+    return run_chaos_scenario(scenario_by_name("clean"), dc_name="DC1", **SMALL)
+
+
+@pytest.fixture(scope="module")
+def dirty_outcome():
+    return run_chaos_scenario(
+        scenario_by_name("sensor_dropout"), dc_name="DC1", **SMALL
+    )
+
+
+@pytest.fixture(scope="module")
+def storm_outcome():
+    return run_chaos_scenario(
+        scenario_by_name("perfect_storm"), dc_name="DC1", **SMALL
+    )
+
+
+class TestSuiteRegistry:
+    def test_names_unique(self):
+        names = [s.name for s in DEFAULT_SUITE]
+        assert len(names) == len(set(names))
+
+    def test_lookup(self):
+        assert scenario_by_name("clean").name == "clean"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            scenario_by_name("meteor_strike")
+
+
+class TestCleanControl:
+    def test_passes_with_no_faults(self, clean_outcome):
+        assert clean_outcome.passed
+        assert clean_outcome.repair.n_flagged == 0
+        assert clean_outcome.dirty_missing_fraction == 0.0
+        assert clean_outcome.quality_delta == 0.0
+
+    def test_no_recovery_needed(self, clean_outcome):
+        assert not clean_outcome.reshaping.recovery.engaged
+        assert clean_outcome.placement_trips == 0
+        assert clean_outcome.placement_safe
+
+
+class TestDirtyTelemetry:
+    def test_repair_actually_ran(self, dirty_outcome):
+        assert dirty_outcome.dirty_missing_fraction > 0
+        assert dirty_outcome.repair.n_interpolated > 0
+
+    def test_quality_within_tolerance(self, dirty_outcome):
+        assert dirty_outcome.checks()["quality_within_tolerance"]
+
+    def test_safety_checks_hold(self, dirty_outcome):
+        assert dirty_outcome.reshaping.scenario.overload_steps() == 0
+        assert not dirty_outcome.reshaping.recovery.trips_after
+
+
+class TestPerfectStorm:
+    def test_recovers_to_power_safe(self, storm_outcome):
+        """Even with every fault at once the run ends power-safe."""
+        assert storm_outcome.reshaping.scenario.overload_steps() == 0
+        assert not storm_outcome.reshaping.recovery.trips_after
+        assert storm_outcome.reshaping.power_safe()
+
+    def test_faults_were_exercised(self, storm_outcome):
+        assert storm_outcome.repair.n_flagged > 0
+        assert storm_outcome.reshaping.recovery.failure_downtime_server_steps > 0
+
+
+class TestReporting:
+    def test_table_lists_every_scenario(self, clean_outcome, dirty_outcome):
+        table = format_chaos_table([clean_outcome, dirty_outcome])
+        assert "clean" in table
+        assert "sensor_dropout" in table
+        assert "verdict" in table
+
+    def test_empty_table(self):
+        assert "Chaos suite" in format_chaos_table([])

@@ -1,0 +1,140 @@
+"""Unit tests for the telemetry fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    GridMisalignment,
+    NegativeGlitch,
+    PowerSpike,
+    RawTelemetry,
+    SensorDropout,
+    StuckSensor,
+    dirty_copy,
+)
+from repro.traces import TimeGrid, TraceSet
+
+GRID = TimeGrid(0, 10, 288)
+
+
+@pytest.fixture
+def traces():
+    rng = np.random.default_rng(0)
+    t = np.arange(GRID.n_samples)
+    matrix = 100.0 + 30.0 * np.sin(2 * np.pi * t / 144) + rng.normal(0, 2, (8, GRID.n_samples))
+    return TraceSet(GRID, [f"s{i}" for i in range(8)], np.maximum(matrix, 1.0))
+
+
+class TestRawTelemetry:
+    def test_from_traceset_roundtrip(self, traces):
+        raw = RawTelemetry.from_traceset(traces)
+        assert raw.ids == list(traces.ids)
+        assert np.array_equal(raw.matrix, traces.matrix)
+        assert raw.missing_fraction() == 0.0
+
+    def test_copy_is_independent(self, traces):
+        raw = RawTelemetry.from_traceset(traces)
+        copy = raw.copy()
+        copy.matrix[0, 0] = np.nan
+        assert np.isfinite(raw.matrix[0, 0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RawTelemetry(GRID, ["a"], np.zeros((2, GRID.n_samples)))
+
+    def test_accepts_garbage_values(self):
+        matrix = np.full((1, GRID.n_samples), np.nan)
+        raw = RawTelemetry(GRID, ["a"], matrix)
+        assert raw.missing_fraction() == 1.0
+
+
+class TestInjectors:
+    def test_dropout_creates_nan_gaps(self, traces):
+        rng = np.random.default_rng(1)
+        raw = SensorDropout(fraction_of_traces=0.5, gap_samples=12).apply(
+            RawTelemetry.from_traceset(traces), rng
+        )
+        assert raw.missing_fraction() > 0
+        # Gaps are contiguous runs of the configured length.
+        for row in range(len(raw.ids)):
+            holes = np.flatnonzero(~np.isfinite(raw.matrix[row]))
+            if holes.size:
+                assert holes.size >= 12
+
+    def test_stuck_creates_constant_run(self, traces):
+        rng = np.random.default_rng(2)
+        raw = StuckSensor(fraction_of_traces=1.0, stuck_samples=24).apply(
+            RawTelemetry.from_traceset(traces), rng
+        )
+        stuck_rows = 0
+        for row in range(len(raw.ids)):
+            diffs = np.diff(raw.matrix[row])
+            runs = np.flatnonzero(diffs == 0.0)
+            if runs.size >= 23:
+                stuck_rows += 1
+        assert stuck_rows == len(raw.ids)
+
+    def test_spike_far_above_ceiling(self, traces):
+        rng = np.random.default_rng(3)
+        raw = PowerSpike(fraction_of_traces=1.0, spikes_per_trace=1, magnitude=8.0).apply(
+            RawTelemetry.from_traceset(traces), rng
+        )
+        for row in range(len(raw.ids)):
+            assert raw.matrix[row].max() > traces.matrix[row].max() * 4
+
+    def test_negative_glitch(self, traces):
+        rng = np.random.default_rng(4)
+        raw = NegativeGlitch(fraction_of_traces=1.0).apply(
+            RawTelemetry.from_traceset(traces), rng
+        )
+        assert (raw.matrix < 0).any()
+
+    def test_misalignment_shifts_grid(self, traces):
+        rng = np.random.default_rng(5)
+        raw = GridMisalignment(offset_minutes=3).apply(
+            RawTelemetry.from_traceset(traces), rng
+        )
+        assert raw.grid.start_minute == GRID.start_minute + 3
+        assert np.array_equal(raw.matrix, traces.matrix)
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ValueError):
+            GridMisalignment(offset_minutes=0)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            SensorDropout(fraction_of_traces=0.0)
+        with pytest.raises(ValueError):
+            PowerSpike(magnitude=0.5)
+        with pytest.raises(ValueError):
+            StuckSensor(stuck_samples=1)
+
+
+class TestFaultPlan:
+    def test_deterministic(self, traces):
+        plan = FaultPlan(
+            faults=(
+                SensorDropout(fraction_of_traces=0.5),
+                PowerSpike(fraction_of_traces=0.5),
+            ),
+            seed=7,
+        )
+        first = dirty_copy(traces, plan)
+        second = dirty_copy(traces, plan)
+        assert np.array_equal(first.matrix, second.matrix, equal_nan=True)
+
+    def test_different_seeds_differ(self, traces):
+        a = dirty_copy(traces, FaultPlan((SensorDropout(),), seed=1))
+        b = dirty_copy(traces, FaultPlan((SensorDropout(),), seed=2))
+        assert not np.array_equal(a.matrix, b.matrix, equal_nan=True)
+
+    def test_source_untouched(self, traces):
+        before = traces.matrix.copy()
+        dirty_copy(traces, FaultPlan((SensorDropout(), NegativeGlitch()), seed=3))
+        assert np.array_equal(traces.matrix, before)
+
+    def test_empty_plan_is_identity(self, traces):
+        raw = dirty_copy(traces, FaultPlan())
+        assert np.array_equal(raw.matrix, traces.matrix)
+        assert len(FaultPlan()) == 0

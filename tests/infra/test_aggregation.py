@@ -11,7 +11,7 @@ from repro.infra import (
     peak_reduction_by_level,
     two_level_spec,
 )
-from repro.traces import PowerTrace, TimeGrid, TraceSet
+from repro.traces import TimeGrid, TraceSet
 
 
 @pytest.fixture

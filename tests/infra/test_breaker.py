@@ -9,6 +9,7 @@ from repro.infra import (
     NodePowerView,
     audit_view,
     build_topology,
+    power_safe,
     two_level_spec,
 )
 from repro.traces import PowerTrace, TimeGrid, TraceSet
@@ -102,3 +103,56 @@ class TestAudit:
         view = NodePowerView(topo, assignment, traces)
         topo.node("dc/rpp0").budget_watts = 10.0
         assert audit_view(view) == {}
+
+
+class TestToleranceEdgeCases:
+    def test_tolerance_below_grid_step_trips_on_single_sample(self, grid):
+        # 5-minute tolerance on a 10-minute grid: one hot sample persists
+        # longer than the breaker tolerates.
+        model = BreakerModel(tolerance_minutes=5)
+        trace = trace_with_overload(grid, start=7, length=1)
+        trips = model.trips(trace, budget=10)
+        assert len(trips) == 1
+        assert trips[0].duration_samples == 1
+
+    def test_overload_spanning_entire_trace(self, grid):
+        model = BreakerModel(tolerance_minutes=30)
+        trace = PowerTrace.constant(grid, 20)
+        trips = model.trips(trace, budget=10, node_name="dc")
+        assert len(trips) == 1
+        assert trips[0].start_index == 0
+        assert trips[0].duration_samples == grid.n_samples
+
+    def test_trip_exactly_at_tolerance_boundary(self, grid):
+        # 30-minute tolerance, 10-minute steps: 3 samples trip, 2 don't.
+        model = BreakerModel(tolerance_minutes=30)
+        at = trace_with_overload(grid, start=10, length=3)
+        below = trace_with_overload(grid, start=10, length=2)
+        assert len(model.trips(at, budget=10)) == 1
+        assert model.trips(below, budget=10) == []
+
+    def test_power_exactly_at_budget_is_safe(self, grid):
+        model = BreakerModel(tolerance_minutes=0)
+        assert model.trips(PowerTrace.constant(grid, 10), budget=10) == []
+
+
+class TestPowerSafe:
+    def _view(self, grid, hot):
+        topo = build_topology(two_level_spec("dc", leaves=1, leaf_capacity=2))
+        trace = trace_with_overload(grid, 5, 10) if hot else PowerTrace.constant(grid, 1)
+        traces = TraceSet(grid, ["a"], trace.values[None, :])
+        view = NodePowerView(topo, Assignment(topo, {"a": "dc/rpp0"}), traces)
+        topo.node("dc/rpp0").budget_watts = 10.0
+        return view
+
+    def test_true_for_clean_view(self, grid):
+        assert power_safe(self._view(grid, hot=False))
+
+    def test_false_for_overloaded_view(self, grid):
+        view = self._view(grid, hot=True)
+        assert not power_safe(view, BreakerModel(tolerance_minutes=10))
+
+    def test_matches_audit_view(self, grid):
+        view = self._view(grid, hot=True)
+        model = BreakerModel(tolerance_minutes=10)
+        assert power_safe(view, model) == (audit_view(view, model) == {})

@@ -15,7 +15,7 @@ from repro.infra import (
     provision_hierarchical,
     two_level_spec,
 )
-from repro.traces import PowerTrace, TimeGrid, TraceSet
+from repro.traces import TimeGrid, TraceSet
 
 
 @pytest.fixture

@@ -11,7 +11,7 @@ from repro.infra import (
     compare_capping,
     two_level_spec,
 )
-from repro.traces import PowerTrace, ServiceKind, TimeGrid, TraceSet
+from repro.traces import ServiceKind, TimeGrid, TraceSet
 
 
 @pytest.fixture

@@ -8,8 +8,8 @@ from repro.infra import Level, PowerNode, PowerTopology, TopologyError
 def build_small_tree():
     root = PowerNode("dc", Level.DATACENTER)
     suite = root.add_child(PowerNode("dc/suite0", Level.SUITE))
-    rpp_a = suite.add_child(PowerNode("dc/suite0/rpp0", Level.RPP, capacity=4))
-    rpp_b = suite.add_child(PowerNode("dc/suite0/rpp1", Level.RPP, capacity=4))
+    suite.add_child(PowerNode("dc/suite0/rpp0", Level.RPP, capacity=4))
+    suite.add_child(PowerNode("dc/suite0/rpp1", Level.RPP, capacity=4))
     return PowerTopology(root)
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import oblivious_placement, random_placement
+from repro.baselines import random_placement
 from repro.core import (
     PlacementConfig,
     RemapConfig,
@@ -11,14 +11,7 @@ from repro.core import (
     SmoothOperatorConfig,
     node_asynchrony_scores,
 )
-from repro.infra import (
-    BreakerModel,
-    Level,
-    NodePowerView,
-    audit_view,
-    plan_expansion,
-    provision_hierarchical,
-)
+from repro.infra import BreakerModel, Level, NodePowerView, audit_view
 from repro.reshaping import (
     ConversionPolicy,
     ReshapingRuntime,

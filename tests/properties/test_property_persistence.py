@@ -1,7 +1,6 @@
 """Property-based round-trip tests for persistence."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
@@ -10,9 +9,7 @@ from repro.infra import (
     Assignment,
     build_topology,
     load_assignment,
-    load_topology,
     save_assignment,
-    save_topology,
     topology_from_dict,
     topology_to_dict,
     two_level_spec,

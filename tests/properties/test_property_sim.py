@@ -1,8 +1,7 @@
 """Property-based tests for the simulation substrate."""
 
 import numpy as np
-import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 

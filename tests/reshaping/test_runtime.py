@@ -174,3 +174,48 @@ class TestComparison:
         )
         value = comparison.slack_reduction("conversion", baseline="lc_only")
         assert isinstance(value, float)
+
+
+class TestOverloadClamp:
+    """Regression: a mis-sized budget must not leave the boosted scenario
+    over budget.  Before the clamp, a batch-heavy fleet whose nominal draw
+    exceeded the budget kept ``freq >= 1`` everywhere and reported overload
+    steps; the guard now re-solves the batch frequency against the actual
+    non-batch draw."""
+
+    @pytest.fixture
+    def tight_runtime(self):
+        fleet = FleetDescription(
+            n_lc=10,
+            n_batch=10,
+            lc_model=ServerPowerModel(100, 200),
+            batch_model=ServerPowerModel(100, 300),
+            budget_watts=4_000.0,  # nominal batch-heavy draw is 4 200 W
+        )
+        return ReshapingRuntime(
+            fleet,
+            ConversionPolicy(conversion_threshold=0.9),
+            throttle=ThrottleBoostPolicy(),
+            dvfs=DVFSModel(),
+        )
+
+    @pytest.fixture
+    def low_demand(self, grid):
+        # Constant load 0.2 per LC server: batch-heavy at every step.
+        return DemandTrace(grid, np.full(grid.n_samples, 2.0))
+
+    def test_overbudget_nominal_is_clamped(self, tight_runtime, low_demand):
+        result = tight_runtime.run_throttle_boost(low_demand, 0, 0)
+        assert result.overload_steps() == 0
+        # The cure is batch DVFS, not dropped LC traffic.
+        assert (result.batch_freq < 1.0).all()
+        assert result.dropped_fraction() == pytest.approx(0.0, abs=1e-9)
+        # power = 1200 (LC) + 10 x (100 + 200 f^3) = 4000  =>  f^3 = 0.9
+        np.testing.assert_allclose(result.batch_freq, 0.9 ** (1 / 3), atol=1e-6)
+        np.testing.assert_allclose(result.total_power, 4_000.0, atol=1e-3)
+
+    def test_clamp_untouched_when_budget_fits(self, runtime, demand):
+        generous = runtime.run_throttle_boost(demand, 10, 5)
+        assert generous.overload_steps() == 0
+        # Boost is still allowed to run the batch fleet above nominal.
+        assert generous.batch_freq.max() >= 1.0

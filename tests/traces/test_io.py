@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.traces import (
-    InstanceRecord,
     PowerTrace,
-    ServiceInstance,
     TimeGrid,
     TraceSet,
     export_csv,

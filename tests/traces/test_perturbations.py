@@ -3,14 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.traces import (
-    PowerTrace,
-    TimeGrid,
-    TraceSet,
-    inject_outage,
-    inject_surge,
-    window_mask,
-)
+from repro.traces import TimeGrid, TraceSet, inject_outage, inject_surge, window_mask
 
 
 @pytest.fixture

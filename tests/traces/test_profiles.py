@@ -7,7 +7,6 @@ from repro.traces import (
     CANONICAL_PROFILES,
     ServiceKind,
     ServiceProfile,
-    Shape,
     cache_profile,
     db_profile,
     dev_profile,

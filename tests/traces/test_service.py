@@ -1,6 +1,5 @@
 """Unit tests for S-trace construction (Eq. 5) and top-consumer ranking."""
 
-import numpy as np
 import pytest
 
 from repro.traces import (
