@@ -1,0 +1,117 @@
+"""Stage-by-stage pipeline profile → ``BENCH_pipeline.json`` / ``BENCH_remap.json``.
+
+Runs the full pipeline (synthesize → score → cluster → place → remap →
+evaluate) under the :mod:`repro.obs` tracer and emits machine-readable
+benchmark documents at the repo root: per-stage wall/CPU timings with
+workload-size fields, plus the remapping loop's swap counters and the
+resulting peak-reduction numbers.  CI uploads the ``BENCH_*.json`` files as
+artifacts so the perf trajectory accrues per PR.
+
+The fleet size is small enough for CI (override with the
+``BENCH_PROFILE_INSTANCES`` environment variable).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import SmoothOperator, SmoothOperatorConfig
+from repro.core.placement import PlacementConfig, WorkloadAwarePlacer
+from repro.core.remapping import RemapConfig
+from repro.datasets import build_datacenter, dc3_spec
+from repro.infra.topology import Level
+
+N_INSTANCES = int(os.environ.get("BENCH_PROFILE_INSTANCES", "480"))
+STEP_MINUTES = 10
+WEEKS = 3
+
+
+def _profiled_run():
+    obs.reset_metrics()
+    with obs.tracing() as tracer:
+        with obs.span("profile", instances=N_INSTANCES):
+            dc = build_datacenter(
+                dc3_spec(n_instances=N_INSTANCES),
+                weeks=WEEKS,
+                step_minutes=STEP_MINUTES,
+            )
+            operator = SmoothOperator(
+                SmoothOperatorConfig(
+                    placement=PlacementConfig(seed=0),
+                    remap=RemapConfig(level=Level.RPP, max_swaps=30),
+                )
+            )
+            outcome = operator.optimize(dc.records, dc.topology)
+            report = SmoothOperator.evaluate(
+                dc.records, dc.baseline, outcome.assignment
+            )
+    return tracer, dc, outcome, report
+
+
+@pytest.mark.benchmark(group="profile")
+def test_pipeline_profile(benchmark, emit_report):
+    tracer, dc, outcome, report = benchmark.pedantic(
+        _profiled_run, rounds=1, iterations=1
+    )
+    stages = obs.stage_timings(tracer)
+    names = {row["stage"] for row in stages}
+    # The profile must cover the full pipeline.
+    for required in ("synthesize", "score", "cluster", "place", "remap"):
+        assert required in names, f"stage {required!r} missing from profile"
+
+    counters = obs.snapshot_metrics()["counters"]
+    workload = {
+        "datacenter": dc.name,
+        "instances": len(dc.records),
+        "samples_per_trace": dc.records[0].training_trace.grid.n_samples,
+        "step_minutes": STEP_MINUTES,
+        "weeks": WEEKS,
+    }
+    obs.update_bench("pipeline", "workload", workload)
+    obs.update_bench("pipeline", "stages", stages)
+    obs.update_bench(
+        "remap",
+        "remap",
+        {
+            "workload": workload,
+            "swaps_accepted": outcome.remap.n_swaps,
+            "swaps_attempted": counters.get("remap.swaps_attempted", 0.0),
+            "candidates_evaluated": counters.get("remap.candidates_evaluated", 0.0),
+            "peak_reduction": report.peak_reduction,
+            "extra_server_fraction": report.extra_server_fraction,
+        },
+    )
+    emit_report("profile", tracer.render())
+
+
+@pytest.mark.benchmark(group="profile")
+def test_tracing_overhead(benchmark, emit_report):
+    """Placement under tracing must cost ≤ 5% over the untraced run."""
+    dc = build_datacenter(
+        dc3_spec(n_instances=N_INSTANCES), weeks=WEEKS, step_minutes=STEP_MINUTES
+    )
+
+    def _place():
+        placer = WorkloadAwarePlacer(PlacementConfig(seed=0))
+        started = time.perf_counter()
+        placer.place(dc.records, dc.topology)
+        return time.perf_counter() - started
+
+    def _measure():
+        untraced = min(_place() for _ in range(3))
+        with obs.tracing():
+            traced = min(_place() for _ in range(3))
+        return untraced, traced
+
+    untraced, traced = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    overhead = traced / untraced - 1.0
+    emit_report(
+        "profile_overhead",
+        f"placement untraced {untraced:.3f}s, traced {traced:.3f}s "
+        f"({overhead:+.2%} overhead)",
+    )
+    # 5% relative plus a small absolute floor so timer jitter on very fast
+    # runs cannot fail the guard.
+    assert traced <= untraced * 1.05 + 0.05

@@ -14,6 +14,7 @@ import pytest
 from repro.analysis.report import format_table
 from repro.core import PlacementConfig, WorkloadAwarePlacer
 from repro.datasets import build_datacenter, dc3_spec
+from repro.obs import update_bench
 
 SIZES = (480, 960, 1920)
 
@@ -52,6 +53,14 @@ def test_placement_scaling(benchmark, emit_report):
             rows,
             title="Placement wall-clock vs fleet size (DC3 mix, 10-min traces)",
         ),
+    )
+    update_bench(
+        "pipeline",
+        "scale",
+        {
+            "workload": {"datacenter": "DC3", "step_minutes": 10, "weeks": 3},
+            "placement_wall_s": {str(n): seconds for n, seconds in timings.items()},
+        },
     )
 
     # Sub-quadratic scaling: 4x the fleet must cost well under 16x the time.

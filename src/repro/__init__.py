@@ -48,6 +48,7 @@ from .datasets import (
     dc3_spec,
     small_demo_spec,
 )
+from . import obs
 from .infra import (
     Assignment,
     CappingSimulator,
@@ -77,6 +78,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # traces
     "TimeGrid",
     "PowerTrace",

@@ -7,6 +7,7 @@ Usage::
     smoothoperator fig13
     smoothoperator table1
     smoothoperator chaos [--instances N]
+    smoothoperator profile [--instances N] [--json]
 """
 
 from __future__ import annotations
@@ -187,8 +188,65 @@ def _cmd_predictability(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_profile(args: argparse.Namespace) -> None:
+    """Run the full pipeline under tracing and print the span-tree profile."""
+    import json
+
+    from . import obs
+    from .core.pipeline import SmoothOperator, SmoothOperatorConfig
+    from .core.placement import PlacementConfig
+    from .core.remapping import RemapConfig
+    from .datasets import build_datacenter, dc1_spec
+    from .infra.topology import Level
+
+    obs.reset_metrics()
+    with obs.tracing() as tracer:
+        with obs.span("profile", instances=args.instances):
+            # Build from scratch (no experiment cache) so synthesis is traced.
+            dc = build_datacenter(
+                dc1_spec(n_instances=args.instances), weeks=3, step_minutes=30
+            )
+            operator = SmoothOperator(
+                SmoothOperatorConfig(
+                    placement=PlacementConfig(seed=0),
+                    remap=RemapConfig(level=Level.RPP, max_swaps=20),
+                )
+            )
+            outcome = operator.optimize(dc.records, dc.topology)
+            report = SmoothOperator.evaluate(
+                dc.records, dc.baseline, outcome.assignment
+            )
+
+    if args.json:
+        payload = {
+            "workload": {
+                "datacenter": dc.name,
+                "instances": len(dc.records),
+                "samples_per_trace": dc.records[0].training_trace.grid.n_samples,
+                "swaps_accepted": outcome.remap.n_swaps if outcome.remap else 0,
+            },
+            "spans": tracer.to_dict()["spans"],
+            "stages": obs.stage_timings(tracer),
+            "metrics": obs.snapshot_metrics(),
+            "peak_reduction": report.peak_reduction,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    print(tracer.render())
+    print()
+    swaps = outcome.remap.n_swaps if outcome.remap else 0
+    print(f"instances placed : {len(dc.records)}")
+    print(f"swaps accepted   : {swaps}")
+    reductions = ", ".join(
+        f"{level}={format_percent(value)}"
+        for level, value in report.peak_reduction.items()
+    )
+    print(f"peak reduction   : {reductions}")
+
+
 _COMMANDS = {
     "chaos": _cmd_chaos,
+    "profile": _cmd_profile,
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,
     "fig10": _cmd_fig10,
@@ -217,6 +275,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=experiments.DEFAULT_N_INSTANCES,
         help="fleet size per datacenter",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON (profile command)",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -16,14 +16,22 @@ node.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..traces.series import PowerTrace
 from ..traces.traceset import TraceSet
 
 ArrayLike = Union[np.ndarray, Sequence[float]]
+
+#: Default ceiling on the broadcast block a :func:`score_matrix` chunk may
+#: materialise.  At ``chunk_size=256``, 20 basis services, and a week of
+#: per-minute samples the naive block is ~415 MB; the bound derives an
+#: effective chunk size that keeps it under ~128 MB while leaving small
+#: inputs on the configured chunk size.
+DEFAULT_SCORE_MAX_BYTES = 128 * 1024 * 1024
 
 
 def asynchrony_score(traces: Union[TraceSet, Sequence[PowerTrace]]) -> float:
@@ -65,23 +73,38 @@ def score_vector(instance: PowerTrace, basis: TraceSet) -> np.ndarray:
 
 
 def score_matrix(
-    instances: TraceSet, basis: TraceSet, *, chunk_size: int = 256
+    instances: TraceSet,
+    basis: TraceSet,
+    *,
+    chunk_size: int = 256,
+    max_bytes: Optional[int] = DEFAULT_SCORE_MAX_BYTES,
 ) -> np.ndarray:
     """I-to-S score vectors for a whole fleet, shape ``(n_instances, n_basis)``.
 
     Vectorised and chunked: computing ``peak(PI_i + PS_k)`` for all (i, k)
-    pairs materialises an ``(chunk, n_basis, n_samples)`` block at a time
-    rather than the full fleet tensor.
+    pairs materialises an ``(chunk, n_basis, n_samples)`` float64 block at a
+    time rather than the full fleet tensor.  The effective chunk size is the
+    smaller of ``chunk_size`` and what fits a block into ``max_bytes``
+    (pass ``max_bytes=None`` to disable the bound); results are identical
+    whatever the chunking, only memory and locality change.
     """
     instances.grid.require_same(basis.grid)
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    if max_bytes is not None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        bytes_per_row = len(basis) * instances.grid.n_samples * 8
+        chunk_size = max(1, min(chunk_size, max_bytes // max(bytes_per_row, 1)))
     n = len(instances)
-    scores = np.empty((n, len(basis)))
-    for start in range(0, n, chunk_size):
-        stop = min(start + chunk_size, n)
-        scores[start:stop] = _score_rows(instances.matrix[start:stop], basis)
-    return scores
+    with obs.span("score", instances=n, basis=len(basis), chunk_size=chunk_size):
+        obs.count("score.pairs", n * len(basis))
+        scores = np.empty((n, len(basis)))
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            obs.count("score.chunks")
+            scores[start:stop] = _score_rows(instances.matrix[start:stop], basis)
+        return scores
 
 
 def _score_rows(rows: np.ndarray, basis: TraceSet) -> np.ndarray:

@@ -20,6 +20,8 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
+
 
 @dataclass(frozen=True)
 class ClusteringResult:
@@ -96,9 +98,11 @@ def kmeans(
 
     best: Optional[ClusteringResult] = None
     for _ in range(max(1, n_init)):
+        obs.count("cluster.restarts")
         centroids = _kmeans_pp_init(points, k, rng)
         labels = np.zeros(n, dtype=np.int64)
         for _ in range(max_iter):
+            obs.count("cluster.lloyd_iterations")
             distances = _pairwise_sq_distances(points, centroids)
             labels = distances.argmin(axis=1)
             new_centroids = _recompute_centroids(points, labels, centroids, rng)
@@ -141,16 +145,18 @@ def balanced_kmeans(
     if not 1 <= k <= n:
         raise ValueError(f"k must be in [1, {n}], got {k}")
 
-    unbalanced = kmeans(points, k, seed=seed, n_init=n_init, max_iter=max_iter)
-    centroids = unbalanced.centroids
-    labels = unbalanced.labels
-    for _ in range(max(1, balance_rounds)):
-        labels = _capacity_assign(points, centroids, k)
-        rng = np.random.default_rng(seed)
-        centroids = _recompute_centroids(points, labels, centroids, rng)
-    distances = _pairwise_sq_distances(points, centroids)
-    inertia = float(distances[np.arange(n), labels].sum())
-    return ClusteringResult(labels=labels, centroids=centroids, inertia=inertia)
+    with obs.span("cluster", points=n, k=k):
+        unbalanced = kmeans(points, k, seed=seed, n_init=n_init, max_iter=max_iter)
+        centroids = unbalanced.centroids
+        labels = unbalanced.labels
+        for _ in range(max(1, balance_rounds)):
+            obs.count("cluster.balance_rounds")
+            labels = _capacity_assign(points, centroids, k)
+            rng = np.random.default_rng(seed)
+            centroids = _recompute_centroids(points, labels, centroids, rng)
+        distances = _pairwise_sq_distances(points, centroids)
+        inertia = float(distances[np.arange(n), labels].sum())
+        return ClusteringResult(labels=labels, centroids=centroids, inertia=inertia)
 
 
 def _capacity_assign(points: np.ndarray, centroids: np.ndarray, k: int) -> np.ndarray:

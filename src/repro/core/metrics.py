@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .. import obs
 from ..infra.aggregation import NodePowerView
 from ..infra.assignment import Assignment
 from ..traces.traceset import TraceSet
@@ -47,22 +48,35 @@ class LevelFragmentation:
 
 
 def node_asynchrony_scores(
-    assignment: Assignment, traces: TraceSet, level: str
+    assignment: Assignment,
+    traces: TraceSet,
+    level: str,
+    *,
+    view: Optional[NodePowerView] = None,
 ) -> Dict[str, float]:
     """Asynchrony score of every node at ``level`` under ``assignment``.
 
     Score of a node = Σ member peaks / peak of the node's aggregate trace.
-    Nodes with no members are skipped.
+    Nodes with no members are skipped.  Passing a :class:`NodePowerView`
+    built from the same assignment and traces reuses its cached per-node
+    aggregates instead of re-summing every member row per node — callers
+    that already hold a view (e.g. :func:`fragmentation_report`) aggregate
+    each node exactly once.
     """
+    member_peaks = traces.peaks()
     scores: Dict[str, float] = {}
     for node in assignment.topology.nodes_at_level(level):
         members = assignment.instances_under(node.name)
         if not members:
             continue
-        rows = [traces.row(instance_id) for instance_id in members]
-        stacked = np.vstack(rows)
-        aggregate_peak = float(stacked.sum(axis=0).max())
-        sum_peaks = float(stacked.max(axis=1).sum())
+        indices = [traces.index_of(instance_id) for instance_id in members]
+        sum_peaks = float(member_peaks[indices].sum())
+        if view is not None:
+            aggregate_peak = view.node_peak(node.name)
+            obs.count("metrics.node_aggregate_reused")
+        else:
+            aggregate_peak = float(traces.matrix[indices].sum(axis=0).max())
+            obs.count("metrics.node_aggregate_recomputed")
         scores[node.name] = sum_peaks / aggregate_peak if aggregate_peak > 0 else 1.0
     return scores
 
@@ -71,17 +85,20 @@ def fragmentation_report(
     assignment: Assignment, traces: TraceSet
 ) -> Dict[str, LevelFragmentation]:
     """Per-level fragmentation summary of a placement."""
-    view = NodePowerView(assignment.topology, assignment, traces)
-    report: Dict[str, LevelFragmentation] = {}
-    for level in assignment.topology.levels():
-        peaks = view.peaks_at_level(level)
-        report[level] = LevelFragmentation(
-            level=level,
-            sum_of_peaks=float(sum(peaks.values())),
-            node_peaks=peaks,
-            node_asynchrony=node_asynchrony_scores(assignment, traces, level),
-        )
-    return report
+    with obs.span("fragmentation_report"):
+        view = NodePowerView(assignment.topology, assignment, traces)
+        report: Dict[str, LevelFragmentation] = {}
+        for level in assignment.topology.levels():
+            peaks = view.peaks_at_level(level)
+            report[level] = LevelFragmentation(
+                level=level,
+                sum_of_peaks=float(sum(peaks.values())),
+                node_peaks=peaks,
+                node_asynchrony=node_asynchrony_scores(
+                    assignment, traces, level, view=view
+                ),
+            )
+        return report
 
 
 def required_budget(view: NodePowerView, level: str, *, under_provision: float = 0.0) -> float:

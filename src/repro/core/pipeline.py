@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+from .. import obs
 from ..infra.aggregation import NodePowerView, peak_reduction_by_level
 from ..infra.assignment import Assignment
 from ..infra.budget import provision_hierarchical
@@ -75,12 +76,13 @@ class SmoothOperator:
         self, records: Sequence[InstanceRecord], topology: PowerTopology
     ) -> OptimizationOutcome:
         """Derive the workload-aware placement (and optionally remap)."""
-        placement = self._placer.place(records, topology)
-        remap: Optional[RemapResult] = None
-        if self.config.remap is not None:
-            engine = RemappingEngine(self.config.remap)
-            remap = engine.run(placement.assignment, training_trace_set(records))
-        return OptimizationOutcome(placement=placement, remap=remap)
+        with obs.span("pipeline.optimize", instances=len(records)):
+            placement = self._placer.place(records, topology)
+            remap: Optional[RemapResult] = None
+            if self.config.remap is not None:
+                engine = RemappingEngine(self.config.remap)
+                remap = engine.run(placement.assignment, training_trace_set(records))
+            return OptimizationOutcome(placement=placement, remap=remap)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -103,21 +105,24 @@ class SmoothOperator:
 
         ``per_server_watts`` defaults to the fleet's mean per-instance peak.
         """
-        traces = (
-            test_trace_set(records) if use_test_week else training_trace_set(records)
-        )
-        topology = baseline.topology
-        before = NodePowerView(topology, baseline, traces)
-        after = NodePowerView(topology, optimized, traces)
+        with obs.span("pipeline.evaluate", instances=len(records)):
+            traces = (
+                test_trace_set(records)
+                if use_test_week
+                else training_trace_set(records)
+            )
+            topology = baseline.topology
+            before = NodePowerView(topology, baseline, traces)
+            after = NodePowerView(topology, optimized, traces)
 
-        provision_hierarchical(before, margin=budget_margin)
-        if per_server_watts is None:
-            per_server_watts = float(traces.peaks().mean())
-        expansion = plan_expansion(after, per_server_watts)
+            provision_hierarchical(before, margin=budget_margin)
+            if per_server_watts is None:
+                per_server_watts = float(traces.peaks().mean())
+            expansion = plan_expansion(after, per_server_watts)
 
-        return EvaluationReport(
-            peak_reduction=peak_reduction_by_level(before, after),
-            sum_of_peaks_before=before.sum_of_peaks_by_level(),
-            sum_of_peaks_after=after.sum_of_peaks_by_level(),
-            expansion=expansion,
-        )
+            return EvaluationReport(
+                peak_reduction=peak_reduction_by_level(before, after),
+                sum_of_peaks_before=before.sum_of_peaks_by_level(),
+                sum_of_peaks_after=after.sum_of_peaks_by_level(),
+                expansion=expansion,
+            )

@@ -22,12 +22,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..infra.assignment import Assignment, AssignmentError
 from ..infra.topology import PowerNode, PowerTopology
 from ..traces.instance import InstanceRecord
 from ..traces.service import extract_basis_traces
 from ..traces.traceset import TraceSet
-from .asynchrony import score_matrix
+from .asynchrony import DEFAULT_SCORE_MAX_BYTES, score_matrix
 from .clustering import balanced_kmeans
 
 
@@ -49,6 +50,10 @@ class PlacementConfig:
         Re-extract S-traces from the local instance subset at every
         recursion step (matches Sec. 3.5's description).  When False the
         datacenter-level basis is reused throughout, which is faster.
+    score_max_bytes:
+        Ceiling on the broadcast block one scoring chunk may materialise
+        (see :func:`repro.core.asynchrony.score_matrix`); ``None`` disables
+        the bound and chunks purely by ``score_chunk_size``.
     """
 
     top_m_services: int = 10
@@ -58,12 +63,15 @@ class PlacementConfig:
     kmeans_max_iter: int = 50
     rebuild_basis_per_node: bool = True
     score_chunk_size: int = 256
+    score_max_bytes: Optional[int] = DEFAULT_SCORE_MAX_BYTES
 
     def __post_init__(self) -> None:
         if self.top_m_services <= 0:
             raise ValueError("top_m_services must be positive")
         if self.clusters_per_child <= 0:
             raise ValueError("clusters_per_child must be positive")
+        if self.score_max_bytes is not None and self.score_max_bytes <= 0:
+            raise ValueError("score_max_bytes must be positive or None")
 
 
 @dataclass
@@ -129,18 +137,20 @@ class WorkloadAwarePlacer:
             raise AssignmentError(
                 f"{len(records)} instances exceed total leaf capacity {capacity}"
             )
-        global_basis = extract_basis_traces(records, self.config.top_m_services)
-        mapping: Dict[str, str] = {}
-        diagnostics: Dict[str, Dict[str, int]] = {}
-        self._place_under(
-            topology.root, list(records), global_basis, mapping, diagnostics
-        )
-        assignment = Assignment(topology, mapping)
-        return PlacementResult(
-            assignment=assignment,
-            basis_services=list(global_basis.ids),
-            cluster_labels=diagnostics,
-        )
+        with obs.span("place", instances=len(records)):
+            global_basis = extract_basis_traces(records, self.config.top_m_services)
+            mapping: Dict[str, str] = {}
+            diagnostics: Dict[str, Dict[str, int]] = {}
+            self._place_under(
+                topology.root, list(records), global_basis, mapping, diagnostics
+            )
+            assignment = Assignment(topology, mapping)
+            obs.count("place.instances_placed", len(mapping))
+            return PlacementResult(
+                assignment=assignment,
+                basis_services=list(global_basis.ids),
+                cluster_labels=diagnostics,
+            )
 
     # ------------------------------------------------------------------
     def _place_under(
@@ -166,6 +176,7 @@ class WorkloadAwarePlacer:
             self._place_under(node.children[0], records, basis, mapping, diagnostics)
             return
 
+        obs.count("place.nodes_clustered")
         clusters, labels = self._cluster(node, records, basis)
         diagnostics[node.name] = {
             record.instance_id: int(label)
@@ -194,7 +205,10 @@ class WorkloadAwarePlacer:
             {record.instance_id: record.training_trace for record in records}
         )
         scores = score_matrix(
-            traces, local_basis, chunk_size=self.config.score_chunk_size
+            traces,
+            local_basis,
+            chunk_size=self.config.score_chunk_size,
+            max_bytes=self.config.score_max_bytes,
         )
         q = len(node.children)
         h = min(len(records), q * self.config.clusters_per_child)

@@ -15,8 +15,13 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..infra.assignment import Assignment
 from ..traces.traceset import TraceSet
+
+#: Incremental ``total`` updates accumulate float drift; every this many
+#: swaps a group recomputes its aggregate exactly from member rows.
+RECOMPUTE_EVERY = 64
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,9 @@ class RemapResult:
 
     assignment: Assignment
     swaps: List[Swap] = field(default_factory=list)
+    #: Final per-node aggregate value vectors, recomputed exactly from
+    #: member rows after the last swap (drift-free).
+    node_totals: Dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def n_swaps(self) -> int:
@@ -82,14 +90,21 @@ class RemapResult:
 class _NodeGroup:
     """Mutable per-node state: member ids and the aggregate value vector."""
 
-    __slots__ = ("name", "members", "total")
+    __slots__ = ("name", "members", "total", "_swaps_since_recompute")
 
     def __init__(self, name: str, members: List[str], traces: TraceSet) -> None:
         self.name = name
         self.members = list(members)
-        self.total = np.zeros(traces.grid.n_samples)
-        for instance_id in members:
-            self.total += traces.row(instance_id)
+        self._swaps_since_recompute = 0
+        self.recompute(traces)
+
+    def recompute(self, traces: TraceSet) -> None:
+        """Rebuild ``total`` exactly from member rows (drift reset)."""
+        total = np.zeros(traces.grid.n_samples)
+        for instance_id in self.members:
+            total += traces.row(instance_id)
+        self.total = total
+        self._swaps_since_recompute = 0
 
     def asynchrony(self, traces: TraceSet) -> float:
         if not self.members:
@@ -111,7 +126,12 @@ class _NodeGroup:
             rest_total -= traces.row(exclude)
             count -= 1
         if count <= 0:
-            return float(len(self.members) + 1)
+            # Empty rest-group: the AD score's defined limit.  An all-zero
+            # rest trace never coincides with the instance's peak, so the
+            # score takes its best value, 2.0 — staying inside the [1, 2]
+            # range instead of an out-of-range sentinel that would make the
+            # swap loop prefer emptying a node over a genuine improvement.
+            return 2.0
         rest = rest_total / count
         combined_peak = float((instance_values + rest).max())
         numerator = float(instance_values.max()) + float(rest.max())
@@ -120,7 +140,11 @@ class _NodeGroup:
     def swap_member(self, outgoing: str, incoming: str, traces: TraceSet) -> None:
         self.members.remove(outgoing)
         self.members.append(incoming)
-        self.total += traces.row(incoming) - traces.row(outgoing)
+        self._swaps_since_recompute += 1
+        if self._swaps_since_recompute >= RECOMPUTE_EVERY:
+            self.recompute(traces)
+        else:
+            self.total += traces.row(incoming) - traces.row(outgoing)
 
 
 class RemappingEngine:
@@ -131,6 +155,12 @@ class RemappingEngine:
 
     def run(self, assignment: Assignment, traces: TraceSet) -> RemapResult:
         """Iteratively swap instances out of the most fragmented node."""
+        with obs.span(
+            "remap", level=self.config.level, max_swaps=self.config.max_swaps
+        ):
+            return self._run(assignment, traces)
+
+    def _run(self, assignment: Assignment, traces: TraceSet) -> RemapResult:
         topology = assignment.topology
         groups = {
             node.name: _NodeGroup(
@@ -145,6 +175,7 @@ class RemappingEngine:
         current = assignment
         swaps: List[Swap] = []
         for _ in range(self.config.max_swaps):
+            obs.count("remap.swaps_attempted")
             swap = self._best_swap(groups, traces)
             if swap is None:
                 break
@@ -152,7 +183,15 @@ class RemappingEngine:
             groups[swap.node_a].swap_member(swap.instance_a, swap.instance_b, traces)
             groups[swap.node_b].swap_member(swap.instance_b, swap.instance_a, traces)
             swaps.append(swap)
-        return RemapResult(assignment=current, swaps=swaps)
+            obs.count("remap.swaps_accepted")
+        # Exact final aggregates: incremental updates drift over long runs.
+        for group in groups.values():
+            group.recompute(traces)
+        return RemapResult(
+            assignment=current,
+            swaps=swaps,
+            node_totals={name: group.total for name, group in groups.items()},
+        )
 
     # ------------------------------------------------------------------
     def _best_swap(
@@ -180,6 +219,7 @@ class RemappingEngine:
                 continue
             candidates = self._candidate_instances(partner, traces)
             for incoming in candidates:
+                obs.count("remap.candidates_evaluated")
                 incoming_values = traces.row(incoming)
                 incoming_score_there = partner.differential(
                     incoming_values, exclude=incoming, traces=traces

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..analysis import experiments
 from ..analysis.report import format_percent, format_table
 from ..core.metrics import node_asynchrony_scores
@@ -227,52 +228,58 @@ def run_chaos_scenario(
     budget_margin: float = 0.05,
 ) -> ChaosScenarioOutcome:
     """Synthesize → inject → repair → place → reshape, under one scenario."""
-    dc = experiments.get_datacenter(
-        dc_name, n_instances=n_instances, step_minutes=step_minutes, weeks=weeks
-    )
-    clean_study = experiments.run_placement_study(dc, budget_margin=budget_margin)
-    test = dc.test_traces()
-
-    # -- inject + repair + place -------------------------------------
-    if scenario.telemetry_faults:
-        dirty = dirty_copy(dc.training_traces(), scenario.fault_plan())
-        dirty_missing = dirty.missing_fraction()
-        outcome = repair_telemetry(
-            dirty, policy=repair_policy, target_grid=dc.training_traces().grid
+    with obs.span("chaos.scenario", scenario=scenario.name):
+        obs.count("chaos.scenarios_run")
+        dc = experiments.get_datacenter(
+            dc_name, n_instances=n_instances, step_minutes=step_minutes, weeks=weeks
         )
-        repaired_records = _records_with_training(dc.records, outcome.traces)
-        operator = SmoothOperator(
-            SmoothOperatorConfig(placement=PlacementConfig(seed=0))
+        clean_study = experiments.run_placement_study(dc, budget_margin=budget_margin)
+        test = dc.test_traces()
+
+        # -- inject + repair + place -------------------------------------
+        if scenario.telemetry_faults:
+            with obs.span("chaos.inject_repair"):
+                dirty = dirty_copy(dc.training_traces(), scenario.fault_plan())
+                dirty_missing = dirty.missing_fraction()
+                outcome = repair_telemetry(
+                    dirty, policy=repair_policy, target_grid=dc.training_traces().grid
+                )
+            repaired_records = _records_with_training(dc.records, outcome.traces)
+            operator = SmoothOperator(
+                SmoothOperatorConfig(placement=PlacementConfig(seed=0))
+            )
+            chaos_assignment = operator.optimize(
+                repaired_records, dc.topology
+            ).assignment
+            repair_report = outcome.report
+        else:
+            dirty_missing = 0.0
+            chaos_assignment = clean_study.optimized.assignment
+            repair_report = RepairReport()
+
+        clean_assignment = clean_study.optimized.assignment
+        quality_clean = _placement_quality(clean_assignment, test)
+        quality_chaos = (
+            quality_clean
+            if chaos_assignment is clean_assignment
+            else _placement_quality(chaos_assignment, test)
         )
-        chaos_assignment = operator.optimize(
-            repaired_records, dc.topology
-        ).assignment
-        repair_report = outcome.report
-    else:
-        dirty_missing = 0.0
-        chaos_assignment = clean_study.optimized.assignment
-        repair_report = RepairReport()
 
-    clean_assignment = clean_study.optimized.assignment
-    quality_clean = _placement_quality(clean_assignment, test)
-    quality_chaos = (
-        quality_clean
-        if chaos_assignment is clean_assignment
-        else _placement_quality(chaos_assignment, test)
-    )
+        # Audit the deployed (repaired-input) placement against the budgets
+        # the clean plan would have provisioned: trips measure how badly the
+        # dirty telemetry mis-sized the infrastructure.
+        with obs.span("chaos.audit"):
+            provision_hierarchical(
+                NodePowerView(dc.topology, clean_assignment, test),
+                margin=budget_margin,
+            )
+            view = NodePowerView(dc.topology, chaos_assignment, test)
+            trips = audit_view(view, BreakerModel())
+            safe = power_safe(view, BreakerModel())
 
-    # Audit the deployed (repaired-input) placement against the budgets the
-    # clean plan would have provisioned: trips measure how badly the dirty
-    # telemetry mis-sized the infrastructure.
-    provision_hierarchical(
-        NodePowerView(dc.topology, clean_assignment, test), margin=budget_margin
-    )
-    view = NodePowerView(dc.topology, chaos_assignment, test)
-    trips = audit_view(view, BreakerModel())
-    safe = power_safe(view, BreakerModel())
-
-    # -- reshape under runtime faults --------------------------------
-    reshaping = _run_reshaping_chaos(dc, clean_study, scenario)
+        # -- reshape under runtime faults --------------------------------
+        with obs.span("chaos.reshape"):
+            reshaping = _run_reshaping_chaos(dc, clean_study, scenario)
 
     return ChaosScenarioOutcome(
         scenario=scenario,

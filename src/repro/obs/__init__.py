@@ -1,0 +1,53 @@
+"""Observability: span tracing, metrics, and benchmark emission.
+
+The substrate every perf-sensitive subsystem reports into:
+
+* :mod:`repro.obs.spans` — a zero-dependency span tracer.  Instrumented
+  code opens regions with ``obs.span("cluster")``; when a tracer is
+  installed via :func:`tracing`, every end-to-end run yields a structured
+  stage-by-stage profile (wall/CPU time per span, nested).
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges, and histograms.  :func:`count` is always on and additionally
+  attributes increments to the open span while profiling.
+* :mod:`repro.obs.bench` — writes machine-readable ``BENCH_<name>.json``
+  documents (stage timings, workload sizes, peak-reduction numbers) that
+  CI uploads so the perf trajectory accrues per PR.
+"""
+
+from .bench import bench_path, stage_timings, update_bench
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    count,
+    counter_value,
+    global_registry,
+    observe,
+    reset_metrics,
+    set_gauge,
+    snapshot_metrics,
+)
+from .spans import Span, Tracer, current_span, get_tracer, span, tracing
+
+__all__ = [
+    # spans
+    "Span",
+    "Tracer",
+    "span",
+    "tracing",
+    "current_span",
+    "get_tracer",
+    # metrics
+    "Histogram",
+    "MetricsRegistry",
+    "count",
+    "counter_value",
+    "global_registry",
+    "observe",
+    "set_gauge",
+    "snapshot_metrics",
+    "reset_metrics",
+    # bench
+    "bench_path",
+    "stage_timings",
+    "update_bench",
+]

@@ -1,0 +1,94 @@
+"""Machine-readable benchmark emission: ``BENCH_<name>.json`` files.
+
+Benchmarks call :func:`update_bench` to merge one named section into a
+repo-root ``BENCH_<name>.json`` document, so CI can upload the files as
+artifacts and the perf trajectory accrues per PR.  :func:`stage_timings`
+flattens a traced run into the per-stage rows those documents carry.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional, Union
+
+from .spans import Span, Tracer
+
+__all__ = ["bench_path", "stage_timings", "update_bench"]
+
+#: Repo root: src/repro/obs/bench.py -> three levels up from src/.
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+
+def bench_path(
+    name: str, root: Optional[Union[str, pathlib.Path]] = None
+) -> pathlib.Path:
+    """Path of the ``BENCH_<name>.json`` document under ``root``."""
+    base = pathlib.Path(root) if root is not None else REPO_ROOT
+    return base / f"BENCH_{name}.json"
+
+
+def stage_timings(tracer: Tracer) -> List[Dict[str, object]]:
+    """Per-stage rows from a traced run, one per distinct span name.
+
+    Same-named spans anywhere in the forest merge: wall/CPU times and
+    counters sum, ``calls`` counts the regions merged.  Rows come out in
+    first-seen (execution) order.
+    """
+    order: List[str] = []
+    merged: Dict[str, Span] = {}
+    for span in tracer.walk():
+        row = merged.get(span.name)
+        if row is None:
+            row = merged[span.name] = Span(span.name)
+            row.calls = 0
+            order.append(span.name)
+        row.wall_s += span.wall_s
+        row.cpu_s += span.cpu_s
+        row.calls += span.calls
+        for key, value in span.counters.items():
+            row.counters[key] = row.counters.get(key, 0.0) + value
+    rows: List[Dict[str, object]] = []
+    for name in order:
+        span = merged[name]
+        row: Dict[str, object] = {
+            "stage": name,
+            "wall_s": span.wall_s,
+            "cpu_s": span.cpu_s,
+            "calls": span.calls,
+        }
+        if span.counters:
+            row["counters"] = dict(span.counters)
+        rows.append(row)
+    return rows
+
+
+def update_bench(
+    name: str,
+    section: str,
+    payload: object,
+    *,
+    root: Optional[Union[str, pathlib.Path]] = None,
+) -> pathlib.Path:
+    """Merge ``payload`` as ``section`` into ``BENCH_<name>.json``.
+
+    The document keeps every other section intact, so several benchmarks
+    (e.g. ``bench_profile`` stages and ``bench_scale`` scaling curves) can
+    contribute to one file.  Returns the path written.
+    """
+    path = bench_path(name, root)
+    document: Dict[str, object] = {"benchmark": name, "sections": {}}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except (ValueError, OSError):
+            loaded = None
+        if isinstance(loaded, dict) and isinstance(loaded.get("sections"), dict):
+            document = loaded
+    sections = document.setdefault("sections", {})
+    sections[section] = payload  # type: ignore[index]
+    document["benchmark"] = name
+    document["updated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,192 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+Counters are always on (a dict increment costs nanoseconds next to the
+numpy work they sit beside), so every run accumulates hot-path statistics —
+swaps attempted, candidates evaluated, chunks scored — whether or not a
+span tracer is installed.  :func:`count` additionally attributes the
+increment to the innermost open span when one exists, which is how the
+span-tree report shows per-stage counter breakdowns.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from . import spans as _spans
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "count",
+    "counter_value",
+    "global_registry",
+    "observe",
+    "reset_metrics",
+    "set_gauge",
+    "snapshot_metrics",
+]
+
+
+class Histogram:
+    """Streaming value distribution: exact moments, reservoir percentiles.
+
+    Keeps exact ``count``/``total``/``min``/``max`` plus a bounded
+    reservoir (deterministically seeded) from which percentiles are
+    estimated, so memory stays O(1) however many values are observed.
+    """
+
+    RESERVOIR_SIZE = 2048
+
+    __slots__ = ("count", "total", "min", "max", "_reservoir", "_rng")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir: List[float] = []
+        self._rng = random.Random(0)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) estimated from the reservoir."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = (len(ordered) - 1) * q / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one process (or test)."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> float:
+        """Increment (and return) the named counter."""
+        total = self.counters.get(name, 0.0) + value
+        self.counters[name] = total
+        return total
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self.gauges.get(name, default)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one value into the named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        return histogram
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# the process-global registry and convenience accessors
+# ----------------------------------------------------------------------
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry all instrumentation writes to."""
+    return _GLOBAL
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Increment a global counter, attributing it to the open span too."""
+    _GLOBAL.inc(name, value)
+    tracer = _spans.get_tracer()
+    if tracer is not None:
+        tracer.add(name, value)
+
+
+def counter_value(name: str, default: float = 0.0) -> float:
+    return _GLOBAL.counter(name, default)
+
+
+def set_gauge(name: str, value: float) -> None:
+    _GLOBAL.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    _GLOBAL.observe(name, value)
+
+
+def snapshot_metrics() -> Dict[str, object]:
+    return _GLOBAL.snapshot()
+
+
+def reset_metrics(registry: Optional[MetricsRegistry] = None) -> None:
+    """Clear the given registry (default: the process-global one)."""
+    (registry if registry is not None else _GLOBAL).reset()

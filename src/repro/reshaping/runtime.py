@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .. import obs
 from ..sim.batch import batch_throughput
 from ..sim.demand import DemandTrace
 from ..sim.loadbalancer import dispatch
@@ -302,6 +303,28 @@ class ReshapingRuntime:
         batch_freq: np.ndarray,
         parked: Optional[np.ndarray] = None,
     ) -> ScenarioResult:
+        with obs.span("reshape.assemble", scenario=name):
+            return self._assemble_traced(
+                name,
+                demand,
+                n_lc_active=n_lc_active,
+                n_batch_active=n_batch_active,
+                batch_freq=batch_freq,
+                parked=parked,
+            )
+
+    def _assemble_traced(
+        self,
+        name: str,
+        demand: DemandTrace,
+        *,
+        n_lc_active: np.ndarray,
+        n_batch_active: np.ndarray,
+        batch_freq: np.ndarray,
+        parked: Optional[np.ndarray] = None,
+    ) -> ScenarioResult:
+        obs.count("reshape.scenarios_assembled")
+        obs.count("reshape.steps_simulated", demand.grid.n_samples)
         outcome = dispatch(
             demand.values, n_lc_active, self.conversion.conversion_threshold
         )

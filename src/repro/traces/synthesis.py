@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from .grid import TimeGrid
 from .instance import InstanceRecord, ServiceInstance
 from .profiles import ServiceProfile
@@ -140,18 +141,22 @@ class TraceSynthesizer:
         if count <= 0:
             raise ValueError("count must be positive")
         prefix = id_prefix if id_prefix is not None else profile.name
-        records: List[InstanceRecord] = []
-        for index in range(count):
-            instance = ServiceInstance(
-                instance_id=f"{prefix}-{index:05d}",
-                service=profile.name,
-                kind=profile.kind,
-            )
-            raw = self.instance_trace(profile)
-            records.append(
-                InstanceRecord.from_weeks(instance, raw.split_weeks(), test_weeks=test_weeks)
-            )
-        return records
+        with obs.span("synthesize.service", service=profile.name, count=count):
+            obs.count("synthesize.instances", count)
+            records: List[InstanceRecord] = []
+            for index in range(count):
+                instance = ServiceInstance(
+                    instance_id=f"{prefix}-{index:05d}",
+                    service=profile.name,
+                    kind=profile.kind,
+                )
+                raw = self.instance_trace(profile)
+                records.append(
+                    InstanceRecord.from_weeks(
+                        instance, raw.split_weeks(), test_weeks=test_weeks
+                    )
+                )
+            return records
 
     def fleet(
         self,
@@ -160,12 +165,13 @@ class TraceSynthesizer:
         test_weeks: int = 1,
     ) -> List[InstanceRecord]:
         """Instance records for a whole fleet given (profile, count) pairs."""
-        records: List[InstanceRecord] = []
-        for profile, count in composition:
-            records.extend(
-                self.service_instances(profile, count, test_weeks=test_weeks)
-            )
-        return records
+        with obs.span("synthesize", services=len(composition)):
+            records: List[InstanceRecord] = []
+            for profile, count in composition:
+                records.extend(
+                    self.service_instances(profile, count, test_weeks=test_weeks)
+                )
+            return records
 
 
 def _ar1_noise(

@@ -103,6 +103,37 @@ class TestScoreVectors:
         with pytest.raises(ValueError):
             score_matrix(basis, basis, chunk_size=0)
 
+    def test_max_bytes_bounds_chunking_without_changing_results(self, grid, rng):
+        """Regression: the block size is derived from the memory bound, and
+        chunking is a pure locality knob — results are bit-for-bit stable."""
+        basis = TraceSet.from_traces(
+            {f"s{k}": PowerTrace(grid, rng.random(24)) for k in range(4)}
+        )
+        instances = TraceSet.from_traces(
+            {f"i{k}": PowerTrace(grid, rng.random(24)) for k in range(12)}
+        )
+        unbounded = score_matrix(instances, basis, max_bytes=None)
+        # One block row is 4 basis × 24 samples × 8 bytes = 768 B, so this
+        # bound forces chunk_size down to a single row.
+        tight = score_matrix(instances, basis, max_bytes=768)
+        generous = score_matrix(instances, basis, max_bytes=1 << 30)
+        assert np.array_equal(unbounded, tight)
+        assert np.array_equal(unbounded, generous)
+
+    def test_max_bytes_smaller_than_a_row_still_progresses(self, grid):
+        basis = TraceSet.from_traces({"s1": up(grid), "s2": down(grid)})
+        instances = TraceSet.from_traces({"i1": up(grid), "i2": down(grid)})
+        # Bound below one row's footprint: clamps to chunk_size=1, not 0.
+        result = score_matrix(instances, basis, max_bytes=1)
+        assert np.allclose(result, score_matrix(instances, basis, max_bytes=None))
+
+    def test_bad_max_bytes(self, grid):
+        basis = TraceSet.from_traces({"s1": up(grid)})
+        with pytest.raises(ValueError):
+            score_matrix(basis, basis, max_bytes=0)
+        with pytest.raises(ValueError):
+            score_matrix(basis, basis, max_bytes=-64)
+
     def test_grid_mismatch_rejected(self, grid):
         basis = TraceSet.from_traces({"s1": up(grid)})
         other = PowerTrace.constant(TimeGrid(0, 30, 48), 1)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core import (
     fragmentation_report,
     node_asynchrony_scores,
@@ -98,3 +99,37 @@ class TestRequiredBudget:
         view = NodePowerView(topo, poor, traces)
         with pytest.raises(ValueError):
             required_budget(view, Level.RPP, under_provision=100)
+
+
+class TestViewReuse:
+    """Regression for the duplicated O(n·T) per-node aggregation."""
+
+    def test_view_and_viewless_scores_agree(self, scene):
+        topo, traces, poor, good = scene
+        for assignment in (poor, good):
+            view = NodePowerView(topo, assignment, traces)
+            without = node_asynchrony_scores(assignment, traces, Level.RPP)
+            with_view = node_asynchrony_scores(
+                assignment, traces, Level.RPP, view=view
+            )
+            assert without == pytest.approx(with_view)
+
+    def test_report_reuses_view_aggregates(self, scene):
+        """fragmentation_report must never re-sum member rows per node: the
+        span counters prove every aggregate came from the shared view."""
+        _, traces, poor, _ = scene
+        obs.reset_metrics()
+        fragmentation_report(poor, traces)
+        counters = obs.snapshot_metrics()["counters"]
+        assert counters.get("metrics.node_aggregate_recomputed", 0.0) == 0.0
+        assert counters.get("metrics.node_aggregate_reused", 0.0) > 0.0
+        obs.reset_metrics()
+
+    def test_viewless_path_counts_recomputes(self, scene):
+        _, traces, poor, _ = scene
+        obs.reset_metrics()
+        node_asynchrony_scores(poor, traces, Level.RPP)
+        counters = obs.snapshot_metrics()["counters"]
+        assert counters.get("metrics.node_aggregate_recomputed", 0.0) == 2.0
+        assert counters.get("metrics.node_aggregate_reused", 0.0) == 0.0
+        obs.reset_metrics()

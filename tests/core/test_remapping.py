@@ -9,6 +9,7 @@ from repro.core import (
     RemappingEngine,
     node_asynchrony_scores,
 )
+from repro.core.remapping import RECOMPUTE_EVERY, _NodeGroup
 from repro.infra import Assignment, Level, NodePowerView, build_topology, two_level_spec
 from repro.traces import TimeGrid, TraceSet, training_trace_set
 
@@ -104,3 +105,144 @@ class TestOnRealFleet:
             Level.RPP
         )
         assert after <= before
+
+
+def _phased_fleet(n_instances, leaves, seed=7):
+    """A fleet of phase-shifted diurnal traces round-robined over leaves."""
+    rng = np.random.default_rng(seed)
+    grid = TimeGrid(0, 60, 24)
+    t = np.arange(24)
+    ids = [f"i{k:03d}" for k in range(n_instances)]
+    phases = rng.uniform(0, 2 * np.pi, n_instances)
+    matrix = 5.0 + 4.0 * np.sin(2 * np.pi * t / 24 + phases[:, None])
+    matrix += rng.uniform(0, 0.5, matrix.shape)
+    traces = TraceSet(grid, ids, matrix)
+    topo = build_topology(
+        two_level_spec("dc", leaves=leaves, leaf_capacity=n_instances // leaves)
+    )
+    mapping = {ids[k]: f"dc/rpp{k % leaves}" for k in range(n_instances)}
+    return topo, Assignment(topo, mapping), traces
+
+
+class TestNodeGroupInternals:
+    def test_empty_rest_differential_is_two(self):
+        """A one-member group with that member excluded scores the AD limit,
+        2.0 — inside the [1, 2] range, not an out-of-range sentinel."""
+        grid = TimeGrid(0, 60, 24)
+        traces = TraceSet(grid, ["solo", "other"], np.ones((2, 24)))
+        group = _NodeGroup("n", ["solo"], traces)
+        score = group.differential(traces.row("other"), exclude="solo", traces=traces)
+        assert score == 2.0
+
+    def test_empty_group_differential_is_two(self):
+        grid = TimeGrid(0, 60, 24)
+        traces = TraceSet(grid, ["a"], np.ones((1, 24)))
+        group = _NodeGroup("n", [], traces)
+        assert group.differential(traces.row("a"), exclude=None, traces=traces) == 2.0
+
+    def test_differential_stays_in_range(self):
+        """The empty-rest value must not beat a genuinely good partner: AD is
+        bounded by 2, so 2.0 ties the optimum instead of dominating it."""
+        grid = TimeGrid(0, 60, 24)
+        up = np.linspace(0, 10, 24)
+        down = np.linspace(10, 0, 24)
+        traces = TraceSet(grid, ["u", "d"], np.vstack([up, down]))
+        group = _NodeGroup("n", ["u"], traces)
+        anti_phase = group.differential(traces.row("d"), exclude=None, traces=traces)
+        empty = group.differential(traces.row("d"), exclude="u", traces=traces)
+        assert 1.0 <= anti_phase <= 2.0
+        assert empty <= 2.0 + 1e-12
+
+    def test_periodic_exact_recompute(self):
+        """Every RECOMPUTE_EVERY swaps the aggregate is rebuilt from rows."""
+        rng = np.random.default_rng(0)
+        grid = TimeGrid(0, 60, 24)
+        ids = [f"x{k}" for k in range(4)]
+        traces = TraceSet(grid, ids, rng.random((4, 24)))
+        group = _NodeGroup("n", ["x0", "x1"], traces)
+        for k in range(RECOMPUTE_EVERY):
+            outgoing = group.members[0]
+            incoming = next(i for i in ids if i not in group.members)
+            group.swap_member(outgoing, incoming, traces)
+        assert group._swaps_since_recompute == 0
+        exact = sum(traces.row(i) for i in group.members)
+        np.testing.assert_allclose(group.total, exact, rtol=0, atol=1e-12)
+
+    def test_swap_member_tracks_membership(self):
+        grid = TimeGrid(0, 60, 24)
+        traces = TraceSet(grid, ["a", "b", "c"], np.ones((3, 24)))
+        group = _NodeGroup("n", ["a", "b"], traces)
+        group.swap_member("a", "c", traces)
+        assert sorted(group.members) == ["b", "c"]
+
+
+class TestOneMemberNodeSwapPath:
+    def test_one_member_worst_node_halts(self):
+        """A fragmented one-member node cannot swap (needs >= 2 members) and
+        must terminate the loop cleanly rather than emptying itself."""
+        grid = TimeGrid(0, 60, 24)
+        topo = build_topology(two_level_spec("dc", leaves=2, leaf_capacity=4))
+        traces = TraceSet(grid, ["a", "b", "c"], np.ones((3, 24)))
+        assignment = Assignment(
+            topo, {"a": "dc/rpp0", "b": "dc/rpp1", "c": "dc/rpp1"}
+        )
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=10))
+        result = engine.run(assignment, traces)
+        assert result.n_swaps == 0
+        assert result.assignment.as_mapping() == assignment.as_mapping()
+
+    def test_one_member_partner_is_skipped(self):
+        """Partner nodes with a single member are never drained: the swap must
+        come from a node that keeps >= 1 member afterwards."""
+        grid = TimeGrid(0, 60, 24)
+        up = np.linspace(0, 10, 24)
+        down = np.linspace(10, 0, 24)
+        topo = build_topology(two_level_spec("dc", leaves=3, leaf_capacity=4))
+        traces = TraceSet(
+            grid, ["u1", "u2", "d1", "d2", "solo"], np.vstack([up, up, down, down, up])
+        )
+        assignment = Assignment(
+            topo,
+            {
+                "u1": "dc/rpp0",
+                "u2": "dc/rpp0",
+                "d1": "dc/rpp1",
+                "d2": "dc/rpp1",
+                "solo": "dc/rpp2",
+            },
+        )
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=10))
+        result = engine.run(assignment, traces)
+        for swap in result.swaps:
+            assert "dc/rpp2" not in (swap.node_a, swap.node_b)
+        # The lone instance never moves.
+        assert result.assignment.as_mapping()["solo"] == "dc/rpp2"
+
+
+class TestAggregateDrift:
+    def test_final_totals_match_fresh_recompute(self):
+        """Regression for incremental float drift: after max_swaps=50 on a
+        500-instance fleet, the engine's final node aggregates must match a
+        from-scratch recompute to ~1e-9."""
+        topo, assignment, traces = _phased_fleet(500, leaves=5)
+        engine = RemappingEngine(
+            RemapConfig(level=Level.RPP, max_swaps=50, candidate_nodes=4)
+        )
+        result = engine.run(assignment, traces)
+        assert result.n_swaps > 0  # the fleet is fragmented enough to swap
+        assert set(result.node_totals) == {f"dc/rpp{k}" for k in range(5)}
+        for name, total in result.node_totals.items():
+            members = result.assignment.instances_under(name)
+            fresh = np.zeros(traces.grid.n_samples)
+            for instance_id in members:
+                fresh += traces.row(instance_id)
+            np.testing.assert_allclose(total, fresh, rtol=0, atol=1e-9)
+
+    def test_totals_returned_even_without_swaps(self):
+        topo, _, traces = _phased_fleet(20, leaves=2)
+        optimal_like = Assignment(
+            topo, {i: f"dc/rpp{k % 2}" for k, i in enumerate(traces.ids)}
+        )
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=0))
+        result = engine.run(optimal_like, traces)
+        assert result.n_swaps == 0

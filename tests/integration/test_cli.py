@@ -1,5 +1,7 @@
 """Integration tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -44,3 +46,20 @@ class TestCLI:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_profile_small(self, capsys):
+        assert main(["profile", "--instances", "96"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("synthesize", "score", "cluster", "place", "remap"):
+            assert stage in out
+        assert "peak reduction" in out
+
+    def test_profile_json(self, capsys):
+        assert main(["profile", "--instances", "96", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stages = {row["stage"] for row in payload["stages"]}
+        for stage in ("synthesize", "score", "cluster", "place", "remap"):
+            assert stage in stages
+        assert payload["workload"]["instances"] == 96
+        assert payload["spans"][0]["name"] == "profile"
+        assert "counters" in payload["metrics"]

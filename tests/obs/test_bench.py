@@ -1,0 +1,67 @@
+"""Unit tests for the BENCH_*.json benchmark emitter."""
+
+import json
+
+from repro import obs
+from repro.obs import bench_path, stage_timings, update_bench
+from repro.obs.bench import REPO_ROOT
+
+
+class TestBenchPath:
+    def test_default_root_is_repo_root(self):
+        assert bench_path("pipeline") == REPO_ROOT / "BENCH_pipeline.json"
+        assert (REPO_ROOT / "ROADMAP.md").exists()  # sanity: right directory
+
+    def test_custom_root(self, tmp_path):
+        assert bench_path("x", tmp_path) == tmp_path / "BENCH_x.json"
+
+
+class TestUpdateBench:
+    def test_creates_document(self, tmp_path):
+        path = update_bench("pipeline", "stages", [{"stage": "place"}], root=tmp_path)
+        document = json.loads(path.read_text())
+        assert document["benchmark"] == "pipeline"
+        assert document["sections"]["stages"] == [{"stage": "place"}]
+        assert "updated_at" in document
+
+    def test_merges_sections(self, tmp_path):
+        update_bench("pipeline", "stages", {"a": 1}, root=tmp_path)
+        path = update_bench("pipeline", "scale", {"b": 2}, root=tmp_path)
+        document = json.loads(path.read_text())
+        assert document["sections"] == {"stages": {"a": 1}, "scale": {"b": 2}}
+
+    def test_section_overwrite(self, tmp_path):
+        update_bench("remap", "remap", {"swaps": 1}, root=tmp_path)
+        path = update_bench("remap", "remap", {"swaps": 5}, root=tmp_path)
+        assert json.loads(path.read_text())["sections"]["remap"] == {"swaps": 5}
+
+    def test_recovers_from_corrupt_file(self, tmp_path):
+        target = bench_path("pipeline", tmp_path)
+        target.write_text("{not json")
+        path = update_bench("pipeline", "stages", {"ok": True}, root=tmp_path)
+        assert json.loads(path.read_text())["sections"]["stages"] == {"ok": True}
+
+
+class TestStageTimings:
+    def test_merges_same_named_spans(self):
+        with obs.tracing() as tracer:
+            with obs.span("place"):
+                for _ in range(3):
+                    with obs.span("score") as span:
+                        span.add("pairs", 10)
+        rows = stage_timings(tracer)
+        by_name = {row["stage"]: row for row in rows}
+        assert set(by_name) == {"place", "score"}
+        assert by_name["score"]["calls"] == 3
+        assert by_name["score"]["counters"] == {"pairs": 30.0}
+        assert by_name["place"]["wall_s"] >= by_name["score"]["wall_s"]
+
+    def test_rows_in_execution_order(self):
+        with obs.tracing() as tracer:
+            with obs.span("synthesize"):
+                pass
+            with obs.span("place"):
+                with obs.span("cluster"):
+                    pass
+        names = [row["stage"] for row in stage_timings(tracer)]
+        assert names == ["synthesize", "place", "cluster"]

@@ -1,0 +1,116 @@
+"""Unit tests for the process-global metrics registry."""
+
+import pytest
+
+from repro import obs
+from repro.obs import Histogram, MetricsRegistry, tracing
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.reset_metrics()
+    yield
+    obs.reset_metrics()
+
+
+class TestRegistry:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        assert registry.inc("a") == 1.0
+        assert registry.inc("a", 2.5) == 3.5
+        assert registry.counter("a") == 3.5
+        assert registry.counter("missing", -1.0) == -1.0
+
+    def test_gauges(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 4)
+        assert registry.gauge("depth") == 4.0
+        registry.set_gauge("depth", 2)
+        assert registry.gauge("depth") == 2.0
+        assert registry.gauge("missing") == 0.0
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.set_gauge("g", 1)
+        registry.observe("h", 10.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2.0}
+        assert snapshot["gauges"] == {"g": 1.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestHistogram:
+    def test_summary_moments(self):
+        histogram = Histogram()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["total"] == 10.0
+        assert summary["mean"] == 2.5
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == pytest.approx(2.5)
+
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0}
+        assert Histogram().percentile(50) == 0.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_reservoir_stays_bounded(self):
+        histogram = Histogram()
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert histogram.count == 10_000
+        assert len(histogram._reservoir) == Histogram.RESERVOIR_SIZE
+        # Exact moments survive the sampling.
+        assert histogram.min == 0.0
+        assert histogram.max == 9999.0
+        # Percentiles stay in the observed range and roughly ordered.
+        p50 = histogram.percentile(50)
+        p95 = histogram.percentile(95)
+        assert 0.0 <= p50 <= p95 <= 9999.0
+
+
+class TestGlobalHelpers:
+    def test_count_always_hits_registry(self):
+        obs.count("swaps", 2)
+        obs.count("swaps")
+        assert obs.counter_value("swaps") == 3.0
+
+    def test_count_attributes_to_open_span(self):
+        with tracing() as tracer:
+            with obs.span("stage"):
+                obs.count("hits", 4)
+        assert obs.counter_value("hits") == 4.0
+        assert tracer.find("stage").counters == {"hits": 4.0}
+
+    def test_count_without_span_only_registry(self):
+        with tracing() as tracer:
+            obs.count("orphan")
+        assert obs.counter_value("orphan") == 1.0
+        assert tracer.roots == []
+
+    def test_observe_and_gauge_helpers(self):
+        obs.set_gauge("fleet", 480)
+        obs.observe("latency", 1.5)
+        obs.observe("latency", 2.5)
+        snapshot = obs.snapshot_metrics()
+        assert snapshot["gauges"]["fleet"] == 480.0
+        assert snapshot["histograms"]["latency"]["mean"] == 2.0
+
+    def test_reset_specific_registry(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        obs.reset_metrics(registry)
+        assert registry.counter("x") == 0.0

@@ -1,0 +1,95 @@
+"""Property-based tests: tracing never perturbs remapping semantics."""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import obs
+from repro.core import RemapConfig, RemappingEngine
+from repro.infra import Assignment, Level, build_topology, two_level_spec
+from repro.traces import TimeGrid, TraceSet
+
+GRID = TimeGrid(0, 60, 24)
+
+
+@st.composite
+def remap_scenes(draw):
+    """A random fleet on a random 2-4 leaf topology, contiguously placed."""
+    leaves = draw(st.integers(2, 4))
+    per_leaf = draw(st.integers(2, 4))
+    n = leaves * per_leaf
+    matrix = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n, 24),
+            elements=st.floats(0.1, 100, allow_nan=False, allow_infinity=False),
+        )
+    )
+    topo = build_topology(two_level_spec("r", leaves=leaves, leaf_capacity=per_leaf))
+    ids = [f"i{k}" for k in range(n)]
+    traces = TraceSet(GRID, ids, matrix)
+    leaf_names = topo.leaf_names()
+    mapping = {ids[k]: leaf_names[k // per_leaf] for k in range(n)}
+    return topo, Assignment(topo, mapping), traces
+
+
+class TestTracedRemapInvariants:
+    @given(scene=remap_scenes(), max_swaps=st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_traced_run_conserves_fleet(self, scene, max_swaps):
+        """Under an active tracer the engine still conserves the multiset of
+        placed instances and every node's member count."""
+        topo, assignment, traces = scene
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=max_swaps))
+        with obs.tracing() as tracer:
+            result = engine.run(assignment, traces)
+        assert Counter(result.assignment.instance_ids()) == Counter(
+            assignment.instance_ids()
+        )
+        assert result.assignment.occupancy() == assignment.occupancy()
+        # The run is recorded exactly once.
+        span = tracer.find("remap")
+        assert span is not None
+        assert span.calls == 1
+
+    @given(scene=remap_scenes(), max_swaps=st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_traced_and_untraced_runs_agree(self, scene, max_swaps):
+        """Tracing is observation only: identical swaps either way."""
+        topo, assignment, traces = scene
+        config = RemapConfig(level=Level.RPP, max_swaps=max_swaps)
+        plain = RemappingEngine(config).run(assignment, traces)
+        with obs.tracing():
+            traced = RemappingEngine(config).run(assignment, traces)
+        assert traced.assignment.as_mapping() == plain.assignment.as_mapping()
+        assert traced.swaps == plain.swaps
+
+    @given(scene=remap_scenes())
+    @settings(max_examples=25, deadline=None)
+    def test_swap_counters_are_consistent(self, scene):
+        """accepted <= attempted, and accepted equals the reported swaps."""
+        topo, assignment, traces = scene
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=8))
+        with obs.tracing() as tracer:
+            result = engine.run(assignment, traces)
+        counters = tracer.find("remap").counters
+        attempted = counters.get("remap.swaps_attempted", 0.0)
+        accepted = counters.get("remap.swaps_accepted", 0.0)
+        assert accepted <= attempted
+        assert accepted == result.n_swaps
+
+    @given(scene=remap_scenes())
+    @settings(max_examples=15, deadline=None)
+    def test_node_totals_consistent_under_tracing(self, scene):
+        topo, assignment, traces = scene
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=8))
+        with obs.tracing():
+            result = engine.run(assignment, traces)
+        for name, total in result.node_totals.items():
+            fresh = np.zeros(GRID.n_samples)
+            for instance_id in result.assignment.instances_under(name):
+                fresh += traces.row(instance_id)
+            np.testing.assert_allclose(total, fresh, rtol=0, atol=1e-9)
