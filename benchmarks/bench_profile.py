@@ -115,3 +115,42 @@ def test_tracing_overhead(benchmark, emit_report):
     # 5% relative plus a small absolute floor so timer jitter on very fast
     # runs cannot fail the guard.
     assert traced <= untraced * 1.05 + 0.05
+
+
+@pytest.mark.benchmark(group="profile")
+def test_telemetry_overhead(benchmark, emit_report):
+    """The full observability stack (tracing + events + flight recorder)
+    must cost ≤ 10% over a plain pipeline run — the tentpole's overhead
+    budget."""
+    from repro.obs import events, telemetry
+
+    dc = build_datacenter(
+        dc3_spec(n_instances=N_INSTANCES), weeks=WEEKS, step_minutes=STEP_MINUTES
+    )
+
+    def _optimize():
+        operator = SmoothOperator(
+            SmoothOperatorConfig(
+                placement=PlacementConfig(seed=0),
+                remap=RemapConfig(level=Level.RPP, max_swaps=30),
+            )
+        )
+        started = time.perf_counter()
+        operator.optimize(dc.records, dc.topology)
+        return time.perf_counter() - started
+
+    def _measure():
+        plain = min(_optimize() for _ in range(3))
+        with obs.tracing(), events.recording(), telemetry.recording():
+            instrumented = min(_optimize() for _ in range(3))
+        return plain, instrumented
+
+    plain, instrumented = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    overhead = instrumented / plain - 1.0
+    emit_report(
+        "telemetry_overhead",
+        f"optimize plain {plain:.3f}s, instrumented {instrumented:.3f}s "
+        f"({overhead:+.2%} overhead)",
+    )
+    # 10% relative plus an absolute floor against timer jitter.
+    assert instrumented <= plain * 1.10 + 0.05

@@ -18,6 +18,7 @@ from typing import List, Optional
 from ..core.metrics import node_asynchrony_scores
 from ..infra.aggregation import NodePowerView
 from ..infra.assignment import Assignment
+from ..obs import events as obs_events
 from ..traces.traceset import TraceSet
 
 
@@ -98,6 +99,22 @@ class FragmentationMonitor:
             raise RuntimeError("monitor must be calibrated before observing")
         snapshot = self._measure(label, traces, check=True)
         self.history.append(snapshot)
+        # Mirror the findings into the structured event log (no-op unless
+        # recording), so monitoring drift shows up alongside violations and
+        # swaps instead of living only in returned Snapshot objects.
+        for advisory in snapshot.advisories:
+            obs_events.emit(
+                obs_events.ADVISORY,
+                severity="advisory",
+                source="analysis.monitoring",
+                label=label,
+                drift=advisory.kind,
+                level=advisory.level,
+                node=advisory.node_name,
+                observed=advisory.observed,
+                reference=advisory.reference,
+                drift_severity=advisory.severity,
+            )
         return snapshot
 
     def needs_remapping(self) -> bool:

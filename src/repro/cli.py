@@ -8,6 +8,7 @@ Usage::
     smoothoperator table1
     smoothoperator chaos [--instances N]
     smoothoperator profile [--instances N] [--json]
+    smoothoperator monitor [--scenario NAME] [--events PATH] [--instances N]
 """
 
 from __future__ import annotations
@@ -244,8 +245,86 @@ def _cmd_profile(args: argparse.Namespace) -> None:
     print(f"peak reduction   : {reductions}")
 
 
+def _cmd_monitor(args: argparse.Namespace) -> None:
+    """Replay one chaos scenario under full telemetry and dump its record.
+
+    Runs the scenario with the tracer, the structured event log, and the
+    flight recorder all installed, renders a per-level utilization /
+    violation table plus event counts, and writes the JSONL event log.
+    """
+    from . import obs
+    from .faults.harness import run_chaos_scenario, scenario_by_name
+    from .obs import events as obs_events
+    from .obs import telemetry as obs_telemetry
+
+    scenario = scenario_by_name(args.scenario)
+    with obs.tracing(), obs_events.recording() as log, obs_telemetry.recording() as recorder:
+        outcome = run_chaos_scenario(scenario, n_instances=args.instances)
+
+    dc = experiments.get_datacenter("DC1", n_instances=args.instances)
+    level_of = {node.name: node.level for node in dc.topology.nodes()}
+    # Root-to-leaf level order, with non-topology paths (e.g. the
+    # "reshape/<name>" scenario aggregates) grouped last.
+    level_order = dc.topology.levels() + ["scenario"]
+
+    def _blank() -> dict:
+        return {"nodes": 0, "max_util": 0.0, "violations": 0, "advisories": 0}
+
+    per_level: dict = {}
+    for path, series in recorder.summary().items():
+        level = level_of.get(path, "scenario")
+        agg = per_level.setdefault(level, _blank())
+        agg["nodes"] += 1
+        util = series.get("utilization", {})
+        if util.get("count"):
+            agg["max_util"] = max(agg["max_util"], util["max"])
+    for event in log:
+        if event.kind not in (obs_events.VIOLATION, obs_events.ADVISORY):
+            continue
+        level = level_of.get(event.fields.get("node"), "scenario")
+        agg = per_level.setdefault(level, _blank())
+        if event.kind == obs_events.VIOLATION:
+            agg["violations"] += 1
+        else:
+            agg["advisories"] += 1
+
+    ordered = [lvl for lvl in level_order if lvl in per_level] + sorted(
+        set(per_level) - set(level_order)
+    )
+    rows = [
+        [
+            level,
+            per_level[level]["nodes"],
+            f"{per_level[level]['max_util']:.3f}",
+            per_level[level]["violations"],
+            per_level[level]["advisories"],
+        ]
+        for level in ordered
+    ]
+    print(
+        format_table(
+            ["level", "nodes", "max utilization", "violations", "advisories"],
+            rows,
+            title=f"Monitor — chaos scenario {scenario.name!r}",
+        )
+    )
+    print()
+    counts = log.counts_by_kind()
+    print(
+        format_table(
+            ["event kind", "count"],
+            [[kind, counts[kind]] for kind in sorted(counts)],
+            title="Structured events",
+        )
+    )
+    path = log.write(args.events)
+    print(f"\n{len(log)} events written to {path}")
+    print(f"scenario passed  : {outcome.passed}")
+
+
 _COMMANDS = {
     "chaos": _cmd_chaos,
+    "monitor": _cmd_monitor,
     "profile": _cmd_profile,
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,
@@ -280,6 +359,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json",
         action="store_true",
         help="emit machine-readable JSON (profile command)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="surge_overload",
+        help="chaos scenario to replay (monitor command)",
+    )
+    parser.add_argument(
+        "--events",
+        default="events.jsonl",
+        help="JSONL event-log output path (monitor command)",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .. import obs
+from ..obs import events as obs_events
 from ..infra.assignment import Assignment
 from ..traces.traceset import TraceSet
 
@@ -178,12 +179,31 @@ class RemappingEngine:
             obs.count("remap.swaps_attempted")
             swap = self._best_swap(groups, traces)
             if swap is None:
+                # No candidate cleared the hysteresis threshold: the loop
+                # converged.  Recorded so operators can see *why* it stopped.
+                obs_events.emit(
+                    obs_events.SWAP_REJECT,
+                    source="remapping",
+                    level=self.config.level,
+                    swaps_accepted=len(swaps),
+                    min_improvement=self.config.min_improvement,
+                )
                 break
             current = current.with_swap(swap.instance_a, swap.instance_b)
             groups[swap.node_a].swap_member(swap.instance_a, swap.instance_b, traces)
             groups[swap.node_b].swap_member(swap.instance_b, swap.instance_a, traces)
             swaps.append(swap)
             obs.count("remap.swaps_accepted")
+            obs_events.emit(
+                obs_events.SWAP_ACCEPT,
+                source="remapping",
+                instance_a=swap.instance_a,
+                node_a=swap.node_a,
+                instance_b=swap.instance_b,
+                node_b=swap.node_b,
+                gain_a=swap.gain_a,
+                gain_b=swap.gain_b,
+            )
         # Exact final aggregates: incremental updates drift over long runs.
         for group in groups.values():
             group.recompute(traces)

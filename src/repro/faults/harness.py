@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import obs
+from ..obs import events as obs_events
+from ..obs import telemetry as obs_telemetry
 from ..analysis import experiments
 from ..analysis.report import format_percent, format_table
 from ..core.metrics import node_asynchrony_scores
@@ -239,6 +241,14 @@ def run_chaos_scenario(
         # -- inject + repair + place -------------------------------------
         if scenario.telemetry_faults:
             with obs.span("chaos.inject_repair"):
+                for fault in scenario.telemetry_faults:
+                    obs_events.emit(
+                        obs_events.FAULT_INJECTION,
+                        severity="warning",
+                        source="faults.inject",
+                        fault=type(fault).__name__,
+                        scenario=scenario.name,
+                    )
                 dirty = dirty_copy(dc.training_traces(), scenario.fault_plan())
                 dirty_missing = dirty.missing_fraction()
                 outcome = repair_telemetry(
@@ -274,6 +284,10 @@ def run_chaos_scenario(
                 margin=budget_margin,
             )
             view = NodePowerView(dc.topology, chaos_assignment, test)
+            # Per-power-node flight recording: utilization/slack/headroom
+            # series plus violation/advisory events for every budgeted node
+            # of the deployed placement (no-op unless telemetry is on).
+            obs_telemetry.record_view(view)
             trips = audit_view(view, BreakerModel())
             safe = power_safe(view, BreakerModel())
 

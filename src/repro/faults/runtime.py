@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import events as obs_events
 from ..infra.assignment import Assignment
 from ..infra.breaker import BreakerModel, BreakerTrip
 from ..infra.capping import CappingPolicy, CappingReport, CappingSimulator
@@ -313,6 +314,27 @@ class ChaosReshapingRuntime(ReshapingRuntime):
         n_lc = np.maximum(self.fleet.n_lc + realized_lc - lc_lost, 0.0)
         n_batch = np.maximum(self.fleet.n_batch + realized_batch - batch_lost, 0.0)
 
+        for pool, log in ((LC_POOL, log_lc), (BATCH_POOL, log_batch)):
+            obs_events.emit(
+                obs_events.CONVERSION,
+                severity="warning" if log.n_aborted else "info",
+                source="faults.conversion",
+                pool=pool,
+                transitions=log.n_transitions,
+                failed_attempts=log.n_failed_attempts,
+                aborted=log.n_aborted,
+                delayed_server_steps=log.delayed_server_steps,
+            )
+        if self.failures.events:
+            obs_events.emit(
+                obs_events.FAULT_INJECTION,
+                severity="warning",
+                source="faults.failures",
+                fault="server_failures",
+                events=len(self.failures.events),
+                downtime_server_steps=self.failures.downtime_server_steps(n_samples),
+            )
+
         raw = self._assemble(
             "conversion_chaos",
             demand,
@@ -375,6 +397,17 @@ class ChaosReshapingRuntime(ReshapingRuntime):
                 ),
             )
 
+        for trip in trips_before:
+            obs_events.emit(
+                obs_events.BREAKER_TRIP,
+                severity="critical",
+                source="faults.recover",
+                node=trip.node_name,
+                scenario=scenario.name,
+                start_index=trip.start_index,
+                duration_samples=trip.duration_samples,
+                peak_overload_watts=trip.peak_overload_watts,
+            )
         lc_power, batch_power, other_power = self._components(scenario)
         report, capped = self._run_capping(
             scenario, lc_power, batch_power, other_power
@@ -410,6 +443,18 @@ class ChaosReshapingRuntime(ReshapingRuntime):
             PowerTrace(scenario.grid, np.maximum(recovered.total_power, 0.0)),
             scenario.budget_watts,
             "dc",
+        )
+        obs_events.emit(
+            obs_events.CAPPING,
+            severity="warning",
+            source="faults.recover",
+            scenario=scenario.name,
+            overload_steps_before=overload_before,
+            overload_steps_after=recovered.overload_steps(),
+            trips_before=len(trips_before),
+            trips_after=len(trips_after),
+            lc_energy_shed=report.lc_energy_shed,
+            forced_shutdown_watt_minutes=forced_total,
         )
         return ChaosRunResult(
             scenario=recovered,

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs import events as obs_events
 from ..traces.series import PowerTrace
 from .aggregation import NodePowerView
 
@@ -93,6 +94,16 @@ def audit_view(view: NodePowerView, model: Optional[BreakerModel] = None) -> Dic
         trips = model.trips(view.node_trace(node.name), node.budget_watts, node.name)
         if trips:
             result[node.name] = trips
+            for trip in trips:
+                obs_events.emit(
+                    obs_events.BREAKER_TRIP,
+                    severity="critical",
+                    source="infra.breaker",
+                    node=trip.node_name,
+                    start_index=trip.start_index,
+                    duration_samples=trip.duration_samples,
+                    peak_overload_watts=trip.peak_overload_watts,
+                )
     return result
 
 

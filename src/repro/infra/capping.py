@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import events as obs_events
 from ..traces.instance import ServiceKind
 from ..traces.traceset import TraceSet
 from .assignment import Assignment
@@ -208,6 +209,16 @@ class CappingSimulator:
                 shed_by_kind=shed_by_kind,
                 residual_overload_steps=residual,
             )
+            if events:
+                obs_events.emit(
+                    obs_events.CAPPING,
+                    severity="warning" if residual == 0 else "critical",
+                    source="infra.capping",
+                    node=node.name,
+                    event_steps=events,
+                    shed_by_kind=dict(shed_by_kind),
+                    residual_overload_steps=residual,
+                )
 
         report = CappingReport(
             step_minutes=self.traces.grid.step_minutes,

@@ -1,20 +1,33 @@
-"""Observability: span tracing, metrics, and benchmark emission.
+"""Observability: spans, metrics, telemetry, events, exporters, benchmarks.
 
 The substrate every perf-sensitive subsystem reports into:
 
 * :mod:`repro.obs.spans` — a zero-dependency span tracer.  Instrumented
   code opens regions with ``obs.span("cluster")``; when a tracer is
   installed via :func:`tracing`, every end-to-end run yields a structured
-  stage-by-stage profile (wall/CPU time per span, nested).
+  stage-by-stage profile (wall/CPU time per span, nested).  Installation
+  and the open-span stack are thread-local.
 * :mod:`repro.obs.metrics` — a process-global registry of counters,
   gauges, and histograms.  :func:`count` is always on and additionally
   attributes increments to the open span while profiling.
+* :mod:`repro.obs.telemetry` — the power-tree flight recorder: compact
+  numpy ring buffers of per-node utilization/slack/headroom/capped series
+  keyed by topology path, plus sliding-window precursor detection.
+* :mod:`repro.obs.events` — a structured, sequence-numbered event log
+  (budget violations, breaker trips, conversions, throttle/boost, swap
+  decisions, fault injections, advisories) with span correlation ids,
+  serialisable as JSONL.
+* :mod:`repro.obs.export` — Prometheus text exposition and a merged JSON
+  document over all of the above.
 * :mod:`repro.obs.bench` — writes machine-readable ``BENCH_<name>.json``
   documents (stage timings, workload sizes, peak-reduction numbers) that
-  CI uploads so the perf trajectory accrues per PR.
+  CI uploads so the perf trajectory accrues per PR;
+  ``tools/bench_compare.py`` gates regressions against them.
 """
 
+from . import events, export, telemetry
 from .bench import bench_path, stage_timings, update_bench
+from .events import Event, EventLog, emit, get_event_log
 from .metrics import (
     Histogram,
     MetricsRegistry,
@@ -27,6 +40,7 @@ from .metrics import (
     snapshot_metrics,
 )
 from .spans import Span, Tracer, current_span, get_tracer, span, tracing
+from .telemetry import FlightRecorder, RingBuffer, record_power, record_view
 
 __all__ = [
     # spans
@@ -46,6 +60,20 @@ __all__ = [
     "set_gauge",
     "snapshot_metrics",
     "reset_metrics",
+    # events
+    "Event",
+    "EventLog",
+    "emit",
+    "get_event_log",
+    "events",
+    # telemetry
+    "FlightRecorder",
+    "RingBuffer",
+    "record_power",
+    "record_view",
+    "telemetry",
+    # export
+    "export",
     # bench
     "bench_path",
     "stage_timings",

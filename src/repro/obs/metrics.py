@@ -68,17 +68,60 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) estimated from the reservoir."""
+        """The ``q``-th percentile (0-100) estimated from the reservoir.
+
+        The extremes are exact: ``q=0`` returns the true minimum and
+        ``q=100`` the true maximum (both tracked outside the reservoir),
+        and interior estimates are clamped into ``[min, max]`` so sampling
+        noise can never report an impossible value.  With no observations
+        the percentile is undefined and ``nan`` is returned.
+        """
         if not 0 <= q <= 100:
             raise ValueError("percentile must be in [0, 100]")
-        if not self._reservoir:
-            return 0.0
+        if self.count == 0:
+            return float("nan")
+        if q == 0:
+            return self.min
+        if q == 100:
+            return self.max
         ordered = sorted(self._reservoir)
         rank = (len(ordered) - 1) * q / 100.0
         lo = int(rank)
         hi = min(lo + 1, len(ordered) - 1)
         frac = rank - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        estimate = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return min(max(estimate, self.min), self.max)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram (in place; returns ``self``).
+
+        Exact moments (count, total, min, max) combine exactly; the
+        reservoirs combine by deterministic weighted resampling, each
+        retained value weighted by how many observed samples it stands
+        for, so percentile estimates of the merge track the pooled
+        distribution.  Combining per-scenario histograms into a suite-wide
+        one is the intended use.
+        """
+        if other is self:
+            raise ValueError("cannot merge a histogram into itself")
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self._reservoir = list(other._reservoir)
+        else:
+            pool = self._reservoir + other._reservoir
+            if len(pool) > self.RESERVOIR_SIZE:
+                weights = [self.count / len(self._reservoir)] * len(self._reservoir) + [
+                    other.count / len(other._reservoir)
+                ] * len(other._reservoir)
+                rng = random.Random(self.count * 2654435761 + other.count)
+                pool = rng.choices(pool, weights=weights, k=self.RESERVOIR_SIZE)
+            self._reservoir = pool
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
 
     def summary(self) -> Dict[str, float]:
         if self.count == 0:

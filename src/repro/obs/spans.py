@@ -19,6 +19,8 @@ Typical use::
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from typing import Dict, Iterator, List, Optional
 
@@ -31,12 +33,17 @@ __all__ = [
     "tracing",
 ]
 
+#: Process-wide span id allocator: every opened span gets a unique id the
+#: structured event log (:mod:`repro.obs.events`) uses for correlation.
+_SPAN_IDS = itertools.count(1)
+
 
 class Span:
     """One traced region: name, timings, counters, and child spans."""
 
     __slots__ = (
         "name",
+        "span_id",
         "meta",
         "counters",
         "children",
@@ -49,6 +56,8 @@ class Span:
 
     def __init__(self, name: str, meta: Optional[Dict[str, object]] = None) -> None:
         self.name = name
+        #: Process-unique id; event-log entries reference it.
+        self.span_id = next(_SPAN_IDS)
         self.meta: Dict[str, object] = dict(meta) if meta else {}
         self.counters: Dict[str, float] = {}
         self.children: List["Span"] = []
@@ -110,6 +119,7 @@ class Span:
         """JSON-ready representation of the subtree."""
         payload: Dict[str, object] = {
             "name": self.name,
+            "span_id": self.span_id,
             "wall_s": self.wall_s,
             "cpu_s": self.cpu_s,
             "calls": self.calls,
@@ -160,14 +170,13 @@ class _SpanContext:
         self._span = span
 
     def __enter__(self) -> Span:
-        tracer = self._tracer
         span = self._span
-        parent = tracer._stack[-1] if tracer._stack else None
-        if parent is not None:
-            parent.children.append(span)
+        stack = self._tracer._stack
+        if stack:
+            stack[-1].children.append(span)
         else:
-            tracer.roots.append(span)
-        tracer._stack.append(span)
+            self._tracer.roots.append(span)
+        stack.append(span)
         span._start_cpu = time.process_time()
         span._start_wall = time.perf_counter()
         return span
@@ -183,13 +192,31 @@ class _SpanContext:
 
 
 class Tracer:
-    """Collects a forest of spans for one profiled run."""
+    """Collects a forest of spans for one profiled run.
 
-    __slots__ = ("roots", "_stack")
+    The open-span *stack* is thread-local: each thread nests its own spans
+    independently, so two threads tracing concurrently (each with its own
+    :func:`tracing` context, or even sharing one tracer) cannot corrupt each
+    other's trees.  The recorded forest itself assumes a single writer per
+    tree: a span's ``children`` list is only ever appended to by the thread
+    that opened it, and ``roots`` appends are atomic under the GIL — so a
+    shared tracer yields one interleaving-free subtree per thread, but the
+    report should be rendered only after all writers are done.
+    """
+
+    __slots__ = ("roots", "_local")
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack (created lazily per thread)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     def span(self, name: str, **meta: object) -> _SpanContext:
@@ -197,13 +224,19 @@ class Tracer:
         return _SpanContext(self, Span(name, meta or None))
 
     def current(self) -> Optional[Span]:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
+
+    def stack_names(self) -> List[str]:
+        """Names of the calling thread's open spans, outermost first."""
+        return [span.name for span in self._stack]
 
     def add(self, name: str, value: float = 1.0) -> None:
         """Increment a counter on the innermost open span (no-op otherwise)."""
-        if self._stack:
-            self._stack[-1].add(name, value)
+        stack = self._stack
+        if stack:
+            stack[-1].add(name, value)
 
     def find(self, name: str) -> Optional[Span]:
         """First span named ``name`` across all recorded roots."""
@@ -263,9 +296,14 @@ def _render_span(span: Span, depth: int, lines: List[str]) -> None:
 
 
 # ----------------------------------------------------------------------
-# module-level API: a process-global active tracer
+# module-level API: a thread-local active tracer
+#
+# Each thread installs and sees its own tracer, so concurrent ``tracing()``
+# contexts in different threads profile independently.  A tracer installed
+# in one thread is deliberately invisible to others — share the Tracer
+# object explicitly (it keeps per-thread stacks) to profile worker threads.
 # ----------------------------------------------------------------------
-_ACTIVE: Optional[Tracer] = None
+_TLS = threading.local()
 
 
 class _NoopSpan:
@@ -296,25 +334,25 @@ _NOOP_CONTEXT = _NoopContext()
 
 def span(name: str, **meta: object):
     """Open a traced region on the active tracer (cheap no-op when none)."""
-    tracer = _ACTIVE
+    tracer = getattr(_TLS, "tracer", None)
     if tracer is None:
         return _NOOP_CONTEXT
     return tracer.span(name, **meta)
 
 
 def get_tracer() -> Optional[Tracer]:
-    """The currently installed tracer, if profiling is on."""
-    return _ACTIVE
+    """The calling thread's installed tracer, if profiling is on."""
+    return getattr(_TLS, "tracer", None)
 
 
 def current_span() -> Optional[Span]:
     """The innermost open span of the active tracer, if any."""
-    tracer = _ACTIVE
+    tracer = getattr(_TLS, "tracer", None)
     return tracer.current() if tracer is not None else None
 
 
 class tracing:
-    """Install a tracer as the process-global active tracer.
+    """Install a tracer as the calling thread's active tracer.
 
     ::
 
@@ -322,7 +360,9 @@ class tracing:
             run_pipeline()
         print(tracer.render())
 
-    Nesting restores the previously active tracer on exit.
+    Nesting restores the previously active tracer on exit.  Installation is
+    thread-local: two threads may each run their own ``tracing()`` context
+    concurrently without seeing each other's spans.
     """
 
     __slots__ = ("tracer", "_previous")
@@ -332,12 +372,10 @@ class tracing:
         self._previous: Optional[Tracer] = None
 
     def __enter__(self) -> Tracer:
-        global _ACTIVE
-        self._previous = _ACTIVE
-        _ACTIVE = self.tracer
+        self._previous = getattr(_TLS, "tracer", None)
+        _TLS.tracer = self.tracer
         return self.tracer
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        global _ACTIVE
-        _ACTIVE = self._previous
+        _TLS.tracer = self._previous
         return False

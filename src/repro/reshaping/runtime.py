@@ -23,6 +23,8 @@ from typing import Dict, Optional
 import numpy as np
 
 from .. import obs
+from ..obs import events as obs_events
+from ..obs import telemetry as obs_telemetry
 from ..sim.batch import batch_throughput
 from ..sim.demand import DemandTrace
 from ..sim.loadbalancer import dispatch
@@ -237,6 +239,23 @@ class ReshapingRuntime:
                 batch_freq=freq,
                 parked=parked,
             )
+        throttled_steps = int(np.count_nonzero(boosted.batch_freq < 1.0 - 1e-12))
+        if throttled_steps:
+            obs_events.emit(
+                obs_events.THROTTLE,
+                source="reshaping.throttle_boost",
+                steps=throttled_steps,
+                min_freq=float(boosted.batch_freq.min()),
+                throttle_freq=float(self.throttle.throttle_freq),
+            )
+        boosted_steps = int(np.count_nonzero(boosted.batch_freq > 1.0 + 1e-12))
+        if boosted_steps:
+            obs_events.emit(
+                obs_events.BOOST,
+                source="reshaping.throttle_boost",
+                steps=boosted_steps,
+                max_freq=float(boosted.batch_freq.max()),
+            )
         return boosted
 
     # ------------------------------------------------------------------
@@ -258,6 +277,14 @@ class ReshapingRuntime:
         n_lc_active = self.fleet.n_lc + total_extra * lc_heavy.astype(np.float64)
         n_batch_active = self.fleet.n_batch + convertible * batch_heavy_f
         parked = (total_extra - convertible) * batch_heavy_f
+        obs_events.emit(
+            obs_events.CONVERSION,
+            source="reshaping.conversion_plan",
+            phase_changes=int(np.count_nonzero(np.diff(lc_heavy))),
+            total_extra=int(total_extra),
+            batch_convertible=int(convertible),
+            parked_peak=float(parked.max()) if len(parked) else 0.0,
+        )
         return lc_heavy, n_lc_active, n_batch_active, parked
 
     def _fit_freq_to_budget(
@@ -340,6 +367,17 @@ class ReshapingRuntime:
         if self.fleet.other_power is not None:
             demand.grid.require_same(self.fleet.other_power.grid)
             total = total + self.fleet.other_power.values
+
+        # Flight-recorder hook: per-step utilization/slack/headroom against
+        # the scenario budget, plus violation/advisory events.  No-op unless
+        # a recorder or event log is installed.
+        obs_telemetry.record_power(
+            f"reshape/{name}",
+            total,
+            self.fleet.budget_watts,
+            step_minutes=demand.grid.step_minutes,
+            source=f"reshaping.{name}",
+        )
 
         load_on_original = demand.values / self.fleet.n_lc
         return ScenarioResult(

@@ -98,3 +98,72 @@ class TestMonitor:
         snapshot = monitor.observe("surge", surged)
         drift = [a for a in snapshot.advisories if a.kind == "sum_of_peaks"]
         assert drift and drift[0].severity > 0
+
+
+class TestEventLogMirroring:
+    def test_advisories_mirrored_into_event_log(self, setting):
+        from repro.obs import events
+
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(
+            assignment,
+            MonitorConfig(level=Level.RPP, sum_of_peaks_tolerance=0.05, min_asynchrony=1.0),
+        )
+        monitor.calibrate(traces)
+        surged = inject_surge(
+            traces, ["u1", "u2"], factor=3.0, start_hour=0, end_hour=24
+        )
+        with events.recording() as log:
+            snapshot = monitor.observe("surge-week", surged)
+        mirrored = log.by_kind(events.ADVISORY)
+        assert len(mirrored) == len(snapshot.advisories)
+        (event,) = [e for e in mirrored if e.fields["drift"] == "sum_of_peaks"]
+        assert event.source == "analysis.monitoring"
+        assert event.fields["label"] == "surge-week"
+        assert event.fields["observed"] == snapshot.advisories[0].observed
+
+    def test_decision_identical_with_and_without_recording(self, setting):
+        """Mirroring is observation only: needs_remapping() is unchanged."""
+        from repro.obs import events
+
+        _, assignment, traces = setting
+        surged = inject_surge(
+            traces, ["u1", "u2"], factor=3.0, start_hour=0, end_hour=24
+        )
+
+        def run(recorded):
+            monitor = FragmentationMonitor(
+                assignment,
+                MonitorConfig(
+                    level=Level.RPP, sum_of_peaks_tolerance=0.05, min_asynchrony=1.0
+                ),
+            )
+            monitor.calibrate(traces)
+            if recorded:
+                with events.recording():
+                    healthy_first = monitor.observe("w1", traces)
+                    drifted = monitor.observe("w2", surged)
+            else:
+                healthy_first = monitor.observe("w1", traces)
+                drifted = monitor.observe("w2", surged)
+            return healthy_first, drifted, monitor.needs_remapping()
+
+        plain_healthy, plain_drifted, plain_decision = run(recorded=False)
+        logged_healthy, logged_drifted, logged_decision = run(recorded=True)
+        assert plain_decision == logged_decision is True
+        assert logged_healthy.healthy == plain_healthy.healthy is True
+        assert [a.kind for a in logged_drifted.advisories] == [
+            a.kind for a in plain_drifted.advisories
+        ]
+        assert logged_drifted.sum_of_peaks == plain_drifted.sum_of_peaks
+
+    def test_healthy_observation_emits_nothing(self, setting):
+        from repro.obs import events
+
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(assignment, MonitorConfig(level=Level.RPP))
+        monitor.calibrate(traces)
+        with events.recording() as log:
+            snapshot = monitor.observe("quiet-week", traces)
+        assert snapshot.healthy
+        assert len(log) == 0

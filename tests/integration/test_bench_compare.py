@@ -1,0 +1,189 @@
+"""Unit tests for the benchmark regression gate (tools/bench_compare.py)."""
+
+import copy
+import json
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+sys.path.insert(0, str(ROOT / "tools"))
+try:
+    import bench_compare
+finally:
+    sys.path.pop(0)
+
+
+def _pipeline_doc(stage_walls):
+    return {
+        "benchmark": "pipeline",
+        "sections": {
+            "stages": [
+                {"stage": name, "wall_s": wall, "cpu_s": wall, "calls": 1}
+                for name, wall in stage_walls.items()
+            ],
+            "workload": {"instances": 480},
+        },
+    }
+
+
+def _remap_doc(peak_reduction):
+    return {
+        "benchmark": "remap",
+        "sections": {
+            "remap": {
+                "swaps_accepted": 2,
+                "peak_reduction": dict(peak_reduction),
+            }
+        },
+    }
+
+
+BASE_STAGES = {"synthesize": 0.2, "place": 0.19, "remap": 0.007}
+BASE_PEAKS = {"rpp": 0.15, "suite": 0.02}
+
+
+def _write_pair(directory, pipeline, remap):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "BENCH_pipeline.json").write_text(json.dumps(pipeline))
+    (directory / "BENCH_remap.json").write_text(json.dumps(remap))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    _write_pair(baseline, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+    return baseline, current
+
+
+class TestComparePipeline:
+    def test_identical_run_passes(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["regressions"] == []
+        assert all(row["status"] == "ok" for row in diff["pipeline"])
+
+    def test_ten_x_slowdown_exits_nonzero(self, dirs):
+        """The acceptance criterion: a 10x stage slowdown fails the gate."""
+        baseline, current = dirs
+        slowed = dict(BASE_STAGES, place=BASE_STAGES["place"] * 10)
+        _write_pair(current, _pipeline_doc(slowed), _remap_doc(BASE_PEAKS))
+        code = bench_compare.main(
+            ["--baseline-dir", str(baseline), "--current-dir", str(current)]
+        )
+        assert code == 1
+
+    def test_slowdown_within_tolerance_passes(self, dirs):
+        baseline, current = dirs
+        slowed = {name: wall * 2.5 for name, wall in BASE_STAGES.items()}
+        _write_pair(current, _pipeline_doc(slowed), _remap_doc(BASE_PEAKS))
+        code = bench_compare.main(
+            ["--baseline-dir", str(baseline), "--current-dir", str(current)]
+        )
+        assert code == 0
+
+    def test_missing_stage_is_regression(self, dirs):
+        baseline, current = dirs
+        fewer = {k: v for k, v in BASE_STAGES.items() if k != "remap"}
+        _write_pair(current, _pipeline_doc(fewer), _remap_doc(BASE_PEAKS))
+        diff = bench_compare.compare_documents(baseline, current)
+        (row,) = [r for r in diff["pipeline"] if r["stage"] == "remap"]
+        assert row["status"] == "missing"
+        assert any("remap" in item for item in diff["regressions"])
+
+    def test_new_stage_is_informational(self, dirs):
+        baseline, current = dirs
+        more = dict(BASE_STAGES, telemetry=0.001)
+        _write_pair(current, _pipeline_doc(more), _remap_doc(BASE_PEAKS))
+        diff = bench_compare.compare_documents(baseline, current)
+        (row,) = [r for r in diff["pipeline"] if r["stage"] == "telemetry"]
+        assert row["status"] == "new"
+        assert diff["regressions"] == []
+
+    def test_floor_absorbs_jitter_on_fast_stages(self, dirs):
+        baseline, current = dirs
+        # 0.007s -> 0.04s is nearly 6x but under the 0.05s absolute floor.
+        jittery = dict(BASE_STAGES, remap=0.04)
+        _write_pair(current, _pipeline_doc(jittery), _remap_doc(BASE_PEAKS))
+        diff = bench_compare.compare_documents(baseline, current)
+        (row,) = [r for r in diff["pipeline"] if r["stage"] == "remap"]
+        assert row["status"] == "ok"
+
+
+class TestCompareRemap:
+    def test_peak_reduction_drop_is_regression(self, dirs):
+        baseline, current = dirs
+        worse = dict(BASE_PEAKS, rpp=BASE_PEAKS["rpp"] - 0.1)
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(worse))
+        diff = bench_compare.compare_documents(baseline, current)
+        (row,) = [r for r in diff["remap"] if r["level"] == "rpp"]
+        assert row["status"] == "regression"
+        assert diff["regressions"]
+
+    def test_small_drop_within_tolerance_passes(self, dirs):
+        baseline, current = dirs
+        wobble = dict(BASE_PEAKS, rpp=BASE_PEAKS["rpp"] - 0.01)
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(wobble))
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["regressions"] == []
+
+    def test_improvement_passes(self, dirs):
+        baseline, current = dirs
+        better = {level: value + 0.05 for level, value in BASE_PEAKS.items()}
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(better))
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["regressions"] == []
+
+
+class TestMainOutput:
+    def test_output_writes_diff_json(self, dirs, tmp_path, capsys):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        out = tmp_path / "diff.json"
+        code = bench_compare.main(
+            [
+                "--baseline-dir",
+                str(baseline),
+                "--current-dir",
+                str(current),
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        diff = json.loads(out.read_text())
+        assert diff["regressions"] == []
+        assert {row["stage"] for row in diff["pipeline"]} == set(BASE_STAGES)
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_malformed_document_raises(self, dirs):
+        baseline, current = dirs
+        current.mkdir(parents=True, exist_ok=True)
+        (current / "BENCH_pipeline.json").write_text(json.dumps({"stages": []}))
+        (current / "BENCH_remap.json").write_text(json.dumps(_remap_doc(BASE_PEAKS)))
+        with pytest.raises(ValueError):
+            bench_compare.compare_documents(baseline, current)
+
+    def test_committed_baselines_pass_against_themselves(self):
+        """The repo's own BENCH_*.json pair must pass the gate vs itself."""
+        diff = bench_compare.compare_documents(ROOT, ROOT)
+        assert diff["regressions"] == []
+
+
+class TestRenderRobustness:
+    def test_render_handles_missing_and_new_rows(self, dirs):
+        baseline, current = dirs
+        stages = copy.deepcopy(BASE_STAGES)
+        del stages["remap"]
+        stages["telemetry"] = 0.001
+        peaks = {"rpp": BASE_PEAKS["rpp"]}  # "suite" level goes missing
+        _write_pair(current, _pipeline_doc(stages), _remap_doc(peaks))
+        diff = bench_compare.compare_documents(baseline, current)
+        text = bench_compare.render(diff)
+        assert "missing" in text
+        assert "new" in text
+        assert "REGRESSIONS" in text

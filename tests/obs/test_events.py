@@ -1,0 +1,121 @@
+"""Unit tests for the structured event log."""
+
+import json
+
+from repro import obs
+from repro.obs import events
+
+
+class TestEventLog:
+    def test_emit_stamps_monotonic_seq(self):
+        log = events.EventLog()
+        first = log.emit(events.VIOLATION, source="test")
+        second = log.emit(events.ADVISORY, source="test")
+        assert first.seq == 1
+        assert second.seq == 2
+        assert len(log) == 2
+
+    def test_fields_captured(self):
+        log = events.EventLog()
+        event = log.emit(
+            events.BREAKER_TRIP, severity="critical", source="infra", node="dc/rpp0"
+        )
+        assert event.kind == events.BREAKER_TRIP
+        assert event.severity == "critical"
+        assert event.fields == {"node": "dc/rpp0"}
+
+    def test_by_kind_and_counts(self):
+        log = events.EventLog()
+        log.emit(events.VIOLATION)
+        log.emit(events.VIOLATION)
+        log.emit(events.CONVERSION)
+        assert len(log.by_kind(events.VIOLATION)) == 2
+        assert log.counts_by_kind() == {"violation": 2, "conversion": 1}
+
+    def test_iteration_order(self):
+        log = events.EventLog()
+        for kind in (events.THROTTLE, events.BOOST, events.CAPPING):
+            log.emit(kind)
+        assert [event.kind for event in log] == ["throttle", "boost", "capping"]
+
+
+class TestSpanCorrelation:
+    def test_event_outside_tracing_has_no_span(self):
+        log = events.EventLog()
+        event = log.emit(events.VIOLATION)
+        assert event.span_id is None
+        assert event.span_path is None
+
+    def test_event_inside_span_carries_id_and_path(self):
+        log = events.EventLog()
+        with obs.tracing():
+            with obs.span("outer"):
+                with obs.span("inner") as span:
+                    event = log.emit(events.SWAP_ACCEPT)
+        assert event.span_id == span.span_id
+        assert event.span_path == "outer/inner"
+
+    def test_span_ids_unique_across_spans(self):
+        log = events.EventLog()
+        with obs.tracing():
+            with obs.span("a"):
+                first = log.emit(events.VIOLATION)
+            with obs.span("b"):
+                second = log.emit(events.VIOLATION)
+        assert first.span_id != second.span_id
+
+
+class TestJsonl:
+    def test_to_jsonl_one_object_per_line(self):
+        log = events.EventLog()
+        log.emit(events.VIOLATION, source="x", node="n1")
+        log.emit(events.ADVISORY, source="y")
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        payloads = [json.loads(line) for line in lines]
+        assert payloads[0]["kind"] == "violation"
+        assert payloads[0]["fields"]["node"] == "n1"
+        assert payloads[1]["seq"] == 2
+
+    def test_write_round_trips(self, tmp_path):
+        log = events.EventLog()
+        log.emit(events.CAPPING, severity="warning", node="dc/sb1", shed=12.5)
+        path = log.write(tmp_path / "events.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["fields"]["shed"] == 12.5
+
+    def test_write_empty_log(self, tmp_path):
+        log = events.EventLog()
+        path = log.write(tmp_path / "empty.jsonl")
+        assert path.read_text() == ""
+
+
+class TestModuleLevelApi:
+    def test_emit_without_log_is_noop(self):
+        assert events.get_event_log() is None
+        assert events.emit(events.VIOLATION, node="x") is None
+
+    def test_recording_installs_and_restores(self):
+        with events.recording() as log:
+            assert events.get_event_log() is log
+            events.emit(events.VIOLATION, node="x")
+        assert events.get_event_log() is None
+        assert len(log) == 1
+
+    def test_recording_nests(self):
+        with events.recording() as outer:
+            events.emit(events.VIOLATION)
+            with events.recording() as inner:
+                events.emit(events.ADVISORY)
+            events.emit(events.CONVERSION)
+        assert [e.kind for e in outer] == ["violation", "conversion"]
+        assert [e.kind for e in inner] == ["advisory"]
+
+    def test_restored_on_exception(self):
+        try:
+            with events.recording():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert events.get_event_log() is None

@@ -1,0 +1,119 @@
+"""Unit tests for the Prometheus and JSON exporters."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import events as obs_events
+from repro.obs import export, telemetry
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("remap.swaps_accepted", 3)
+    registry.set_gauge("fleet.instances", 480)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        registry.observe("place.node_seconds", value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_counter_gets_total_suffix(self):
+        text = export.prometheus_text(_populated_registry())
+        assert "repro_remap_swaps_accepted_total 3.0" in text
+        assert "# TYPE repro_remap_swaps_accepted_total counter" in text
+
+    def test_gauge_and_summary_lines(self):
+        text = export.prometheus_text(_populated_registry())
+        assert "repro_fleet_instances 480.0" in text
+        assert 'repro_place_node_seconds{quantile="0.5"}' in text
+        assert "repro_place_node_seconds_sum 10.0" in text
+        assert "repro_place_node_seconds_count 4.0" in text
+
+    def test_recorder_rendered_as_path_labelled_gauges(self):
+        recorder = telemetry.FlightRecorder()
+        recorder.record("dc/rpp0", "utilization", np.array([0.5, 0.75]))
+        text = export.prometheus_text(MetricsRegistry(), recorder)
+        assert 'repro_node_utilization{path="dc/rpp0"} 0.75' in text
+
+    def test_round_trip_through_parser(self):
+        """The acceptance criterion: exposition output parses back exactly."""
+        registry = _populated_registry()
+        recorder = telemetry.FlightRecorder()
+        recorder.record("dc/suite0/rpp1", "utilization", 0.875)
+        recorder.record("dc/suite0/rpp1", "slack", 125.0)
+        text = export.prometheus_text(registry, recorder)
+        parsed = export.parse_prometheus_text(text)
+        assert parsed[("repro_remap_swaps_accepted_total", ())] == 3.0
+        assert parsed[("repro_fleet_instances", ())] == 480.0
+        assert parsed[("repro_place_node_seconds_count", ())] == 4.0
+        assert (
+            parsed[("repro_node_utilization", (("path", "dc/suite0/rpp1"),))] == 0.875
+        )
+        assert parsed[("repro_node_slack", (("path", "dc/suite0/rpp1"),))] == 125.0
+        # Every non-comment line produced must have parsed into a sample.
+        samples = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(parsed) == len(samples)
+
+    def test_label_escaping_round_trips(self):
+        recorder = telemetry.FlightRecorder()
+        tricky = 'dc/"quoted"\\backslash'
+        recorder.record(tricky, "utilization", 1.0)
+        text = export.prometheus_text(MetricsRegistry(), recorder)
+        parsed = export.parse_prometheus_text(text)
+        assert parsed[("repro_node_utilization", (("path", tricky),))] == 1.0
+
+    def test_metric_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.inc("weird name-with.dots")
+        text = export.prometheus_text(registry)
+        assert "repro_weird_name_with_dots_total" in text
+
+    def test_empty_registry_is_empty_text(self):
+        assert export.prometheus_text(MetricsRegistry()) == ""
+
+
+class TestParser:
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            export.parse_prometheus_text("not a metric line at all!")
+
+    def test_comments_and_blanks_skipped(self):
+        parsed = export.parse_prometheus_text("# HELP x y\n\nmetric 1.5\n")
+        assert parsed == {("metric", ()): 1.5}
+
+
+class TestJsonDocument:
+    def test_sections_match_supplied_surfaces(self):
+        registry = _populated_registry()
+        recorder = telemetry.FlightRecorder()
+        recorder.record("dc", "utilization", 0.5)
+        log = obs_events.EventLog()
+        log.emit(obs_events.VIOLATION, node="dc")
+        with obs.tracing() as tracer:
+            with obs.span("profile"):
+                pass
+        document = export.json_document(
+            tracer=tracer, registry=registry, recorder=recorder, events=log
+        )
+        assert set(document) == {"spans", "stages", "metrics", "telemetry", "events"}
+        assert document["spans"][0]["name"] == "profile"
+        assert document["events"]["count"] == 1
+        assert document["events"]["by_kind"] == {"violation": 1}
+        assert document["telemetry"]["nodes"]["dc"]["utilization"]["count"] == 1
+
+    def test_empty_call_is_empty_document(self):
+        assert export.json_document() == {}
+
+    def test_json_serialisable(self):
+        import json
+
+        log = obs_events.EventLog()
+        log.emit(obs_events.CAPPING, node="dc", shed=1.5)
+        document = export.json_document(events=log)
+        json.dumps(document)  # must not raise

@@ -1,5 +1,7 @@
 """Unit tests for the process-global metrics registry."""
 
+import math
+
 import pytest
 
 from repro import obs
@@ -61,11 +63,79 @@ class TestHistogram:
 
     def test_empty_summary(self):
         assert Histogram().summary() == {"count": 0}
-        assert Histogram().percentile(50) == 0.0
+        # An empty distribution has no percentiles: nan, not a fake zero.
+        assert math.isnan(Histogram().percentile(50))
+        assert math.isnan(Histogram().percentile(0))
+        assert math.isnan(Histogram().percentile(100))
 
     def test_percentile_validation(self):
         with pytest.raises(ValueError):
             Histogram().percentile(101)
+        with pytest.raises(ValueError):
+            Histogram().percentile(-1)
+
+    def test_percentile_extremes_are_exact(self):
+        """q=0/q=100 come from the exact min/max, not the reservoir."""
+        histogram = Histogram()
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(100) == 9999.0
+        # Interior estimates are clamped into [min, max].
+        assert 0.0 <= histogram.percentile(37) <= 9999.0
+
+    def test_percentile_single_sample(self):
+        histogram = Histogram()
+        histogram.observe(42.0)
+        for q in (0, 25, 50, 75, 100):
+            assert histogram.percentile(q) == 42.0
+
+    def test_merge_combines_moments_exactly(self):
+        a, b = Histogram(), Histogram()
+        for value in [1.0, 2.0, 3.0]:
+            a.observe(value)
+        for value in [10.0, 20.0]:
+            b.observe(value)
+        result = a.merge(b)
+        assert result is a
+        assert a.count == 5
+        assert a.total == 36.0
+        assert a.min == 1.0
+        assert a.max == 20.0
+        assert a.mean == pytest.approx(7.2)
+
+    def test_merge_with_empty_is_identity(self):
+        a = Histogram()
+        for value in [1.0, 2.0]:
+            a.observe(value)
+        before = a.summary()
+        a.merge(Histogram())
+        assert a.summary() == before
+
+    def test_merge_into_empty_copies(self):
+        a, b = Histogram(), Histogram()
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 1
+        assert a.percentile(50) == 5.0
+        # The reservoir was copied, not shared.
+        b.observe(100.0)
+        assert a.count == 1
+
+    def test_merge_self_rejected(self):
+        histogram = Histogram()
+        with pytest.raises(ValueError):
+            histogram.merge(histogram)
+
+    def test_merge_reservoir_stays_bounded(self):
+        a, b = Histogram(), Histogram()
+        for value in range(5000):
+            a.observe(float(value))
+            b.observe(float(value) + 5000.0)
+        a.merge(b)
+        assert a.count == 10_000
+        assert len(a._reservoir) <= Histogram.RESERVOIR_SIZE
+        assert a.min == 0.0 and a.max == 9999.0
 
     def test_reservoir_stays_bounded(self):
         histogram = Histogram()

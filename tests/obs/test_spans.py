@@ -1,5 +1,6 @@
 """Unit tests for the zero-dependency span tracer."""
 
+import threading
 import time
 
 import pytest
@@ -175,6 +176,68 @@ class TestMergingAndRendering:
         assert root["meta"] == {"size": 1}
         assert root["children"][0]["counters"] == {"c": 4.0}
         assert root["wall_s"] >= root["children"][0]["wall_s"]
+
+
+class TestThreadSafety:
+    def test_independent_tracers_per_thread(self):
+        """Two threads with their own tracing() contexts never interleave."""
+        n_spans = 200
+        barrier = threading.Barrier(2)
+        results = {}
+        errors = []
+
+        def worker(name):
+            try:
+                with tracing() as tracer:
+                    barrier.wait(timeout=10)
+                    with obs.span(f"{name}.outer"):
+                        for index in range(n_spans):
+                            with obs.span(f"{name}.step") as span:
+                                span.add("index", index)
+                    results[name] = tracer
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(name,)) for name in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        # The main thread never saw either tracer installed.
+        assert obs.get_tracer() is None
+        for name, tracer in results.items():
+            (root,) = tracer.roots
+            assert root.name == f"{name}.outer"
+            # Every child belongs to this thread's run; none leaked across.
+            assert len(root.children) == n_spans
+            assert {child.name for child in root.children} == {f"{name}.step"}
+
+    def test_shared_tracer_stack_is_thread_local(self):
+        """Spans opened on one thread are invisible to another's stack."""
+        tracer = Tracer()
+        observed = {}
+
+        def worker():
+            # This thread sees an empty stack even while the main thread
+            # holds a span open on the same tracer.
+            observed["current"] = tracer.current()
+            with tracer.span("worker.root"):
+                observed["depth"] = len(tracer.stack_names())
+
+        with tracer.span("main.root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join(timeout=10)
+        assert observed["current"] is None
+        assert observed["depth"] == 1
+        # Both threads' top-level spans land in the shared roots list.
+        assert sorted(root.name for root in tracer.roots) == [
+            "main.root",
+            "worker.root",
+        ]
 
 
 class TestStandaloneTracer:

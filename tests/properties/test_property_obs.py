@@ -1,5 +1,6 @@
 """Property-based tests: tracing never perturbs remapping semantics."""
 
+import math
 from collections import Counter
 
 import numpy as np
@@ -10,6 +11,7 @@ from hypothesis.extra import numpy as hnp
 from repro import obs
 from repro.core import RemapConfig, RemappingEngine
 from repro.infra import Assignment, Level, build_topology, two_level_spec
+from repro.obs.metrics import Histogram
 from repro.traces import TimeGrid, TraceSet
 
 GRID = TimeGrid(0, 60, 24)
@@ -34,6 +36,71 @@ def remap_scenes(draw):
     leaf_names = topo.leaf_names()
     mapping = {ids[k]: leaf_names[k // per_leaf] for k in range(n)}
     return topo, Assignment(topo, mapping), traces
+
+
+_samples = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False), max_size=200
+)
+
+
+def _filled(values) -> Histogram:
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class TestHistogramMergeProperties:
+    @given(left=_samples, right=_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_moments_match_combined_stream(self, left, right):
+        """Exact statistics of a merge equal those of the combined stream."""
+        merged = _filled(left).merge(_filled(right))
+        combined = left + right
+        assert merged.count == len(combined)
+        scale = max(1.0, math.fsum(abs(v) for v in combined))
+        assert abs(merged.total - math.fsum(combined)) <= 1e-9 * scale
+        if combined:
+            assert merged.min == min(combined)
+            assert merged.max == max(combined)
+            assert abs(merged.mean - np.mean(combined)) <= 1e-9 * scale
+
+    @given(left=_samples, right=_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_reservoir_bounded_and_from_inputs(self, left, right):
+        merged = _filled(left).merge(_filled(right))
+        reservoir = merged._reservoir
+        assert len(reservoir) <= Histogram.RESERVOIR_SIZE
+        assert len(reservoir) == min(len(left) + len(right), Histogram.RESERVOIR_SIZE)
+        pool = set(left) | set(right)
+        assert all(value in pool for value in reservoir)
+
+    @given(values=_samples, quantile=st.floats(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_with_empty_preserves_percentiles(self, values, quantile):
+        """Merging in an empty histogram is an identity for percentiles."""
+        merged = _filled(values).merge(Histogram())
+        reference = _filled(values)
+        got = merged.percentile(quantile)
+        expected = reference.percentile(quantile)
+        if math.isnan(expected):
+            assert math.isnan(got)
+        else:
+            assert got == expected
+
+    @given(values=_samples)
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_bounds(self, values):
+        """Any percentile of a non-empty histogram lies within [min, max]."""
+        histogram = _filled(values)
+        if not values:
+            assert math.isnan(histogram.percentile(50))
+            return
+        for quantile in (0.0, 37.5, 50.0, 99.9, 100.0):
+            result = histogram.percentile(quantile)
+            assert histogram.min <= result <= histogram.max
+        assert histogram.percentile(0) == min(values)
+        assert histogram.percentile(100) == max(values)
 
 
 class TestTracedRemapInvariants:

@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Diff fresh ``BENCH_*.json`` runs against committed baselines.
+
+The repo commits two benchmark documents at its root —
+``BENCH_pipeline.json`` (per-stage wall/CPU timings from
+``benchmarks/bench_profile.py``) and ``BENCH_remap.json`` (the remapping
+loop's swap counters and peak-reduction results).  This tool loads a fresh
+pair of those documents and compares them stage by stage against the
+committed pair:
+
+* a pipeline stage regresses when its fresh wall time exceeds
+  ``baseline * tolerance + floor`` (the multiplicative tolerance absorbs
+  machine-to-machine speed differences, the additive floor absorbs timer
+  jitter on sub-50ms stages);
+* a stage present in the baseline but absent from the fresh run is a
+  regression (the profile lost coverage);
+* a remap ``peak_reduction`` level regresses when the fresh reduction falls
+  more than an absolute tolerance below the committed one — the benchmark
+  guards *quality*, not just speed.
+
+Exit status is non-zero when any regression is found, so CI can gate on
+it.  ``--output`` writes the full diff document as JSON for artifact
+upload.
+
+Usage::
+
+    python tools/bench_compare.py \
+        --baseline-dir . --current-dir /tmp/fresh \
+        --tolerance 3.0 --output bench_diff.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence
+
+#: Fresh wall time may be up to this multiple of the committed baseline.
+DEFAULT_WALL_TOLERANCE = 3.0
+
+#: Additive slack (seconds) so timer jitter on very fast stages cannot trip
+#: the multiplicative gate (mirrors the overhead guard in bench_profile).
+DEFAULT_FLOOR_S = 0.05
+
+#: Absolute drop in a remap peak-reduction fraction that counts as a
+#: regression (2 percentage points).
+DEFAULT_PEAK_TOLERANCE = 0.02
+
+BENCH_FILES = ("BENCH_pipeline.json", "BENCH_remap.json")
+
+
+def load_document(path: pathlib.Path) -> Dict:
+    """Load and shape-check one BENCH document."""
+    with open(path) as handle:
+        document = json.load(handle)
+    for key in ("benchmark", "sections"):
+        if key not in document:
+            raise ValueError(f"{path}: missing required key {key!r}")
+    return document
+
+
+def _stages_by_name(document: Dict) -> Dict[str, Dict]:
+    return {row["stage"]: row for row in document["sections"].get("stages", [])}
+
+
+def compare_pipeline(
+    baseline: Dict,
+    current: Dict,
+    *,
+    tolerance: float = DEFAULT_WALL_TOLERANCE,
+    floor_s: float = DEFAULT_FLOOR_S,
+) -> List[Dict]:
+    """Per-stage wall-time comparison rows, one per baseline/fresh stage."""
+    base_stages = _stages_by_name(baseline)
+    cur_stages = _stages_by_name(current)
+    rows: List[Dict] = []
+    for name, base in base_stages.items():
+        row: Dict = {"stage": name, "baseline_wall_s": base["wall_s"]}
+        cur = cur_stages.get(name)
+        if cur is None:
+            # Lost coverage is as bad as lost speed: the stage either
+            # disappeared from the pipeline or stopped being traced.
+            row.update(current_wall_s=None, status="missing")
+        else:
+            limit = base["wall_s"] * tolerance + floor_s
+            row.update(
+                current_wall_s=cur["wall_s"],
+                ratio=cur["wall_s"] / base["wall_s"] if base["wall_s"] > 0 else None,
+                limit_s=limit,
+                status="regression" if cur["wall_s"] > limit else "ok",
+            )
+        rows.append(row)
+    for name, cur in cur_stages.items():
+        if name not in base_stages:
+            rows.append(
+                {
+                    "stage": name,
+                    "baseline_wall_s": None,
+                    "current_wall_s": cur["wall_s"],
+                    "status": "new",
+                }
+            )
+    return rows
+
+
+def compare_remap(
+    baseline: Dict,
+    current: Dict,
+    *,
+    peak_tolerance: float = DEFAULT_PEAK_TOLERANCE,
+) -> List[Dict]:
+    """Per-level peak-reduction comparison rows (quality, not speed)."""
+    base = baseline["sections"].get("remap", {})
+    cur = current["sections"].get("remap", {})
+    rows: List[Dict] = []
+    for level, base_value in base.get("peak_reduction", {}).items():
+        row: Dict = {"level": level, "baseline_reduction": base_value}
+        cur_value = cur.get("peak_reduction", {}).get(level)
+        if cur_value is None:
+            row.update(current_reduction=None, status="missing")
+        else:
+            row.update(
+                current_reduction=cur_value,
+                status=(
+                    "regression"
+                    if cur_value < base_value - peak_tolerance
+                    else "ok"
+                ),
+            )
+        rows.append(row)
+    return rows
+
+
+def compare_documents(
+    baseline_dir: pathlib.Path,
+    current_dir: pathlib.Path,
+    *,
+    tolerance: float = DEFAULT_WALL_TOLERANCE,
+    floor_s: float = DEFAULT_FLOOR_S,
+    peak_tolerance: float = DEFAULT_PEAK_TOLERANCE,
+) -> Dict:
+    """The full diff document: stage rows, remap rows, regression list."""
+    pipeline_rows = compare_pipeline(
+        load_document(baseline_dir / "BENCH_pipeline.json"),
+        load_document(current_dir / "BENCH_pipeline.json"),
+        tolerance=tolerance,
+        floor_s=floor_s,
+    )
+    remap_rows = compare_remap(
+        load_document(baseline_dir / "BENCH_remap.json"),
+        load_document(current_dir / "BENCH_remap.json"),
+        peak_tolerance=peak_tolerance,
+    )
+    bad_status = ("regression", "missing")
+    regressions = [
+        f"pipeline stage {row['stage']!r}: {row['status']}"
+        for row in pipeline_rows
+        if row["status"] in bad_status
+    ] + [
+        f"remap peak_reduction[{row['level']}]: {row['status']}"
+        for row in remap_rows
+        if row["status"] in bad_status
+    ]
+    return {
+        "baseline_dir": str(baseline_dir),
+        "current_dir": str(current_dir),
+        "tolerance": tolerance,
+        "floor_s": floor_s,
+        "peak_tolerance": peak_tolerance,
+        "pipeline": pipeline_rows,
+        "remap": remap_rows,
+        "regressions": regressions,
+    }
+
+
+def render(diff: Dict) -> str:
+    """Human-readable summary of one diff document."""
+    lines = [
+        f"{'stage':<22} {'baseline':>10} {'current':>10} {'ratio':>7}  status"
+    ]
+    def fmt(value, spec, suffix=""):
+        return "-" if value is None else format(value, spec) + suffix
+
+    for row in diff["pipeline"]:
+        lines.append(
+            f"{row['stage']:<22} "
+            f"{fmt(row.get('baseline_wall_s'), '9.3f', 's'):>10} "
+            f"{fmt(row.get('current_wall_s'), '9.3f', 's'):>10} "
+            f"{fmt(row.get('ratio'), '6.2f', 'x'):>7}  "
+            f"{row['status']}"
+        )
+    lines.append("")
+    for row in diff["remap"]:
+        lines.append(
+            f"peak_reduction[{row['level']:<10}] "
+            f"baseline={fmt(row['baseline_reduction'], '.4f')} "
+            f"current={fmt(row['current_reduction'], '.4f')} "
+            f"{row['status']}"
+        )
+    lines.append("")
+    if diff["regressions"]:
+        lines.append(f"REGRESSIONS ({len(diff['regressions'])}):")
+        lines.extend(f"  - {item}" for item in diff["regressions"])
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff fresh BENCH_*.json runs against committed baselines."
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=pathlib.Path,
+        default=pathlib.Path("."),
+        help="directory holding the committed BENCH_*.json pair",
+    )
+    parser.add_argument(
+        "--current-dir",
+        type=pathlib.Path,
+        required=True,
+        help="directory holding the freshly generated BENCH_*.json pair",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_WALL_TOLERANCE,
+        help="max current/baseline wall-time ratio per stage",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR_S,
+        help="additive per-stage slack in seconds (timer jitter)",
+    )
+    parser.add_argument(
+        "--peak-tolerance",
+        type=float,
+        default=DEFAULT_PEAK_TOLERANCE,
+        help="max absolute drop in remap peak reduction per level",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="write the full diff document as JSON here",
+    )
+    args = parser.parse_args(argv)
+
+    diff = compare_documents(
+        args.baseline_dir,
+        args.current_dir,
+        tolerance=args.tolerance,
+        floor_s=args.floor,
+        peak_tolerance=args.peak_tolerance,
+    )
+    if args.output is not None:
+        args.output.write_text(json.dumps(diff, indent=2, sort_keys=True) + "\n")
+    print(render(diff))
+    return 1 if diff["regressions"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
