@@ -1,0 +1,122 @@
+"""Serial vs parallel chaos-suite execution → ``BENCH_engine.json``.
+
+Runs the full named scenario suite through ``repro.engine.run_many`` twice
+— once serially, once across a process pool — asserts the outcomes are
+identical either way, and emits the wall times plus the measured speedup.
+``tools/bench_compare.py`` gates the ``chaos_suite_parallel`` stage in CI:
+on multi-CPU runners the pool must beat the serial pass by the configured
+factor; on single-CPU hosts the speedup check is skipped (the numbers are
+still recorded so the trajectory accrues).
+
+Scale is deliberately small (override with ``BENCH_ENGINE_INSTANCES`` /
+``BENCH_ENGINE_WORKERS``): the point is the executor overhead and the
+speedup ratio, not the simulation itself.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.engine import chaos_spec, run_many
+from repro.faults.harness import DEFAULT_SUITE
+
+N_INSTANCES = int(os.environ.get("BENCH_ENGINE_INSTANCES", "96"))
+STEP_MINUTES = 60
+WEEKS = 2
+WORKERS = int(os.environ.get("BENCH_ENGINE_WORKERS", "0")) or min(
+    4, max(2, os.cpu_count() or 1)
+)
+
+
+def _specs():
+    return [
+        chaos_spec(
+            scenario,
+            dc_name="DC1",
+            n_instances=N_INSTANCES,
+            step_minutes=STEP_MINUTES,
+            weeks=WEEKS,
+        )
+        for scenario in DEFAULT_SUITE
+    ]
+
+
+def _timed(specs, workers):
+    start = time.perf_counter()
+    artifacts = run_many(specs, workers=workers)
+    return artifacts, time.perf_counter() - start
+
+
+def _run():
+    specs = _specs()
+    # Warm the dataset caches first: the serial pass should not pay the
+    # one-off synthesis cost the forked workers then inherit for free.
+    run_many(specs[:1], workers=1)
+    serial = _timed(specs, 1)
+    parallel = _timed(specs, WORKERS)
+    return specs, serial, parallel
+
+
+@pytest.mark.benchmark(group="engine")
+def test_chaos_suite_parallel_speedup(benchmark, emit_report):
+    specs, (serial, serial_s), (parallel, parallel_s) = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    # Determinism: worker count must not change outcomes.
+    assert len(serial) == len(parallel) == len(specs)
+    for left, right in zip(serial, parallel):
+        assert left.result.scenario.name == right.result.scenario.name
+        assert left.result.passed == right.result.passed
+        assert left.result.quality_chaos == right.result.quality_chaos
+
+    cpu_count = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    workload = {
+        "n_scenarios": len(specs),
+        "n_instances": N_INSTANCES,
+        "step_minutes": STEP_MINUTES,
+        "weeks": WEEKS,
+    }
+    obs.update_bench("engine", "workload", workload)
+    obs.update_bench(
+        "engine",
+        "stages",
+        [
+            {"stage": "chaos_suite_serial", "wall_s": serial_s, "calls": 1},
+            {"stage": "chaos_suite_parallel", "wall_s": parallel_s, "calls": 1},
+        ],
+    )
+    obs.update_bench(
+        "engine",
+        "parallel",
+        {
+            "workers": WORKERS,
+            "cpu_count": cpu_count,
+            "serial_wall_s": serial_s,
+            "parallel_wall_s": parallel_s,
+            "speedup": speedup,
+        },
+    )
+
+    emit_report(
+        "engine_parallel",
+        "\n".join(
+            [
+                "chaos suite: serial vs process pool",
+                f"  scenarios         {len(specs)}",
+                f"  instances         {N_INSTANCES}",
+                f"  workers           {WORKERS} (host cpus: {cpu_count})",
+                f"  serial wall       {serial_s:.3f}s",
+                f"  parallel wall     {parallel_s:.3f}s",
+                f"  speedup           {speedup:.2f}x",
+            ]
+        ),
+    )
+
+    # On a real multi-core host the pool must win; on a single CPU the
+    # ratio is informational only (bench_compare applies the same rule).
+    if cpu_count >= 2:
+        assert speedup > 1.0, f"process pool slower than serial ({speedup:.2f}x)"

@@ -34,7 +34,8 @@ from ..infra.topology import Level, PowerTopology
 from ..reshaping.conversion import ConversionPolicy
 from ..reshaping.fleet import derive_demand, describe_fleet
 from ..reshaping.lconv import learn_conversion_threshold
-from ..reshaping.runtime import ReshapingComparison, ReshapingRuntime
+from ..engine import Engine, ScenarioSpec
+from ..reshaping.runtime import ReshapingComparison
 from ..reshaping.throttling import ThrottleBoostPolicy
 from ..traces.percentiles import band_summary
 from ..traces.service import extract_basis_traces, total_energy_by_service
@@ -385,7 +386,18 @@ def run_reshaping_study(
     threshold = learn_conversion_threshold(training_demand, fleet.n_lc)
     conversion = ConversionPolicy(conversion_threshold=threshold)
     throttle = throttle if throttle is not None else ThrottleBoostPolicy()
-    runtime = ReshapingRuntime(fleet, conversion, throttle=throttle)
+    engine = Engine(fleet, conversion, throttle=throttle)
+
+    def run(mode: str, demand, **spec_kwargs):
+        spec = ScenarioSpec(
+            mode=mode,
+            fleet=fleet,
+            demand=demand,
+            conversion=conversion,
+            throttle=throttle,
+            **spec_kwargs,
+        )
+        return engine.run(spec).result
 
     extra = study.report.expansion.total_extra
     e_th = throttle.extra_conversion_servers(
@@ -396,16 +408,18 @@ def run_reshaping_study(
     grown = base_demand.scaled(1.0 + extra / fleet.n_lc)
     grown_more = base_demand.scaled(1.0 + (extra + e_th) / fleet.n_lc)
 
-    comparison = ReshapingComparison(pre=runtime.run_pre(base_demand))
-    comparison.scenarios["lc_only"] = runtime.run_lc_only(grown, extra)
-    comparison.scenarios["conversion"] = runtime.run_conversion(grown, extra)
-    comparison.scenarios["throttle_boost"] = runtime.run_throttle_boost(
-        grown_more, extra, e_th
+    comparison = ReshapingComparison(pre=run("pre", base_demand))
+    comparison.scenarios["lc_only"] = run("lc_only", grown, extra_servers=extra)
+    comparison.scenarios["conversion"] = run(
+        "conversion", grown, extra_servers=extra
+    )
+    comparison.scenarios["throttle_boost"] = run(
+        "throttle_boost", grown_more, extra_servers=extra, extra_throttle_funded=e_th
     )
     # Static strawman with the same fleet size and traffic as throttle_boost:
     # the Figure 14 baseline that isolates dynamic reshaping's slack effect.
-    comparison.scenarios["lc_only_matched"] = runtime.run_lc_only(
-        grown_more, extra + e_th
+    comparison.scenarios["lc_only_matched"] = run(
+        "lc_only", grown_more, extra_servers=extra + e_th
     )
 
     offpeak = ~conversion.lc_heavy_mask(grown, fleet.n_lc)
@@ -461,8 +475,8 @@ def run_power_safety(
     workload-aware placement should need less capping — above all, less
     *latency-critical* capping.
     """
+    from ..engine.capping import CappingSimulator
     from ..infra.budget import provision_hierarchical
-    from ..infra.capping import CappingSimulator
     from ..traces.instance import ServiceKind
     from ..traces.perturbations import inject_surge
 

@@ -6,7 +6,7 @@ Usage::
     smoothoperator fig10 [--instances N]
     smoothoperator fig13
     smoothoperator table1
-    smoothoperator chaos [--instances N]
+    smoothoperator chaos [--instances N] [--workers N]
     smoothoperator profile [--instances N] [--json]
     smoothoperator monitor [--scenario NAME] [--events PATH] [--instances N]
 """
@@ -154,10 +154,31 @@ def _cmd_safety(args: argparse.Namespace) -> None:
     )
 
 
-def _cmd_chaos(args: argparse.Namespace) -> None:
-    from .faults import format_chaos_table, run_chaos_suite
+def _chaos_specs(args: argparse.Namespace, scenarios=None) -> list:
+    """Shared scenario loader for the chaos and monitor commands.
 
-    outcomes = run_chaos_suite(dc_name="DC1", n_instances=args.instances)
+    Resolves names eagerly (typos fail before any work starts) and stamps
+    the CLI sizing onto declarative :class:`repro.engine.ChaosSpec`s.
+    """
+    from .engine import chaos_spec
+    from .faults.harness import DEFAULT_SUITE
+
+    scenarios = scenarios if scenarios is not None else DEFAULT_SUITE
+    return [
+        chaos_spec(scenario, dc_name="DC1", n_instances=args.instances)
+        for scenario in scenarios
+    ]
+
+
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    from .engine import run_many
+    from .faults import format_chaos_table
+
+    specs = _chaos_specs(args)
+    outcomes = [
+        artifacts.result
+        for artifacts in run_many(specs, workers=args.workers)
+    ]
     print(format_chaos_table(outcomes))
     failed = [o.scenario.name for o in outcomes if not o.passed]
     if failed:
@@ -253,13 +274,14 @@ def _cmd_monitor(args: argparse.Namespace) -> None:
     violation table plus event counts, and writes the JSONL event log.
     """
     from . import obs
-    from .faults.harness import run_chaos_scenario, scenario_by_name
+    from .engine import execute
     from .obs import events as obs_events
     from .obs import telemetry as obs_telemetry
 
-    scenario = scenario_by_name(args.scenario)
+    [spec] = _chaos_specs(args, scenarios=[args.scenario])
+    scenario = spec.scenario
     with obs.tracing(), obs_events.recording() as log, obs_telemetry.recording() as recorder:
-        outcome = run_chaos_scenario(scenario, n_instances=args.instances)
+        outcome = execute(spec).result
 
     dc = experiments.get_datacenter("DC1", n_instances=args.instances)
     level_of = {node.name: node.level for node in dc.topology.nodes()}
@@ -369,6 +391,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--events",
         default="events.jsonl",
         help="JSONL event-log output path (monitor command)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the chaos suite (chaos command)",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

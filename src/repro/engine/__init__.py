@@ -1,0 +1,97 @@
+"""The unified simulation core.
+
+One :class:`Engine` replaces the three scenario stacks that grew up in
+parallel — ``repro.reshaping.runtime`` (clean Sec. 4 scenarios),
+``repro.faults.runtime`` (the same scenarios under injected faults) and
+``repro.infra.capping`` (the emergency fallback).  Scenarios are described
+declaratively by :class:`ScenarioSpec` / :class:`ChaosSpec`, executed by
+:meth:`Engine.run` through a pipeline of :class:`Policy` / :class:`Actuator`
+plugins, and fanned out across processes by :func:`run_many`.
+
+The legacy entry points remain importable as thin shims and produce
+bit-identical results (pinned by the golden parity suite in
+``tests/engine/``).
+"""
+
+from .state import (  # noqa: F401  (import order: leaf modules first)
+    FleetDescription,
+    FleetState,
+    RunArtifacts,
+    ScenarioResult,
+)
+from .capping import (  # noqa: F401
+    DEFAULT_PRIORITY,
+    CappingPolicy,
+    CappingReport,
+    CappingSimulator,
+    NodeCappingStats,
+    compare_capping,
+)
+from .faults import (  # noqa: F401
+    BATCH_POOL,
+    LC_POOL,
+    ChaosRunResult,
+    ConversionFaultModel,
+    ConversionLog,
+    FailureEvent,
+    RecoveryReport,
+    ServerFailureSchedule,
+)
+from .policy import (  # noqa: F401
+    Actuator,
+    ConversionFaultPolicy,
+    ConversionPlanPolicy,
+    EmergencyCapping,
+    Policy,
+    RunContext,
+    ServerFailurePolicy,
+    StaticFleetPolicy,
+    ThrottleBoostPlan,
+)
+from .spec import (  # noqa: F401
+    MODES,
+    ChaosSpec,
+    ScenarioSpec,
+    build_pipeline,
+    chaos_spec,
+)
+from .core import Engine  # noqa: F401
+from .parallel import execute, run_many  # noqa: F401
+
+__all__ = [
+    "Actuator",
+    "BATCH_POOL",
+    "CappingPolicy",
+    "CappingReport",
+    "CappingSimulator",
+    "ChaosRunResult",
+    "ChaosSpec",
+    "ConversionFaultModel",
+    "ConversionFaultPolicy",
+    "ConversionLog",
+    "ConversionPlanPolicy",
+    "DEFAULT_PRIORITY",
+    "EmergencyCapping",
+    "Engine",
+    "FailureEvent",
+    "FleetDescription",
+    "FleetState",
+    "LC_POOL",
+    "MODES",
+    "NodeCappingStats",
+    "Policy",
+    "RecoveryReport",
+    "RunArtifacts",
+    "RunContext",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ServerFailurePolicy",
+    "ServerFailureSchedule",
+    "StaticFleetPolicy",
+    "ThrottleBoostPlan",
+    "build_pipeline",
+    "chaos_spec",
+    "compare_capping",
+    "execute",
+    "run_many",
+]

@@ -32,6 +32,7 @@ from ..analysis.report import format_percent, format_table
 from ..core.metrics import node_asynchrony_scores
 from ..core.pipeline import SmoothOperator, SmoothOperatorConfig
 from ..core.placement import PlacementConfig
+from ..engine import Engine, ScenarioSpec, chaos_spec, run_many
 from ..infra.aggregation import NodePowerView
 from ..infra.breaker import BreakerModel, audit_view, power_safe
 from ..infra.budget import provision_hierarchical
@@ -52,7 +53,6 @@ from .inject import (
 )
 from .repair import RepairPolicy, RepairReport, repair_telemetry
 from .runtime import (
-    ChaosReshapingRuntime,
     ChaosRunResult,
     ConversionFaultModel,
     ServerFailureSchedule,
@@ -312,10 +312,24 @@ def run_chaos_suite(
     scenarios: Optional[Sequence[ChaosScenario]] = None,
     *,
     dc_name: str = "DC1",
+    workers: int = 1,
     **kwargs,
 ) -> List[ChaosScenarioOutcome]:
-    """Run every scenario of the suite; never raises for in-suite faults."""
+    """Run every scenario of the suite; never raises for in-suite faults.
+
+    ``workers > 1`` fans the scenarios out to a process pool via
+    :func:`repro.engine.run_many`; every scenario is seeded, so the
+    outcomes are identical to a serial run.
+    """
     scenarios = scenarios if scenarios is not None else DEFAULT_SUITE
+    if workers > 1:
+        specs = [
+            chaos_spec(scenario, dc_name=dc_name, **kwargs)
+            for scenario in scenarios
+        ]
+        return [
+            artifacts.result for artifacts in run_many(specs, workers=workers)
+        ]
     return [
         run_chaos_scenario(scenario, dc_name=dc_name, **kwargs)
         for scenario in scenarios
@@ -413,11 +427,14 @@ def _run_reshaping_chaos(dc, clean_study, scenario: ChaosScenario) -> ChaosRunRe
         if scenario.failure_events_per_week > 0
         else ServerFailureSchedule()
     )
-    runtime = ChaosReshapingRuntime(
-        fleet,
-        conversion,
+    spec = ScenarioSpec(
+        mode="conversion_chaos",
+        fleet=fleet,
+        demand=demand,
+        conversion=conversion,
         failures=failures,
         conversion_faults=scenario.conversion_faults,
+        extra_servers=extra,
         seed=scenario.seed,
     )
-    return runtime.run_conversion_chaos(demand, extra)
+    return Engine.from_spec(spec).run(spec).result

@@ -1,9 +1,8 @@
-"""Runtime faults and recovery for the reshaping runtime.
+"""Runtime faults and recovery for the reshaping scenarios.
 
 The paper's Sec. 4 runtime simulates a failure-free fleet: every conversion
-lands instantly and no server ever dies.  This module extends
-:class:`~repro.reshaping.runtime.ReshapingRuntime` with the failure modes a
-production fleet actually has:
+lands instantly and no server ever dies.  This module exposes the failure
+modes a production fleet actually has:
 
 * **server failures** — a :class:`ServerFailureSchedule` takes groups of LC
   or Batch servers offline for contiguous windows;
@@ -12,257 +11,59 @@ production fleet actually has:
   bounded retry/backoff; servers mid-conversion idle in neither pool;
 * **emergency capping fallback** — whenever a scenario's ``total_power``
   exceeds the budget, the hierarchical capping loop
-  (:class:`~repro.infra.capping.CappingSimulator`) sheds the excess by
+  (:class:`~repro.engine.capping.CappingSimulator`) sheds the excess by
   service class down to the policy floors, with a forced-shutdown last
   resort, so the recovered scenario reports ``overload_steps() == 0`` and
   zero breaker trips by construction.
+
+.. deprecated::
+    :class:`ChaosReshapingRuntime` is now a thin shim over
+    :class:`repro.engine.Engine` and **no longer subclasses**
+    :class:`~repro.reshaping.runtime.ReshapingRuntime`: the fault layering
+    that used to be subclass overrides is a pipeline of engine policies
+    (:class:`repro.engine.ConversionFaultPolicy`,
+    :class:`repro.engine.ServerFailurePolicy`,
+    :class:`repro.engine.EmergencyCapping`).  The fault models and result
+    types live in :mod:`repro.engine.faults` and are re-exported here
+    unchanged.  Results are bit-identical to the pre-refactor runtime
+    (pinned by the golden parity suite in ``tests/engine/``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional
 
-import numpy as np
-
-from ..obs import events as obs_events
-from ..infra.assignment import Assignment
-from ..infra.breaker import BreakerModel, BreakerTrip
-from ..infra.capping import CappingPolicy, CappingReport, CappingSimulator
-from ..infra.topology import PowerNode, PowerTopology
+from ..engine.faults import (  # noqa: F401  (re-export)
+    BATCH_POOL,
+    LC_POOL,
+    ChaosRunResult,
+    ConversionFaultModel,
+    ConversionLog,
+    FailureEvent,
+    RecoveryReport,
+    ServerFailureSchedule,
+)
+from ..engine.state import FleetDescription, ScenarioResult  # noqa: F401
+from ..infra.breaker import BreakerModel
 from ..reshaping.conversion import ConversionPolicy
-from ..reshaping.runtime import FleetDescription, ReshapingRuntime, ScenarioResult
+from ..reshaping.runtime import _EngineBackedRuntime
+from ..engine.capping import CappingPolicy, CappingReport  # noqa: F401
 from ..sim.demand import DemandTrace
-from ..traces.grid import TimeGrid
-from ..traces.instance import ServiceKind
-from ..traces.series import PowerTrace
-from ..traces.traceset import TraceSet
-
-#: Pools a failure event can hit.
-LC_POOL = "lc"
-BATCH_POOL = "batch"
 
 
-@dataclass(frozen=True)
-class FailureEvent:
-    """One group of servers offline for a contiguous window."""
-
-    start_index: int
-    duration_samples: int
-    n_servers: int
-    pool: str = LC_POOL
-
-    def __post_init__(self) -> None:
-        if self.start_index < 0:
-            raise ValueError("start_index cannot be negative")
-        if self.duration_samples <= 0:
-            raise ValueError("duration_samples must be positive")
-        if self.n_servers <= 0:
-            raise ValueError("n_servers must be positive")
-        if self.pool not in (LC_POOL, BATCH_POOL):
-            raise ValueError(f"pool must be {LC_POOL!r} or {BATCH_POOL!r}")
-
-
-@dataclass(frozen=True)
-class ServerFailureSchedule:
-    """When and where servers die over the simulated span."""
-
-    events: Tuple[FailureEvent, ...] = ()
-
-    def lost_servers(self, n_samples: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-step offline counts ``(lc_lost, batch_lost)``."""
-        lc = np.zeros(n_samples)
-        batch = np.zeros(n_samples)
-        for event in self.events:
-            stop = min(event.start_index + event.duration_samples, n_samples)
-            if event.start_index >= n_samples:
-                continue
-            target = lc if event.pool == LC_POOL else batch
-            target[event.start_index : stop] += event.n_servers
-        return lc, batch
-
-    def downtime_server_steps(self, n_samples: int) -> float:
-        lc, batch = self.lost_servers(n_samples)
-        return float(lc.sum() + batch.sum())
-
-    @classmethod
-    def random(
-        cls,
-        grid: TimeGrid,
-        *,
-        n_lc: int,
-        n_batch: int,
-        events_per_week: float = 4.0,
-        mean_duration_hours: float = 4.0,
-        group_fraction: float = 0.02,
-        seed: int = 0,
-    ) -> "ServerFailureSchedule":
-        """Poisson failure arrivals sized like rack-level outages.
-
-        Each event takes roughly ``group_fraction`` of its pool offline for
-        an exponentially-distributed window.  Events are split between the
-        pools in proportion to their size.
-        """
-        if events_per_week < 0 or mean_duration_hours <= 0:
-            raise ValueError("need non-negative rate and positive duration")
-        if not 0 < group_fraction <= 1:
-            raise ValueError("group_fraction must be in (0, 1]")
-        rng = np.random.default_rng(seed)
-        n_events = int(rng.poisson(events_per_week * grid.n_weeks))
-        total = max(n_lc + n_batch, 1)
-        mean_duration_samples = max(
-            1, int(round(mean_duration_hours * 60 / grid.step_minutes))
-        )
-        events: List[FailureEvent] = []
-        for _ in range(n_events):
-            pool = LC_POOL if rng.random() < n_lc / total else BATCH_POOL
-            pool_size = n_lc if pool == LC_POOL else n_batch
-            if pool_size == 0:
-                continue
-            group = max(1, int(round(group_fraction * pool_size)))
-            duration = max(1, int(rng.exponential(mean_duration_samples)))
-            start = int(rng.integers(0, grid.n_samples))
-            events.append(
-                FailureEvent(
-                    start_index=start,
-                    duration_samples=duration,
-                    n_servers=group,
-                    pool=pool,
-                )
-            )
-        return cls(events=tuple(events))
-
-
-@dataclass
-class ConversionLog:
-    """What happened to the conversions of one pool during a run."""
-
-    n_transitions: int = 0
-    n_failed_attempts: int = 0
-    n_aborted: int = 0
-    delayed_server_steps: float = 0.0
-
-
-@dataclass(frozen=True)
-class ConversionFaultModel:
-    """Latency and failure semantics for conversion actions.
-
-    A conversion *into* a pool takes ``latency_steps`` to land; each attempt
-    fails with probability ``failure_prob`` and is retried after an
-    exponential backoff (``backoff_steps`` doubling per retry), at most
-    ``max_retries`` times.  If every attempt fails the transition aborts and
-    the servers stay out of the pool until the next phase change.  Leaving a
-    pool is immediate — stopping work needs no handshake.
-    """
-
-    latency_steps: int = 0
-    failure_prob: float = 0.0
-    max_retries: int = 3
-    backoff_steps: int = 1
-
-    def __post_init__(self) -> None:
-        if self.latency_steps < 0:
-            raise ValueError("latency_steps cannot be negative")
-        if not 0 <= self.failure_prob < 1:
-            raise ValueError("failure_prob must be in [0, 1)")
-        if self.max_retries < 0:
-            raise ValueError("max_retries cannot be negative")
-        if self.backoff_steps < 0:
-            raise ValueError("backoff_steps cannot be negative")
-
-    def realize(
-        self, target: np.ndarray, rng: np.random.Generator
-    ) -> Tuple[np.ndarray, ConversionLog]:
-        """The pool occupancy actually achieved for a target schedule.
-
-        ``target`` is the desired per-step number of extra servers in the
-        pool.  The realised schedule is pointwise at most the target:
-        upward transitions lag by latency and retries (or abort), downward
-        transitions apply immediately.
-        """
-        target = np.asarray(target, dtype=np.float64)
-        realized = np.empty_like(target)
-        log = ConversionLog()
-        current = float(target[0])
-        realized[0] = current
-        pending_level: Optional[float] = None
-        pending_ready = 0
-        for t in range(1, len(target)):
-            want = float(target[t])
-            if want <= current:
-                current = want
-                pending_level = None
-            else:
-                if pending_level != want:
-                    log.n_transitions += 1
-                    failures = 0
-                    while failures <= self.max_retries and (
-                        rng.random() < self.failure_prob
-                    ):
-                        failures += 1
-                    if failures > self.max_retries:
-                        log.n_failed_attempts += failures
-                        log.n_aborted += 1
-                        pending_level = want
-                        pending_ready = len(target) + 1  # never lands
-                    else:
-                        log.n_failed_attempts += failures
-                        delay = (failures + 1) * self.latency_steps + sum(
-                            self.backoff_steps * (2**i) for i in range(failures)
-                        )
-                        pending_level = want
-                        pending_ready = t + delay
-                if t >= pending_ready:
-                    current = want
-                    pending_level = None
-            realized[t] = current
-            log.delayed_server_steps += max(want - current, 0.0)
-        return realized, log
-
-
-@dataclass
-class RecoveryReport:
-    """Audit trail of the emergency fallback for one chaos run."""
-
-    engaged: bool
-    trips_before: List[BreakerTrip] = field(default_factory=list)
-    trips_after: List[BreakerTrip] = field(default_factory=list)
-    overload_steps_before: int = 0
-    overload_steps_after: int = 0
-    capping: Optional[CappingReport] = None
-    forced_shutdown_watt_minutes: float = 0.0
-    conversion_lc: Optional[ConversionLog] = None
-    conversion_batch: Optional[ConversionLog] = None
-    failure_downtime_server_steps: float = 0.0
-
-    @property
-    def lc_energy_shed(self) -> float:
-        """LC watt-minutes shed by the capping fallback (QoS damage)."""
-        return self.capping.lc_energy_shed if self.capping is not None else 0.0
-
-
-@dataclass
-class ChaosRunResult:
-    """A recovered scenario plus how the runtime got there."""
-
-    scenario: ScenarioResult
-    raw: ScenarioResult
-    recovery: RecoveryReport
-
-    def power_safe(self, breaker: Optional[BreakerModel] = None) -> bool:
-        breaker = breaker if breaker is not None else BreakerModel()
-        trace = PowerTrace(
-            self.scenario.grid, np.maximum(self.scenario.total_power, 0.0)
-        )
-        return not breaker.trips(trace, self.scenario.budget_watts)
-
-
-class ChaosReshapingRuntime(ReshapingRuntime):
-    """A :class:`ReshapingRuntime` that survives a hostile fleet.
+class ChaosReshapingRuntime(_EngineBackedRuntime):
+    """A reshaping runtime that survives a hostile fleet.
 
     Layers server failures, flaky conversions, and the emergency capping
     fallback over the Sec. 4 scenarios.  With the default fault models
-    (no failures, instant conversions) it reproduces the parent exactly.
+    (no failures, instant conversions) it reproduces the clean runtime
+    exactly.
+
+    .. deprecated::
+        A shim over :class:`repro.engine.Engine`; see the module note.
+        Notably this class shares only the engine-backed base with
+        :class:`~repro.reshaping.runtime.ReshapingRuntime` — it is *not*
+        a subclass of it any more.
     """
 
     def __init__(
@@ -275,81 +76,49 @@ class ChaosReshapingRuntime(ReshapingRuntime):
         failures: Optional[ServerFailureSchedule] = None,
         conversion_faults: Optional[ConversionFaultModel] = None,
         breaker: Optional[BreakerModel] = None,
-        capping_policy: Optional[CappingPolicy] = None,
+        capping_policy=None,
         seed: int = 0,
     ) -> None:
-        super().__init__(fleet, conversion, throttle=throttle, dvfs=dvfs)
-        self.failures = failures if failures is not None else ServerFailureSchedule()
-        self.conversion_faults = (
-            conversion_faults if conversion_faults is not None else ConversionFaultModel()
+        super().__init__(
+            fleet,
+            conversion,
+            throttle=throttle,
+            dvfs=dvfs,
+            failures=failures,
+            conversion_faults=conversion_faults,
+            breaker=breaker,
+            capping_policy=capping_policy,
+            seed=seed,
         )
-        self.breaker = breaker if breaker is not None else BreakerModel()
-        self.capping_policy = (
-            capping_policy if capping_policy is not None else CappingPolicy()
-        )
-        self.seed = seed
+
+    # -- chaos-specific model accessors ---------------------------------
+    @property
+    def failures(self) -> ServerFailureSchedule:
+        return self._engine.failures
+
+    @property
+    def conversion_faults(self) -> ConversionFaultModel:
+        return self._engine.conversion_faults
+
+    @property
+    def breaker(self) -> BreakerModel:
+        return self._engine.breaker
+
+    @property
+    def capping_policy(self):
+        return self._engine.capping_policy
+
+    @property
+    def seed(self) -> int:
+        return self._engine.seed
 
     # ------------------------------------------------------------------
     def run_conversion_chaos(
         self, demand: DemandTrace, extra_servers: int
     ) -> ChaosRunResult:
         """The conversion scenario under runtime faults, then recovered."""
-        self._check_extra(extra_servers)
-        n_samples = demand.grid.n_samples
-        _, n_lc_active, n_batch_active, _ = self.conversion_plan(
-            demand, extra_servers
-        )
-
-        rng = np.random.default_rng([self.seed, 0xC0])
-        realized_lc, log_lc = self.conversion_faults.realize(
-            n_lc_active - self.fleet.n_lc, rng
-        )
-        realized_batch, log_batch = self.conversion_faults.realize(
-            n_batch_active - self.fleet.n_batch, rng
-        )
-        # Extras neither serving LC nor running batch idle mid-conversion.
-        parked = np.maximum(extra_servers - realized_lc - realized_batch, 0.0)
-
-        lc_lost, batch_lost = self.failures.lost_servers(n_samples)
-        n_lc = np.maximum(self.fleet.n_lc + realized_lc - lc_lost, 0.0)
-        n_batch = np.maximum(self.fleet.n_batch + realized_batch - batch_lost, 0.0)
-
-        for pool, log in ((LC_POOL, log_lc), (BATCH_POOL, log_batch)):
-            obs_events.emit(
-                obs_events.CONVERSION,
-                severity="warning" if log.n_aborted else "info",
-                source="faults.conversion",
-                pool=pool,
-                transitions=log.n_transitions,
-                failed_attempts=log.n_failed_attempts,
-                aborted=log.n_aborted,
-                delayed_server_steps=log.delayed_server_steps,
-            )
-        if self.failures.events:
-            obs_events.emit(
-                obs_events.FAULT_INJECTION,
-                severity="warning",
-                source="faults.failures",
-                fault="server_failures",
-                events=len(self.failures.events),
-                downtime_server_steps=self.failures.downtime_server_steps(n_samples),
-            )
-
-        raw = self._assemble(
-            "conversion_chaos",
-            demand,
-            n_lc_active=n_lc,
-            n_batch_active=n_batch,
-            batch_freq=np.ones(n_samples),
-            parked=parked,
-        )
-        result = self.recover(raw)
-        result.recovery.conversion_lc = log_lc
-        result.recovery.conversion_batch = log_batch
-        result.recovery.failure_downtime_server_steps = (
-            self.failures.downtime_server_steps(n_samples)
-        )
-        return result
+        spec = self._spec("conversion_chaos", demand, extra_servers=extra_servers)
+        return self._engine.run(spec).result
 
     def run_throttle_boost_chaos(
         self,
@@ -365,191 +134,18 @@ class ChaosReshapingRuntime(ReshapingRuntime):
         point still routes the boosted scenario through the emergency
         fallback so a mis-sized budget cannot trip a breaker.
         """
-        scenario = self.run_throttle_boost(
-            demand, extra_conversion, extra_throttle_funded
+        spec = self._spec(
+            "throttle_boost_chaos",
+            demand,
+            extra_servers=extra_conversion,
+            extra_throttle_funded=extra_throttle_funded,
         )
-        return self.recover(scenario)
+        return self._engine.run(spec).result
 
-    # ------------------------------------------------------------------
-    # emergency fallback
     # ------------------------------------------------------------------
     def recover(self, scenario: ScenarioResult) -> ChaosRunResult:
         """Route an over-budget scenario through the capping fallback.
 
-        Decomposes ``total_power`` into LC / batch / other components,
-        invokes the hierarchical capping loop on a one-node tree carrying
-        the scenario budget, and rebuilds the scenario from the capped
-        components.  Any residual the class floors cannot shed is removed
-        by forced shutdown (recorded, never silent), so the recovered
-        scenario satisfies ``overload_steps() == 0`` by construction.
+        Delegates to :meth:`repro.engine.Engine.recover`.
         """
-        trace = PowerTrace(scenario.grid, np.maximum(scenario.total_power, 0.0))
-        trips_before = self.breaker.trips(trace, scenario.budget_watts, "dc")
-        overload_before = scenario.overload_steps()
-        if overload_before == 0:
-            return ChaosRunResult(
-                scenario=scenario,
-                raw=scenario,
-                recovery=RecoveryReport(
-                    engaged=False,
-                    trips_before=trips_before,
-                    overload_steps_before=0,
-                ),
-            )
-
-        for trip in trips_before:
-            obs_events.emit(
-                obs_events.BREAKER_TRIP,
-                severity="critical",
-                source="faults.recover",
-                node=trip.node_name,
-                scenario=scenario.name,
-                start_index=trip.start_index,
-                duration_samples=trip.duration_samples,
-                peak_overload_watts=trip.peak_overload_watts,
-            )
-        lc_power, batch_power, other_power = self._components(scenario)
-        report, capped = self._run_capping(
-            scenario, lc_power, batch_power, other_power
-        )
-        capped_lc = capped.row("lc").copy()
-        capped_batch = capped.row("batch").copy()
-        capped_other = capped.row("other").copy()
-
-        total = capped_lc + capped_batch + capped_other
-        # Forced shutdown: whatever the floors protect beyond the budget is
-        # powered off outright (the breaker would take it anyway).
-        forced = np.maximum(total - scenario.budget_watts, 0.0)
-        if np.any(forced > 0):
-            for component in (capped_batch, capped_other, capped_lc):
-                shed = np.minimum(component, forced)
-                component -= shed
-                forced -= shed
-            total = capped_lc + capped_batch + capped_other
-        forced_total = float(
-            np.maximum(
-                capped.row("lc") + capped.row("batch") + capped.row("other")
-                - scenario.budget_watts,
-                0.0,
-            ).sum()
-        ) * scenario.grid.step_minutes
-        if forced_total < 1e-6:  # numerical crumbs, not real shutdowns
-            forced_total = 0.0
-
-        recovered = self._rebuild(
-            scenario, lc_power, batch_power, capped_lc, capped_batch, total
-        )
-        trips_after = self.breaker.trips(
-            PowerTrace(scenario.grid, np.maximum(recovered.total_power, 0.0)),
-            scenario.budget_watts,
-            "dc",
-        )
-        obs_events.emit(
-            obs_events.CAPPING,
-            severity="warning",
-            source="faults.recover",
-            scenario=scenario.name,
-            overload_steps_before=overload_before,
-            overload_steps_after=recovered.overload_steps(),
-            trips_before=len(trips_before),
-            trips_after=len(trips_after),
-            lc_energy_shed=report.lc_energy_shed,
-            forced_shutdown_watt_minutes=forced_total,
-        )
-        return ChaosRunResult(
-            scenario=recovered,
-            raw=scenario,
-            recovery=RecoveryReport(
-                engaged=True,
-                trips_before=trips_before,
-                trips_after=trips_after,
-                overload_steps_before=overload_before,
-                overload_steps_after=recovered.overload_steps(),
-                capping=report,
-                forced_shutdown_watt_minutes=forced_total,
-            ),
-        )
-
-    # ------------------------------------------------------------------
-    def _components(
-        self, scenario: ScenarioResult
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Split a scenario's total power into LC / batch / other draw."""
-        lc_power = scenario.n_lc_active * self.fleet.lc_model.power(
-            scenario.per_server_load
-        )
-        batch_power = scenario.n_batch_active * self.fleet.batch_model.power(
-            1.0, scenario.batch_freq
-        )
-        other_power = scenario.total_power - lc_power - batch_power
-        return lc_power, batch_power, np.maximum(other_power, 0.0)
-
-    def _run_capping(
-        self,
-        scenario: ScenarioResult,
-        lc_power: np.ndarray,
-        batch_power: np.ndarray,
-        other_power: np.ndarray,
-    ) -> Tuple[CappingReport, TraceSet]:
-        root = PowerNode(
-            "dc", level="datacenter", budget_watts=scenario.budget_watts
-        )
-        topology = PowerTopology(root)
-        assignment = Assignment(
-            topology, {"lc": "dc", "batch": "dc", "other": "dc"}
-        )
-        traces = TraceSet(
-            scenario.grid,
-            ["lc", "batch", "other"],
-            np.vstack(
-                [
-                    np.maximum(lc_power, 0.0),
-                    np.maximum(batch_power, 0.0),
-                    other_power,
-                ]
-            ),
-        )
-        kinds = {
-            "lc": ServiceKind.LATENCY_CRITICAL,
-            "batch": ServiceKind.BATCH,
-            "other": ServiceKind.OTHER,
-        }
-        simulator = CappingSimulator(
-            topology, assignment, traces, kinds, policy=self.capping_policy
-        )
-        return simulator.run_capped()
-
-    def _rebuild(
-        self,
-        scenario: ScenarioResult,
-        lc_before: np.ndarray,
-        batch_before: np.ndarray,
-        lc_after: np.ndarray,
-        batch_after: np.ndarray,
-        total: np.ndarray,
-    ) -> ScenarioResult:
-        """A copy of ``scenario`` with throughput scaled to the capped power."""
-        with np.errstate(divide="ignore", invalid="ignore"):
-            lc_ratio = np.where(lc_before > 0, lc_after / lc_before, 1.0)
-            batch_ratio = np.where(
-                batch_before > 0, batch_after / batch_before, 1.0
-            )
-        lc_served = scenario.lc_served * lc_ratio
-        return ScenarioResult(
-            name=scenario.name,
-            grid=scenario.grid,
-            budget_watts=scenario.budget_watts,
-            demand=scenario.demand.copy(),
-            lc_served=lc_served,
-            lc_dropped=np.maximum(scenario.demand - lc_served, 0.0),
-            load_on_original=scenario.load_on_original.copy(),
-            per_server_load=scenario.per_server_load * lc_ratio,
-            n_lc_active=scenario.n_lc_active.copy(),
-            n_batch_active=scenario.n_batch_active.copy(),
-            batch_throughput=scenario.batch_throughput * batch_ratio,
-            batch_freq=scenario.batch_freq.copy(),
-            total_power=total,
-            parked=(
-                scenario.parked.copy() if scenario.parked is not None else None
-            ),
-        )
+        return self._engine.recover(scenario)

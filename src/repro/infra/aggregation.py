@@ -46,13 +46,17 @@ class NodePowerView:
     def _aggregate(self, node: PowerNode) -> np.ndarray:
         if node.is_leaf:
             members = self.assignment.instances_on_leaf(node.name)
-            total = np.zeros(self.traces.grid.n_samples)
-            for instance_id in members:
-                total += self.traces.row(instance_id)
+            if members:
+                # Fancy-index the TraceSet matrix and reduce once — far
+                # fewer Python-level passes than adding row by row.
+                rows = [self.traces.index_of(i) for i in members]
+                total = self.traces.matrix[rows].sum(axis=0)
+            else:
+                total = np.zeros(self.traces.grid.n_samples)
         else:
-            total = np.zeros(self.traces.grid.n_samples)
-            for child in node.children:
-                total += self._aggregate(child)
+            total = np.sum(
+                [self._aggregate(child) for child in node.children], axis=0
+            )
         self._node_values[node.name] = total
         return total
 

@@ -10,9 +10,16 @@ Simulates a datacenter's test week under four scenarios:
   LC-heavy Phase (funding extra conversion servers) and batch boosting
   during Batch-heavy Phase.
 
-Each scenario produces the Figure 12 time series (per-LC-server load, LC and
-Batch throughput) and the power trace from which Figure 13's throughput
-improvements and Figure 14's slack reductions are computed.
+.. deprecated::
+    :class:`ReshapingRuntime` is now a thin shim over the unified
+    simulation core (:class:`repro.engine.Engine`): each ``run_*`` method
+    builds a declarative :class:`repro.engine.ScenarioSpec` and executes
+    it through the engine's policy pipeline, producing bit-identical
+    results (pinned by the golden parity suite in ``tests/engine/``).
+    New code should construct specs and call :meth:`Engine.run` — or
+    :func:`repro.engine.run_many` for parallel batches — directly.
+    :class:`FleetDescription` and :class:`ScenarioResult` live in
+    :mod:`repro.engine.state` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
@@ -22,96 +29,22 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from .. import obs
-from ..obs import events as obs_events
-from ..obs import telemetry as obs_telemetry
-from ..sim.batch import batch_throughput
+from ..engine.spec import ScenarioSpec
+from ..engine.state import FleetDescription, ScenarioResult  # noqa: F401  (re-export)
 from ..sim.demand import DemandTrace
-from ..sim.loadbalancer import dispatch
-from ..sim.power_model import DVFSModel, ServerPowerModel
-from ..traces.grid import TimeGrid
-from ..traces.series import PowerTrace
+from ..sim.power_model import DVFSModel
 from .conversion import ConversionPolicy
 from .throttling import ThrottleBoostPolicy
 
 
-@dataclass(frozen=True)
-class FleetDescription:
-    """The original fleet the reshaping runtime operates on.
+class _EngineBackedRuntime:
+    """Shared shim plumbing: an owned Engine plus the clean-run methods.
 
-    ``other_power`` carries the exogenous draw of servers that are neither
-    LC nor Batch (storage, dev, ...) straight from their test traces.
+    Both :class:`ReshapingRuntime` and
+    :class:`repro.faults.runtime.ChaosReshapingRuntime` extend this (and
+    deliberately *not* each other — the old subclass relationship is gone;
+    the fault layering is a pipeline of engine policies now).
     """
-
-    n_lc: int
-    n_batch: int
-    lc_model: ServerPowerModel
-    batch_model: ServerPowerModel
-    budget_watts: float
-    other_power: Optional[PowerTrace] = None
-
-    def __post_init__(self) -> None:
-        if self.n_lc <= 0:
-            raise ValueError("fleet needs at least one LC server")
-        if self.n_batch < 0:
-            raise ValueError("n_batch cannot be negative")
-        if self.budget_watts <= 0:
-            raise ValueError("budget must be positive")
-
-
-@dataclass
-class ScenarioResult:
-    """Time series and summaries for one simulated scenario."""
-
-    name: str
-    grid: TimeGrid
-    budget_watts: float
-    demand: np.ndarray
-    lc_served: np.ndarray
-    lc_dropped: np.ndarray
-    load_on_original: np.ndarray
-    per_server_load: np.ndarray
-    n_lc_active: np.ndarray
-    n_batch_active: np.ndarray
-    batch_throughput: np.ndarray
-    batch_freq: np.ndarray
-    total_power: np.ndarray
-    #: Conversion servers idling between modes (OS up, no work), per step.
-    parked: Optional[np.ndarray] = None
-
-    # ------------------------------------------------------------------
-    def lc_total(self) -> float:
-        return float(self.lc_served.sum())
-
-    def batch_total(self) -> float:
-        return float(self.batch_throughput.sum())
-
-    def dropped_fraction(self) -> float:
-        total = float(self.demand.sum())
-        if total == 0:
-            return 0.0
-        return float(self.lc_dropped.sum()) / total
-
-    def power_slack(self) -> np.ndarray:
-        """Instantaneous slack (Eq. 1); negative values mean overload."""
-        return self.budget_watts - self.total_power
-
-    def mean_slack(self) -> float:
-        return float(self.power_slack().mean())
-
-    def energy_slack(self) -> float:
-        """Eq. 2 over the whole scenario, in watt-minutes."""
-        return float(self.power_slack().sum()) * self.grid.step_minutes
-
-    def overload_steps(self) -> int:
-        return int(np.sum(self.total_power > self.budget_watts + 1e-9))
-
-    def peak_power(self) -> float:
-        return float(self.total_power.max())
-
-
-class ReshapingRuntime:
-    """Runs the Sec. 4 scenarios for one datacenter."""
 
     def __init__(
         self,
@@ -120,37 +53,61 @@ class ReshapingRuntime:
         *,
         throttle: Optional[ThrottleBoostPolicy] = None,
         dvfs: Optional[DVFSModel] = None,
+        **engine_kwargs,
     ) -> None:
-        self.fleet = fleet
-        self.conversion = conversion
-        self.throttle = throttle if throttle is not None else ThrottleBoostPolicy()
-        self.dvfs = dvfs if dvfs is not None else DVFSModel()
+        # Lazy: repro.engine.core is mid-import when this module loads
+        # through the engine's own ``reshaping.throttling`` dependency.
+        from ..engine.core import Engine
+
+        self._engine = Engine(
+            fleet, conversion, throttle=throttle, dvfs=dvfs, **engine_kwargs
+        )
+
+    # -- the engine owns the models; expose them read-only ---------------
+    @property
+    def fleet(self) -> FleetDescription:
+        return self._engine.fleet
+
+    @property
+    def conversion(self) -> ConversionPolicy:
+        return self._engine.conversion
+
+    @property
+    def throttle(self) -> ThrottleBoostPolicy:
+        return self._engine.throttle
+
+    @property
+    def dvfs(self) -> DVFSModel:
+        return self._engine.dvfs
+
+    def _spec(self, mode: str, demand: DemandTrace, **kwargs) -> ScenarioSpec:
+        engine = self._engine
+        return ScenarioSpec(
+            mode=mode,
+            fleet=engine.fleet,
+            demand=demand,
+            conversion=engine.conversion,
+            throttle=engine.throttle,
+            dvfs=engine.dvfs,
+            failures=engine.failures,
+            conversion_faults=engine.conversion_faults,
+            breaker=engine.breaker,
+            capping_policy=engine.capping_policy,
+            seed=engine.seed,
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------
     # scenario entry points
     # ------------------------------------------------------------------
     def run_pre(self, demand: DemandTrace) -> ScenarioResult:
         """Original fleet, original traffic, nominal frequency everywhere."""
-        n = demand.grid.n_samples
-        return self._assemble(
-            "pre",
-            demand,
-            n_lc_active=np.full(n, float(self.fleet.n_lc)),
-            n_batch_active=np.full(n, float(self.fleet.n_batch)),
-            batch_freq=np.ones(n),
-        )
+        return self._engine.run(self._spec("pre", demand)).result
 
     def run_lc_only(self, demand: DemandTrace, extra_servers: int) -> ScenarioResult:
         """Headroom filled with LC-specific servers (always LC)."""
-        self._check_extra(extra_servers)
-        n = demand.grid.n_samples
-        return self._assemble(
-            "lc_only",
-            demand,
-            n_lc_active=np.full(n, float(self.fleet.n_lc + extra_servers)),
-            n_batch_active=np.full(n, float(self.fleet.n_batch)),
-            batch_freq=np.ones(n),
-        )
+        spec = self._spec("lc_only", demand, extra_servers=extra_servers)
+        return self._engine.run(spec).result
 
     def run_conversion(self, demand: DemandTrace, extra_servers: int) -> ScenarioResult:
         """Headroom filled with conversion servers flipping with the phase.
@@ -159,18 +116,8 @@ class ReshapingRuntime:
         ``conversion.batch_convertible(extra, n_batch)`` extras run batch;
         any remainder stays in LC mode (the batch tier cannot absorb them).
         """
-        self._check_extra(extra_servers)
-        _, n_lc_active, n_batch_active, parked = self.conversion_plan(
-            demand, extra_servers
-        )
-        return self._assemble(
-            "conversion",
-            demand,
-            n_lc_active=n_lc_active,
-            n_batch_active=n_batch_active,
-            batch_freq=np.ones(demand.grid.n_samples),
-            parked=parked,
-        )
+        spec = self._spec("conversion", demand, extra_servers=extra_servers)
+        return self._engine.run(spec).result
 
     def run_throttle_boost(
         self,
@@ -183,223 +130,39 @@ class ReshapingRuntime:
         ``extra_throttle_funded`` (``e_th``) defaults to what throttling the
         batch fleet frees at the policy's throttle frequency.
         """
-        self._check_extra(extra_conversion)
-        if extra_throttle_funded is None:
-            extra_throttle_funded = self.throttle.extra_conversion_servers(
-                self.fleet.n_batch,
-                self.fleet.batch_model,
-                self.fleet.lc_model,
-                n_lc=self.fleet.n_lc,
-            )
-        if extra_throttle_funded < 0:
-            raise ValueError("extra_throttle_funded cannot be negative")
-        total_extra = extra_conversion + extra_throttle_funded
-
-        lc_heavy, n_lc_active, n_batch_active, parked = self.conversion_plan(
-            demand, total_extra
-        )
-        batch_heavy = ~lc_heavy
-
-        # LC-heavy: batch throttled.  Batch-heavy: boost into the slack left
-        # by the nominal-frequency power draw.
-        freq = np.where(lc_heavy, self.throttle.throttle_freq, 1.0)
-        nominal = self._assemble(
+        spec = self._spec(
             "throttle_boost",
             demand,
-            n_lc_active=n_lc_active,
-            n_batch_active=n_batch_active,
-            batch_freq=freq,
-            parked=parked,
+            extra_servers=extra_conversion,
+            extra_throttle_funded=extra_throttle_funded,
         )
-        slack = nominal.power_slack()
-        boost = self.throttle.boost_schedule(
-            slack, n_batch_active, self.fleet.batch_model, self.dvfs
-        )
-        freq = np.where(batch_heavy, np.maximum(boost, 1.0), freq)
-        boosted = self._assemble(
-            "throttle_boost",
-            demand,
-            n_lc_active=n_lc_active,
-            n_batch_active=n_batch_active,
-            batch_freq=freq,
-            parked=parked,
-        )
-        # Regression guard: the boost schedule is solved against the
-        # *nominal* run's slack.  Wherever the realised scenario still
-        # exceeds budget (pre-existing overload, full-safety rounding),
-        # re-solve the batch frequency against the actual non-batch draw so
-        # the boosted scenario never trades throughput for a breaker trip.
-        if boosted.overload_steps():
-            freq = self._fit_freq_to_budget(boosted, freq)
-            boosted = self._assemble(
-                "throttle_boost",
-                demand,
-                n_lc_active=n_lc_active,
-                n_batch_active=n_batch_active,
-                batch_freq=freq,
-                parked=parked,
-            )
-        throttled_steps = int(np.count_nonzero(boosted.batch_freq < 1.0 - 1e-12))
-        if throttled_steps:
-            obs_events.emit(
-                obs_events.THROTTLE,
-                source="reshaping.throttle_boost",
-                steps=throttled_steps,
-                min_freq=float(boosted.batch_freq.min()),
-                throttle_freq=float(self.throttle.throttle_freq),
-            )
-        boosted_steps = int(np.count_nonzero(boosted.batch_freq > 1.0 + 1e-12))
-        if boosted_steps:
-            obs_events.emit(
-                obs_events.BOOST,
-                source="reshaping.throttle_boost",
-                steps=boosted_steps,
-                max_freq=float(boosted.batch_freq.max()),
-            )
-        return boosted
+        return self._engine.run(spec).result
 
     # ------------------------------------------------------------------
-    def conversion_plan(
-        self, demand: DemandTrace, total_extra: int
-    ) -> "tuple":
+    def conversion_plan(self, demand: DemandTrace, total_extra: int) -> "tuple":
         """Per-step fleet plan for ``total_extra`` conversion servers.
 
-        Returns ``(lc_heavy, n_lc_active, n_batch_active, parked)``: during
-        LC-heavy Phase every extra runs LC; during Batch-heavy Phase at most
-        ``batch_convertible`` extras run batch and the remainder sit parked
-        at idle, OS up, ready to convert (Sec. 4.2).
+        Delegates to :meth:`repro.engine.Engine.conversion_plan`.
         """
-        lc_heavy = self.conversion.lc_heavy_mask(demand, self.fleet.n_lc)
-        convertible = self.conversion.batch_convertible(
-            total_extra, self.fleet.n_batch
-        )
-        batch_heavy_f = (~lc_heavy).astype(np.float64)
-        n_lc_active = self.fleet.n_lc + total_extra * lc_heavy.astype(np.float64)
-        n_batch_active = self.fleet.n_batch + convertible * batch_heavy_f
-        parked = (total_extra - convertible) * batch_heavy_f
-        obs_events.emit(
-            obs_events.CONVERSION,
-            source="reshaping.conversion_plan",
-            phase_changes=int(np.count_nonzero(np.diff(lc_heavy))),
-            total_extra=int(total_extra),
-            batch_convertible=int(convertible),
-            parked_peak=float(parked.max()) if len(parked) else 0.0,
-        )
-        return lc_heavy, n_lc_active, n_batch_active, parked
+        return self._engine.conversion_plan(demand, total_extra)
 
-    def _fit_freq_to_budget(
-        self, result: ScenarioResult, freq: np.ndarray
-    ) -> np.ndarray:
-        """Lower the batch frequency wherever ``result`` exceeds its budget.
 
-        Solves ``n x (idle + swing x f^gamma) <= budget - non_batch_power``
-        per step and clamps into the DVFS range; steps already within budget
-        keep their schedule.  Overload that batch throttling alone cannot
-        cure (non-batch draw above budget even at ``min_freq``) is left for
-        the emergency capping fallback (:mod:`repro.faults.runtime`).
-        """
-        over = result.total_power > result.budget_watts + 1e-9
-        if not np.any(over):
-            return freq
-        model = self.fleet.batch_model
-        n_batch = result.n_batch_active
-        batch_power = n_batch * model.power(1.0, result.batch_freq)
-        non_batch = result.total_power - batch_power
-        allowed = result.budget_watts - non_batch - 1e-6
-        with np.errstate(divide="ignore", invalid="ignore"):
-            per_server = np.where(
-                n_batch > 0, allowed / np.maximum(n_batch, 1e-12), np.inf
-            )
-        ratio = np.maximum((per_server - model.idle_watts) / model.swing_watts, 0.0)
-        safe = np.power(ratio, 1.0 / model.gamma)
-        safe = np.clip(safe, self.dvfs.min_freq, self.dvfs.max_freq)
-        return np.where(over, np.minimum(freq, safe), freq)
+class ReshapingRuntime(_EngineBackedRuntime):
+    """Runs the Sec. 4 scenarios for one datacenter.
 
-    # ------------------------------------------------------------------
-    def _check_extra(self, extra: int) -> None:
-        if extra < 0:
-            raise ValueError("extra server count cannot be negative")
+    .. deprecated::
+        A shim over :class:`repro.engine.Engine`; see the module note.
+    """
 
-    def _assemble(
+    def __init__(
         self,
-        name: str,
-        demand: DemandTrace,
+        fleet: FleetDescription,
+        conversion: ConversionPolicy,
         *,
-        n_lc_active: np.ndarray,
-        n_batch_active: np.ndarray,
-        batch_freq: np.ndarray,
-        parked: Optional[np.ndarray] = None,
-    ) -> ScenarioResult:
-        with obs.span("reshape.assemble", scenario=name):
-            return self._assemble_traced(
-                name,
-                demand,
-                n_lc_active=n_lc_active,
-                n_batch_active=n_batch_active,
-                batch_freq=batch_freq,
-                parked=parked,
-            )
-
-    def _assemble_traced(
-        self,
-        name: str,
-        demand: DemandTrace,
-        *,
-        n_lc_active: np.ndarray,
-        n_batch_active: np.ndarray,
-        batch_freq: np.ndarray,
-        parked: Optional[np.ndarray] = None,
-    ) -> ScenarioResult:
-        obs.count("reshape.scenarios_assembled")
-        obs.count("reshape.steps_simulated", demand.grid.n_samples)
-        outcome = dispatch(
-            demand.values, n_lc_active, self.conversion.conversion_threshold
-        )
-        batch = batch_throughput(n_batch_active, batch_freq, self.dvfs)
-
-        lc_power = n_lc_active * self.fleet.lc_model.power(outcome.per_server_load)
-        batch_power = n_batch_active * self.fleet.batch_model.power(1.0, batch.freq)
-        total = lc_power + batch_power
-        if parked is not None:
-            # Parked conversion servers idle with the OS up (no reboot on
-            # conversion, Sec. 4.2), drawing the LC idle floor.
-            total = total + np.asarray(parked, dtype=np.float64) * self.fleet.lc_model.power(0.0)
-        if self.fleet.other_power is not None:
-            demand.grid.require_same(self.fleet.other_power.grid)
-            total = total + self.fleet.other_power.values
-
-        # Flight-recorder hook: per-step utilization/slack/headroom against
-        # the scenario budget, plus violation/advisory events.  No-op unless
-        # a recorder or event log is installed.
-        obs_telemetry.record_power(
-            f"reshape/{name}",
-            total,
-            self.fleet.budget_watts,
-            step_minutes=demand.grid.step_minutes,
-            source=f"reshaping.{name}",
-        )
-
-        load_on_original = demand.values / self.fleet.n_lc
-        return ScenarioResult(
-            name=name,
-            grid=demand.grid,
-            budget_watts=self.fleet.budget_watts,
-            demand=demand.values.copy(),
-            lc_served=outcome.served,
-            lc_dropped=outcome.dropped,
-            load_on_original=load_on_original,
-            per_server_load=outcome.per_server_load,
-            n_lc_active=np.asarray(n_lc_active, dtype=np.float64).copy(),
-            n_batch_active=np.asarray(n_batch_active, dtype=np.float64).copy(),
-            batch_throughput=batch.throughput,
-            batch_freq=batch.freq,
-            total_power=total,
-            parked=(
-                np.asarray(parked, dtype=np.float64).copy()
-                if parked is not None
-                else np.zeros(demand.grid.n_samples)
-            ),
-        )
+        throttle: Optional[ThrottleBoostPolicy] = None,
+        dvfs: Optional[DVFSModel] = None,
+    ) -> None:
+        super().__init__(fleet, conversion, throttle=throttle, dvfs=dvfs)
 
 
 @dataclass

@@ -1,0 +1,64 @@
+"""Regenerate ``tests/engine/golden.json`` — the parity fingerprints.
+
+The committed golden file was produced by the *pre-refactor* runtimes
+(``ReshapingRuntime`` / ``ChaosReshapingRuntime`` / ``run_chaos_suite``
+before ``repro.engine`` existed), so the parity suite proves the engine
+reproduces them bit-for-bit.  Re-run this script only when a deliberate
+behaviour change is being made, and say so in the commit message:
+
+    PYTHONPATH=src python tests/engine/_golden_gen.py
+"""
+
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+import conftest  # noqa: E402  (the shared builders)
+
+
+def reshaping_goldens():
+    from repro.reshaping import ReshapingRuntime
+
+    fleet, conversion, throttle, dvfs = conftest.make_runtime_parts()
+    runtime = ReshapingRuntime(fleet, conversion, throttle=throttle, dvfs=dvfs)
+    demand = conftest.make_demand()
+    return {
+        "pre": conftest.scenario_fingerprint(runtime.run_pre(demand)),
+        "lc_only": conftest.scenario_fingerprint(
+            runtime.run_lc_only(demand.scaled(1.1), 10)
+        ),
+        "conversion": conftest.scenario_fingerprint(
+            runtime.run_conversion(demand.scaled(1.1), 10)
+        ),
+        "throttle_boost": conftest.scenario_fingerprint(
+            runtime.run_throttle_boost(demand.scaled(1.15), 10, 5)
+        ),
+    }
+
+
+def chaos_goldens():
+    from repro.faults import run_chaos_suite
+
+    outcomes = run_chaos_suite(dc_name="DC1", **conftest.SMALL)
+    return {
+        outcome.scenario.name: conftest.chaos_fingerprint(outcome)
+        for outcome in outcomes
+    }
+
+
+def main():
+    document = {
+        "scale": conftest.SMALL,
+        "reshaping": reshaping_goldens(),
+        "chaos": chaos_goldens(),
+    }
+    path = HERE / "golden.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

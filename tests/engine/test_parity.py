@@ -1,0 +1,117 @@
+"""Golden parity: the engine reproduces the legacy runtimes bit-for-bit.
+
+``golden.json`` was captured from the pre-refactor ``ReshapingRuntime`` /
+``ChaosReshapingRuntime`` / ``run_chaos_suite`` code paths.  Every compare
+here is exact (``==`` on floats): the refactor moved code between modules,
+it must not change a single bit of any result.
+"""
+
+import pytest
+
+from conftest import (
+    SMALL,
+    chaos_fingerprint,
+    make_demand,
+    make_runtime_parts,
+    scenario_fingerprint,
+)
+from repro.engine import Engine, ScenarioSpec, chaos_spec, run_many
+from repro.faults import run_chaos_suite
+from repro.faults.harness import DEFAULT_SUITE
+from repro.reshaping import ReshapingRuntime
+
+RESHAPING_MODES = ("pre", "lc_only", "conversion", "throttle_boost")
+CHAOS_NAMES = tuple(scenario.name for scenario in DEFAULT_SUITE)
+
+
+# ----------------------------------------------------------------------
+# reshaping modes: legacy shim entry points and the engine directly
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def shim_results():
+    """The exact calls ``_golden_gen.reshaping_goldens`` made, via the shim."""
+    fleet, conversion, throttle, dvfs = make_runtime_parts()
+    runtime = ReshapingRuntime(fleet, conversion, throttle=throttle, dvfs=dvfs)
+    demand = make_demand()
+    return {
+        "pre": runtime.run_pre(demand),
+        "lc_only": runtime.run_lc_only(demand.scaled(1.1), 10),
+        "conversion": runtime.run_conversion(demand.scaled(1.1), 10),
+        "throttle_boost": runtime.run_throttle_boost(demand.scaled(1.15), 10, 5),
+    }
+
+
+@pytest.fixture(scope="module")
+def engine_results():
+    """The same four scenarios, driven through ``Engine.run`` directly."""
+    fleet, conversion, throttle, dvfs = make_runtime_parts()
+    engine = Engine(fleet, conversion, throttle=throttle, dvfs=dvfs)
+    demand = make_demand()
+
+    def run(mode, demand, **kwargs):
+        spec = ScenarioSpec(
+            mode=mode,
+            fleet=fleet,
+            demand=demand,
+            conversion=conversion,
+            throttle=throttle,
+            dvfs=dvfs,
+            **kwargs,
+        )
+        return engine.run(spec).result
+
+    return {
+        "pre": run("pre", demand),
+        "lc_only": run("lc_only", demand.scaled(1.1), extra_servers=10),
+        "conversion": run("conversion", demand.scaled(1.1), extra_servers=10),
+        "throttle_boost": run(
+            "throttle_boost",
+            demand.scaled(1.15),
+            extra_servers=10,
+            extra_throttle_funded=5,
+        ),
+    }
+
+
+@pytest.mark.parametrize("mode", RESHAPING_MODES)
+def test_shim_matches_golden(shim_results, golden, mode):
+    assert scenario_fingerprint(shim_results[mode]) == golden["reshaping"][mode]
+
+
+@pytest.mark.parametrize("mode", RESHAPING_MODES)
+def test_engine_matches_golden(engine_results, golden, mode):
+    assert scenario_fingerprint(engine_results[mode]) == golden["reshaping"][mode]
+
+
+# ----------------------------------------------------------------------
+# chaos harness: all ten scenarios, end to end
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def chaos_outcomes():
+    outcomes = run_chaos_suite(dc_name="DC1", **SMALL)
+    return {outcome.scenario.name: outcome for outcome in outcomes}
+
+
+def test_chaos_suite_covers_golden(chaos_outcomes, golden):
+    assert set(chaos_outcomes) == set(golden["chaos"])
+
+
+@pytest.mark.parametrize("name", CHAOS_NAMES)
+def test_chaos_matches_golden(chaos_outcomes, golden, name):
+    assert chaos_fingerprint(chaos_outcomes[name]) == golden["chaos"][name]
+
+
+# ----------------------------------------------------------------------
+# determinism: worker count must not change a single bit
+# ----------------------------------------------------------------------
+def test_run_many_parallel_matches_serial(golden):
+    specs = [chaos_spec(name, dc_name="DC1", **SMALL) for name in CHAOS_NAMES]
+    serial = run_many(specs, workers=1)
+    parallel = run_many(specs, workers=4)
+    assert [chaos_fingerprint(a.result) for a in serial] == [
+        chaos_fingerprint(a.result) for a in parallel
+    ]
+    # ... and both match the pre-refactor goldens.
+    for artifacts in parallel:
+        fingerprint = chaos_fingerprint(artifacts.result)
+        assert fingerprint == golden["chaos"][artifacts.result.scenario.name]

@@ -41,6 +41,25 @@ def _remap_doc(peak_reduction):
     }
 
 
+def _engine_doc(serial, parallel, *, cpu_count=4, workers=4):
+    return {
+        "benchmark": "engine",
+        "sections": {
+            "stages": [
+                {"stage": "chaos_suite_serial", "wall_s": serial, "calls": 1},
+                {"stage": "chaos_suite_parallel", "wall_s": parallel, "calls": 1},
+            ],
+            "parallel": {
+                "workers": workers,
+                "cpu_count": cpu_count,
+                "serial_wall_s": serial,
+                "parallel_wall_s": parallel,
+                "speedup": serial / parallel,
+            },
+        },
+    }
+
+
 BASE_STAGES = {"synthesize": 0.2, "place": 0.19, "remap": 0.007}
 BASE_PEAKS = {"rpp": 0.15, "suite": 0.02}
 
@@ -137,6 +156,70 @@ class TestCompareRemap:
         _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(better))
         diff = bench_compare.compare_documents(baseline, current)
         assert diff["regressions"] == []
+
+
+class TestCompareEngine:
+    def _write(self, directory, doc):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_engine.json").write_text(json.dumps(doc))
+
+    def test_fast_pool_on_multi_cpu_passes(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(baseline, _engine_doc(2.0, 1.0))
+        self._write(current, _engine_doc(2.0, 1.0))
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["engine_parallel"]["status"] == "ok"
+        assert diff["regressions"] == []
+
+    def test_slow_pool_on_multi_cpu_is_regression(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(baseline, _engine_doc(2.0, 1.0))
+        self._write(current, _engine_doc(2.0, 1.8))  # 1.11x < 1.3x
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["engine_parallel"]["status"] == "regression"
+        assert any("engine speedup" in item for item in diff["regressions"])
+
+    def test_single_cpu_skips_the_speedup_gate(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(baseline, _engine_doc(2.0, 2.4, cpu_count=1, workers=2))
+        self._write(current, _engine_doc(2.0, 2.4, cpu_count=1, workers=2))
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["engine_parallel"]["status"] == "skipped"
+        assert diff["regressions"] == []
+
+    def test_absent_engine_documents_are_tolerated(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["engine"] == []
+        assert diff["engine_parallel"] is None
+        assert diff["regressions"] == []
+
+    def test_missing_baseline_still_gates_the_fresh_run(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(current, _engine_doc(2.0, 1.9))  # no baseline doc
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["engine"] == []
+        assert diff["engine_parallel"]["status"] == "regression"
+
+    def test_vanished_fresh_document_is_lost_coverage(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(baseline, _engine_doc(2.0, 1.0))
+        diff = bench_compare.compare_documents(baseline, current)
+        assert {row["status"] for row in diff["engine"]} == {"missing"}
+        assert any("engine stage" in item for item in diff["regressions"])
+
+    def test_custom_min_speedup_threshold(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(current, _engine_doc(2.0, 1.8))
+        diff = bench_compare.compare_documents(baseline, current, min_speedup=1.05)
+        assert diff["engine_parallel"]["status"] == "ok"
 
 
 class TestMainOutput:

@@ -1,12 +1,13 @@
 #!/usr/bin/env python
 """Diff fresh ``BENCH_*.json`` runs against committed baselines.
 
-The repo commits two benchmark documents at its root —
+The repo commits three benchmark documents at its root —
 ``BENCH_pipeline.json`` (per-stage wall/CPU timings from
-``benchmarks/bench_profile.py``) and ``BENCH_remap.json`` (the remapping
-loop's swap counters and peak-reduction results).  This tool loads a fresh
-pair of those documents and compares them stage by stage against the
-committed pair:
+``benchmarks/bench_profile.py``), ``BENCH_remap.json`` (the remapping
+loop's swap counters and peak-reduction results), and ``BENCH_engine.json``
+(serial vs process-pool chaos-suite walls from
+``benchmarks/bench_engine.py``).  This tool loads a fresh set of those
+documents and compares them stage by stage against the committed set:
 
 * a pipeline stage regresses when its fresh wall time exceeds
   ``baseline * tolerance + floor`` (the multiplicative tolerance absorbs
@@ -16,7 +17,11 @@ committed pair:
   regression (the profile lost coverage);
 * a remap ``peak_reduction`` level regresses when the fresh reduction falls
   more than an absolute tolerance below the committed one — the benchmark
-  guards *quality*, not just speed.
+  guards *quality*, not just speed;
+* on multi-CPU runners (fresh ``cpu_count >= 2``) the chaos-suite process
+  pool must beat serial execution by ``--min-speedup``; single-CPU hosts
+  skip that check, and a missing ``BENCH_engine.json`` baseline is
+  tolerated so old baselines keep comparing.
 
 Exit status is non-zero when any regression is found, so CI can gate on
 it.  ``--output`` writes the full diff document as JSON for artifact
@@ -48,7 +53,12 @@ DEFAULT_FLOOR_S = 0.05
 #: regression (2 percentage points).
 DEFAULT_PEAK_TOLERANCE = 0.02
 
-BENCH_FILES = ("BENCH_pipeline.json", "BENCH_remap.json")
+#: Minimum serial/parallel chaos-suite speedup on multi-CPU runners.  The
+#: gate only applies when the fresh document reports ``cpu_count >= 2`` —
+#: a process pool cannot beat serial execution on a single CPU.
+DEFAULT_MIN_SPEEDUP = 1.3
+
+BENCH_FILES = ("BENCH_pipeline.json", "BENCH_remap.json", "BENCH_engine.json")
 
 
 def load_document(path: pathlib.Path) -> Dict:
@@ -133,6 +143,37 @@ def compare_remap(
     return rows
 
 
+def compare_engine_parallel(
+    current: Dict,
+    *,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> Dict:
+    """The parallel-speedup gate row for a fresh ``BENCH_engine.json``.
+
+    Judged on the fresh run alone (a speedup is host-relative, so there is
+    nothing meaningful to diff against the baseline): on a multi-CPU host
+    the process pool must beat serial execution by ``min_speedup``; on a
+    single CPU the row reports ``skipped``.
+    """
+    parallel = current["sections"].get("parallel")
+    if not parallel:
+        return {"check": "engine_speedup", "status": "missing"}
+    row = {
+        "check": "engine_speedup",
+        "workers": parallel.get("workers"),
+        "cpu_count": parallel.get("cpu_count"),
+        "speedup": parallel.get("speedup"),
+        "min_speedup": min_speedup,
+    }
+    if (parallel.get("cpu_count") or 1) < 2:
+        row["status"] = "skipped"
+    elif parallel.get("speedup") is None:
+        row["status"] = "missing"
+    else:
+        row["status"] = "ok" if parallel["speedup"] >= min_speedup else "regression"
+    return row
+
+
 def compare_documents(
     baseline_dir: pathlib.Path,
     current_dir: pathlib.Path,
@@ -140,6 +181,7 @@ def compare_documents(
     tolerance: float = DEFAULT_WALL_TOLERANCE,
     floor_s: float = DEFAULT_FLOOR_S,
     peak_tolerance: float = DEFAULT_PEAK_TOLERANCE,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
 ) -> Dict:
     """The full diff document: stage rows, remap rows, regression list."""
     pipeline_rows = compare_pipeline(
@@ -153,6 +195,32 @@ def compare_documents(
         load_document(current_dir / "BENCH_remap.json"),
         peak_tolerance=peak_tolerance,
     )
+    # The engine document is newer than the others; tolerate its absence
+    # (old baselines, partial regeneration) instead of failing the load.
+    engine_base_path = baseline_dir / "BENCH_engine.json"
+    engine_cur_path = current_dir / "BENCH_engine.json"
+    engine_rows: List[Dict] = []
+    engine_parallel: Optional[Dict] = None
+    if engine_cur_path.exists():
+        engine_cur = load_document(engine_cur_path)
+        if engine_base_path.exists():
+            engine_rows = compare_pipeline(
+                load_document(engine_base_path),
+                engine_cur,
+                tolerance=tolerance,
+                floor_s=floor_s,
+            )
+        engine_parallel = compare_engine_parallel(
+            engine_cur, min_speedup=min_speedup
+        )
+    elif engine_base_path.exists():
+        # The stage walls vanished from the fresh run: lost coverage.
+        engine_rows = compare_pipeline(
+            load_document(engine_base_path),
+            {"benchmark": "engine", "sections": {}},
+            tolerance=tolerance,
+            floor_s=floor_s,
+        )
     bad_status = ("regression", "missing")
     regressions = [
         f"pipeline stage {row['stage']!r}: {row['status']}"
@@ -162,15 +230,24 @@ def compare_documents(
         f"remap peak_reduction[{row['level']}]: {row['status']}"
         for row in remap_rows
         if row["status"] in bad_status
+    ] + [
+        f"engine stage {row['stage']!r}: {row['status']}"
+        for row in engine_rows
+        if row["status"] in bad_status
     ]
+    if engine_parallel is not None and engine_parallel["status"] in bad_status:
+        regressions.append(f"engine speedup: {engine_parallel['status']}")
     return {
         "baseline_dir": str(baseline_dir),
         "current_dir": str(current_dir),
         "tolerance": tolerance,
         "floor_s": floor_s,
         "peak_tolerance": peak_tolerance,
+        "min_speedup": min_speedup,
         "pipeline": pipeline_rows,
         "remap": remap_rows,
+        "engine": engine_rows,
+        "engine_parallel": engine_parallel,
         "regressions": regressions,
     }
 
@@ -183,7 +260,7 @@ def render(diff: Dict) -> str:
     def fmt(value, spec, suffix=""):
         return "-" if value is None else format(value, spec) + suffix
 
-    for row in diff["pipeline"]:
+    for row in diff["pipeline"] + diff.get("engine", []):
         lines.append(
             f"{row['stage']:<22} "
             f"{fmt(row.get('baseline_wall_s'), '9.3f', 's'):>10} "
@@ -192,6 +269,15 @@ def render(diff: Dict) -> str:
             f"{row['status']}"
         )
     lines.append("")
+    parallel = diff.get("engine_parallel")
+    if parallel is not None:
+        lines.append(
+            f"engine speedup: {fmt(parallel.get('speedup'), '.2f', 'x')} "
+            f"(workers={parallel.get('workers')}, "
+            f"cpus={parallel.get('cpu_count')}, "
+            f"min={fmt(parallel.get('min_speedup'), '.2f', 'x')}) "
+            f"{parallel['status']}"
+        )
     for row in diff["remap"]:
         lines.append(
             f"peak_reduction[{row['level']:<10}] "
@@ -243,6 +329,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="max absolute drop in remap peak reduction per level",
     )
     parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=DEFAULT_MIN_SPEEDUP,
+        help="min chaos-suite parallel speedup on multi-CPU runners",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -256,6 +348,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         tolerance=args.tolerance,
         floor_s=args.floor,
         peak_tolerance=args.peak_tolerance,
+        min_speedup=args.min_speedup,
     )
     if args.output is not None:
         args.output.write_text(json.dumps(diff, indent=2, sort_keys=True) + "\n")
