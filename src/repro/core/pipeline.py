@@ -8,7 +8,7 @@ optimise on the averaged training traces, measure on the held-out test week.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from .. import obs
 from ..infra.aggregation import NodePowerView, peak_reduction_by_level
@@ -21,13 +21,23 @@ from ..traces.synthesis import test_trace_set, training_trace_set
 from .placement import PlacementConfig, PlacementResult, WorkloadAwarePlacer
 from .remapping import RemapConfig, RemappingEngine, RemapResult
 
+if TYPE_CHECKING:  # layering: repro.robust imports repro.core, not vice versa
+    from ..robust.placement import RobustPlacementConfig, RobustPlacementResult
+
 
 @dataclass(frozen=True)
 class SmoothOperatorConfig:
-    """Configuration of the full pipeline."""
+    """Configuration of the full pipeline.
+
+    When ``robust`` is set, placement goes through
+    :class:`repro.robust.placement.RobustPlacer` instead of the plain
+    workload-aware placer — at ``gamma = 0`` the two coincide, so the
+    default pipeline output is unchanged.
+    """
 
     placement: PlacementConfig = field(default_factory=PlacementConfig)
     remap: Optional[RemapConfig] = None
+    robust: Optional["RobustPlacementConfig"] = None
 
 
 @dataclass
@@ -54,13 +64,18 @@ class EvaluationReport:
 class OptimizationOutcome:
     """Everything produced by one SmoothOperator run."""
 
-    placement: PlacementResult
+    placement: Optional[PlacementResult] = None
     remap: Optional[RemapResult] = None
+    robust: Optional["RobustPlacementResult"] = None
 
     @property
     def assignment(self) -> Assignment:
         if self.remap is not None:
             return self.remap.assignment
+        if self.robust is not None:
+            return self.robust.assignment
+        if self.placement is None:
+            raise ValueError("empty OptimizationOutcome has no assignment")
         return self.placement.assignment
 
 
@@ -75,14 +90,31 @@ class SmoothOperator:
     def optimize(
         self, records: Sequence[InstanceRecord], topology: PowerTopology
     ) -> OptimizationOutcome:
-        """Derive the workload-aware placement (and optionally remap)."""
+        """Derive the workload-aware placement (and optionally remap).
+
+        With a ``robust`` config, the Γ-robust placer runs instead (its
+        Γ = 0 fallback *is* the workload-aware placement) and any remap
+        pass is seeded from the robust assignment.
+        """
         with obs.span("pipeline.optimize", instances=len(records)):
-            placement = self._placer.place(records, topology)
+            placement: Optional[PlacementResult] = None
+            robust: Optional["RobustPlacementResult"] = None
+            if self.config.robust is not None:
+                from ..robust.placement import RobustPlacer
+
+                robust = RobustPlacer(self.config.robust).place(records, topology)
+                placement = robust.fallback
+                base = robust.assignment
+            else:
+                placement = self._placer.place(records, topology)
+                base = placement.assignment
             remap: Optional[RemapResult] = None
             if self.config.remap is not None:
                 engine = RemappingEngine(self.config.remap)
-                remap = engine.run(placement.assignment, training_trace_set(records))
-            return OptimizationOutcome(placement=placement, remap=remap)
+                remap = engine.run(base, training_trace_set(records))
+            return OptimizationOutcome(
+                placement=placement, remap=remap, robust=robust
+            )
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -34,8 +34,10 @@ from .faults import (  # noqa: F401
     ConversionFaultModel,
     ConversionLog,
     FailureEvent,
+    PowerSpikeSchedule,
     RecoveryReport,
     ServerFailureSchedule,
+    SpikeEvent,
 )
 from .policy import (  # noqa: F401
     Actuator,
@@ -43,6 +45,7 @@ from .policy import (  # noqa: F401
     ConversionPlanPolicy,
     EmergencyCapping,
     Policy,
+    PowerSpikePolicy,
     RunContext,
     ServerFailurePolicy,
     StaticFleetPolicy,
@@ -56,7 +59,7 @@ from .spec import (  # noqa: F401
     chaos_spec,
 )
 from .core import Engine  # noqa: F401
-from .parallel import execute, run_many  # noqa: F401
+from .parallel import RunFailure, execute, run_many  # noqa: F401
 
 __all__ = [
     "Actuator",
@@ -80,13 +83,17 @@ __all__ = [
     "MODES",
     "NodeCappingStats",
     "Policy",
+    "PowerSpikePolicy",
+    "PowerSpikeSchedule",
     "RecoveryReport",
     "RunArtifacts",
     "RunContext",
+    "RunFailure",
     "ScenarioResult",
     "ScenarioSpec",
     "ServerFailurePolicy",
     "ServerFailureSchedule",
+    "SpikeEvent",
     "StaticFleetPolicy",
     "ThrottleBoostPlan",
     "build_pipeline",

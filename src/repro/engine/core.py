@@ -112,6 +112,7 @@ class Engine:
                 n_batch_active=state.n_batch_active,
                 batch_freq=state.batch_freq,
                 parked=state.parked,
+                extra_power=state.extra_power,
             )
         for actuator in actuators:
             result = actuator.actuate(ctx, result)
@@ -194,6 +195,7 @@ class Engine:
         n_batch_active: np.ndarray,
         batch_freq: np.ndarray,
         parked: Optional[np.ndarray] = None,
+        extra_power: Optional[np.ndarray] = None,
     ) -> ScenarioResult:
         """Assemble a :class:`ScenarioResult` from one per-step fleet plan."""
         with obs.span("reshape.assemble", scenario=name):
@@ -204,6 +206,7 @@ class Engine:
                 n_batch_active=n_batch_active,
                 batch_freq=batch_freq,
                 parked=parked,
+                extra_power=extra_power,
             )
 
     def _assemble_traced(
@@ -215,6 +218,7 @@ class Engine:
         n_batch_active: np.ndarray,
         batch_freq: np.ndarray,
         parked: Optional[np.ndarray] = None,
+        extra_power: Optional[np.ndarray] = None,
     ) -> ScenarioResult:
         obs.count("reshape.scenarios_assembled")
         obs.count("reshape.steps_simulated", demand.grid.n_samples)
@@ -230,6 +234,10 @@ class Engine:
             # Parked conversion servers idle with the OS up (no reboot on
             # conversion, Sec. 4.2), drawing the LC idle floor.
             total = total + np.asarray(parked, dtype=np.float64) * self.fleet.lc_model.power(0.0)
+        if extra_power is not None:
+            # Injected correlated spike bursts (PowerSpikePolicy): exogenous
+            # extra draw on top of the planned fleet.
+            total = total + np.asarray(extra_power, dtype=np.float64)
         if self.fleet.other_power is not None:
             demand.grid.require_same(self.fleet.other_power.grid)
             total = total + self.fleet.other_power.values

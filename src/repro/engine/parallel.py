@@ -5,22 +5,63 @@
 plain picklable dataclasses and every run is seeded, so results are
 bit-identical regardless of worker count — the determinism test in
 ``tests/engine/test_parity.py`` pins ``workers=4 == workers=1``.
+
+Worker death does not sink the suite.  A killed worker breaks the whole
+``ProcessPoolExecutor`` (every outstanding future raises
+``BrokenProcessPool`` — the executor cannot tell which task was in the
+dying process), so :func:`run_many` rebuilds the pool and retries the
+unfinished specs with exponential backoff, up to ``max_attempts`` tries
+per spec.  A spec that keeps failing comes back as a :class:`RunFailure`
+in its slot of the result list — the rest of the suite's results survive.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, List, Sequence
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
 
 from .spec import ChaosSpec, ScenarioSpec
 from .state import RunArtifacts
 
+#: Tries per spec before it is written off as a :class:`RunFailure`.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Base delay between retry rounds (doubles per round).
+DEFAULT_RETRY_BACKOFF_S = 0.25
+
+
+@dataclass
+class RunFailure:
+    """One spec's structured failure after every retry was exhausted.
+
+    Occupies the spec's slot in :func:`run_many`'s result list, so callers
+    always get one entry per spec, in spec order — filter with
+    ``isinstance(entry, RunFailure)`` (or check :attr:`RunArtifacts.result`)
+    to separate the casualties from the survivors.
+    """
+
+    spec: Any
+    error_type: str
+    error: str
+    attempts: int
+
+    @property
+    def result(self) -> None:
+        """Mirror of :attr:`RunArtifacts.result`, always ``None``."""
+        return None
+
 
 def execute(spec: Any) -> RunArtifacts:
-    """Run one spec (scenario or chaos-harness) and wrap the artifacts.
+    """Run one spec (scenario, chaos-harness, or callable) and wrap it.
 
     Module-level so it pickles for :func:`run_many`'s worker processes.
+    Zero-argument callables are the escape hatch for custom workloads
+    (and for fault-injection tests): the callable runs as-is, and its
+    return value is wrapped in :class:`RunArtifacts` unless it already is
+    one.
     """
     if isinstance(spec, ScenarioSpec):
         from .core import Engine
@@ -37,25 +78,133 @@ def execute(spec: Any) -> RunArtifacts:
             result=outcome,
             events=obs_events.get_event_log(),
         )
+    if callable(spec):
+        outcome = spec()
+        if isinstance(outcome, RunArtifacts):
+            return outcome
+        return RunArtifacts(spec=spec, result=outcome)
     raise TypeError(f"cannot execute spec of type {type(spec).__name__}")
 
 
-def run_many(specs: Sequence[Any], *, workers: int = 1) -> List[RunArtifacts]:
+def run_many(
+    specs: Sequence[Any],
+    *,
+    workers: int = 1,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+) -> List[Any]:
     """Execute many specs, optionally across worker processes.
 
-    Results come back in spec order.  ``workers <= 1`` runs serially in
+    Results come back in spec order, one entry per spec: a
+    :class:`RunArtifacts` on success, a :class:`RunFailure` once a spec
+    has failed ``max_attempts`` times.  ``workers <= 1`` runs serially in
     this process (cheapest for small batches and the only option on
     single-CPU hosts); otherwise a process pool executes the specs with a
     ``fork`` context where available, so workers inherit warm dataset
     caches instead of re-synthesizing them.
+
+    A dead worker breaks the whole pool, so every spec still in flight
+    counts one failed attempt and the survivors are resubmitted to a
+    fresh pool after an exponential backoff — an innocent spec sharing a
+    pool with a crashing one is retried, not condemned.
     """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be at least 1")
+    if retry_backoff_s < 0:
+        raise ValueError("retry_backoff_s cannot be negative")
     specs = list(specs)
+    results: List[Any] = [None] * len(specs)
     if workers <= 1 or len(specs) <= 1:
-        return [execute(spec) for spec in specs]
+        for index, spec in enumerate(specs):
+            results[index] = _run_serial(spec, max_attempts, retry_backoff_s)
+        return results
+
     try:
         mp_context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - fork unavailable (non-POSIX)
         mp_context = multiprocessing.get_context()
-    n_workers = min(workers, len(specs))
-    with ProcessPoolExecutor(max_workers=n_workers, mp_context=mp_context) as pool:
-        return list(pool.map(execute, specs))
+
+    attempts = [0] * len(specs)
+    pending = list(range(len(specs)))
+    round_index = 0
+    while pending:
+        n_workers = min(workers, len(pending))
+        pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=mp_context)
+        future_of = {}
+        broken = False
+        try:
+            for index in pending:
+                attempts[index] += 1
+                future_of[pool.submit(execute, specs[index])] = index
+            failed: List[int] = []
+            outstanding = set(future_of)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_of[future]
+                    try:
+                        results[index] = future.result()
+                    except BaseException as error:  # noqa: BLE001
+                        # BrokenProcessPool lands here for *every* future
+                        # that shared the dead pool; record the attempt
+                        # and let the retry rounds sort survivors out.
+                        failed.append(index)
+                        results[index] = _failure(
+                            specs[index], error, attempts[index]
+                        )
+                        if _pool_is_broken(error):
+                            broken = True
+                if broken:
+                    # The executor is unusable; everything not yet
+                    # resolved fails this round and is retried.
+                    for future in outstanding:
+                        index = future_of[future]
+                        failed.append(index)
+                        results[index] = _failure(
+                            specs[index],
+                            RuntimeError("worker pool died mid-run"),
+                            attempts[index],
+                        )
+                    break
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        pending = [
+            index
+            for index in sorted(set(failed))
+            if attempts[index] < max_attempts
+        ]
+        if pending:
+            time.sleep(retry_backoff_s * (2**round_index))
+            round_index += 1
+    return results
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _run_serial(spec: Any, max_attempts: int, retry_backoff_s: float) -> Any:
+    """One spec in-process, with the same bounded retry + backoff."""
+    for attempt in range(1, max_attempts + 1):
+        try:
+            return execute(spec)
+        except Exception as error:  # noqa: BLE001
+            failure = _failure(spec, error, attempt)
+            if attempt < max_attempts:
+                time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
+    return failure
+
+
+def _failure(spec: Any, error: BaseException, attempts: int) -> RunFailure:
+    return RunFailure(
+        spec=spec,
+        error_type=type(error).__name__,
+        error=str(error) or repr(error),
+        attempts=attempts,
+    )
+
+
+def _pool_is_broken(error: BaseException) -> bool:
+    """Did this exception take the whole executor down with it?"""
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(error, BrokenProcessPool)

@@ -223,6 +223,37 @@ class ConversionFaultPolicy:
 
 
 @dataclass(frozen=True)
+class PowerSpikePolicy:
+    """Inject the spec's correlated power-spike bursts into the run.
+
+    Reads ``spec.spikes`` (a :class:`~repro.engine.faults.PowerSpikeSchedule`)
+    and adds its per-step extra draw to the state; the engine folds it into
+    the assembled total power.  This is the adversary the Γ-robust placer
+    budgets against — groups of servers simultaneously jumping toward their
+    worst-case draw.
+    """
+
+    def apply(self, ctx: RunContext) -> None:
+        spikes = getattr(ctx.spec, "spikes", None)
+        if spikes is None or not spikes.events:
+            return
+        extra = spikes.extra_power(ctx.state.n_samples)
+        if ctx.state.extra_power is None:
+            ctx.state.extra_power = extra
+        else:
+            ctx.state.extra_power = ctx.state.extra_power + extra
+        obs_events.emit(
+            obs_events.FAULT_INJECTION,
+            severity="warning",
+            source="faults.spikes",
+            fault="power_spikes",
+            events=len(spikes.events),
+            peak_extra_watts=float(extra.max()),
+            spike_watt_steps=float(extra.sum()),
+        )
+
+
+@dataclass(frozen=True)
 class ServerFailurePolicy:
     """Subtract the engine's failure schedule from the planned fleet."""
 

@@ -21,6 +21,7 @@ from .policy import (
     ConversionPlanPolicy,
     EmergencyCapping,
     Policy,
+    PowerSpikePolicy,
     ServerFailurePolicy,
     StaticFleetPolicy,
     ThrottleBoostPlan,
@@ -35,6 +36,7 @@ MODES = (
     "throttle_boost",
     "conversion_chaos",
     "throttle_boost_chaos",
+    "spike_chaos",
 )
 
 #: The scenario label each mode stamps on its result (matches the legacy
@@ -46,6 +48,7 @@ _MODE_LABELS = {
     "throttle_boost": "throttle_boost",
     "conversion_chaos": "conversion_chaos",
     "throttle_boost_chaos": "throttle_boost",
+    "spike_chaos": "spike_chaos",
 }
 
 
@@ -70,6 +73,9 @@ class ScenarioSpec:
     conversion_faults: Any = None
     breaker: Any = None
     capping_policy: Any = None
+    #: Correlated power-spike bursts (a PowerSpikeSchedule); only the
+    #: spike_chaos mode consumes it by default.
+    spikes: Any = None
     extra_servers: int = 0
     extra_throttle_funded: Optional[int] = None
     seed: int = 0
@@ -117,6 +123,11 @@ def build_pipeline(
     if spec.mode == "throttle_boost_chaos":
         return (
             ThrottleBoostPlan(spec.extra_servers, spec.extra_throttle_funded),
+        ), (EmergencyCapping(),)
+    if spec.mode == "spike_chaos":
+        return (
+            ConversionPlanPolicy(spec.extra_servers),
+            PowerSpikePolicy(),
         ), (EmergencyCapping(),)
     raise ValueError(f"unknown mode {spec.mode!r}")  # pragma: no cover
 

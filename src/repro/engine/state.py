@@ -119,6 +119,9 @@ class FleetState:
     #: failure policy runs).
     lost_lc: Optional[np.ndarray] = None
     lost_batch: Optional[np.ndarray] = None
+    #: Per-step exogenous extra draw injected by fault policies (correlated
+    #: power-spike bursts); ``None`` until a spike policy runs.
+    extra_power: Optional[np.ndarray] = None
 
     @classmethod
     def initial(cls, fleet: FleetDescription, demand: DemandTrace) -> "FleetState":

@@ -31,6 +31,7 @@ modes a production fleet actually has:
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from ..engine.faults import (  # noqa: F401  (re-export)
@@ -79,6 +80,13 @@ class ChaosReshapingRuntime(_EngineBackedRuntime):
         capping_policy=None,
         seed: int = 0,
     ) -> None:
+        warnings.warn(
+            "ChaosReshapingRuntime is deprecated; build a chaos-mode "
+            "ScenarioSpec and run it through repro.engine.Engine "
+            "(results are bit-identical)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(
             fleet,
             conversion,

@@ -7,7 +7,11 @@ and circuit-breaker auditing.
 """
 
 from .aggregation import NodePowerView, peak_reduction_by_level
-from .capping import (
+
+# The capping loop's canonical home is repro.engine.capping; import it from
+# there rather than through the deprecated ``repro.infra.capping`` shim so
+# a plain ``import repro`` never trips the shim's DeprecationWarning.
+from ..engine.capping import (
     CappingPolicy,
     CappingReport,
     CappingSimulator,
@@ -25,6 +29,7 @@ from .persistence import (
 from .assignment import Assignment, AssignmentError
 from .breaker import BreakerModel, BreakerTrip, audit_view, power_safe
 from .budget import (
+    GammaProvisioningPolicy,
     PeakProvisioningPolicy,
     PercentileProvisioningPolicy,
     apply_budgets,
@@ -61,6 +66,7 @@ __all__ = [
     "AssignmentError",
     "NodePowerView",
     "peak_reduction_by_level",
+    "GammaProvisioningPolicy",
     "PeakProvisioningPolicy",
     "PercentileProvisioningPolicy",
     "compute_budgets",

@@ -59,6 +59,40 @@ class PercentileProvisioningPolicy:
         return view.node_percentile(node_name, q) * (1.0 + self.margin)
 
 
+@dataclass(frozen=True)
+class GammaProvisioningPolicy:
+    """Provision each node at its Γ-robust load × ``(1 + margin)``.
+
+    The robust load is ``Σ p_c`` over the node's instances plus the sum of
+    its top-Γ spike radii (Bertsimas–Sim): the budget survives any ``gamma``
+    co-located instances spiking to ``p_c + p_r`` simultaneously.  ``model``
+    is an :class:`repro.robust.uncertainty.UncertainPowerModel` (any object
+    with a ``rows(ids) -> (nominal, radius)`` method works); at ``gamma = 0``
+    this is plain Σ-nominal provisioning.
+    """
+
+    model: object
+    gamma: int = 0
+    margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gamma < 0:
+            raise ValueError("gamma cannot be negative")
+        if self.margin < 0:
+            raise ValueError("margin cannot be negative")
+
+    def budget_for(self, view: NodePowerView, node_name: str) -> float:
+        # Imported lazily: repro.robust sits above repro.infra in the
+        # layering (it imports the topology/assignment machinery from here).
+        from ..robust.headroom import robust_load
+
+        members = view.assignment.instances_under(node_name)
+        if not members:
+            return 0.0
+        nominal, radius = self.model.rows(members)
+        return robust_load(nominal, radius, self.gamma) * (1.0 + self.margin)
+
+
 def compute_budgets(view: NodePowerView, policy) -> Dict[str, float]:
     """Budget for every node in the view's topology under ``policy``."""
     return {

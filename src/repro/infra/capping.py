@@ -10,7 +10,16 @@
 
 from __future__ import annotations
 
-from ..engine.capping import (  # noqa: F401  (re-export)
+import warnings
+
+warnings.warn(
+    "repro.infra.capping is deprecated; import the capping loop from "
+    "repro.engine (its canonical home) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from ..engine.capping import (  # noqa: E402,F401  (re-export)
     DEFAULT_PRIORITY,
     CappingPolicy,
     CappingReport,

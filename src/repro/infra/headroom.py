@@ -11,7 +11,7 @@ that hierarchy-aware greedy fill.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Mapping, Optional
 
 from .aggregation import NodePowerView
 
@@ -46,13 +46,27 @@ class ExpansionPlan:
         return self.total_extra / self.original_count
 
 
-def node_headroom(view: NodePowerView) -> Dict[str, float]:
-    """Budget minus observed peak for every budgeted node."""
+def node_headroom(
+    view: NodePowerView,
+    *,
+    reserve: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Budget minus observed peak for every budgeted node.
+
+    ``reserve`` optionally subtracts a per-node charge from the headroom
+    before flooring at zero — e.g. the top-Γ spike-radius sum from
+    :func:`repro.robust.headroom.robust_node_loads`, so expansion planning
+    never hands out headroom the robust accounting has already promised to
+    spikes.
+    """
     headroom: Dict[str, float] = {}
     for node in view.topology.nodes():
         if node.budget_watts is None:
             continue
-        headroom[node.name] = max(0.0, node.budget_watts - view.node_peak(node.name))
+        reserved = reserve.get(node.name, 0.0) if reserve else 0.0
+        headroom[node.name] = max(
+            0.0, node.budget_watts - view.node_peak(node.name) - reserved
+        )
     return headroom
 
 

@@ -24,6 +24,7 @@ Simulates a datacenter's test week under four scenarios:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -162,6 +163,12 @@ class ReshapingRuntime(_EngineBackedRuntime):
         throttle: Optional[ThrottleBoostPolicy] = None,
         dvfs: Optional[DVFSModel] = None,
     ) -> None:
+        warnings.warn(
+            "ReshapingRuntime is deprecated; build a ScenarioSpec and run it "
+            "through repro.engine.Engine (results are bit-identical)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(fleet, conversion, throttle=throttle, dvfs=dvfs)
 
 

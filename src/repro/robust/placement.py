@@ -1,0 +1,405 @@
+"""Γ-robust service placement: sorted first-fit over robust headroom.
+
+The workload-aware placer in :mod:`repro.core.placement` minimises the
+*nominal* aggregate peak by spreading asynchronous instances; it is blind
+to spikes.  :class:`RobustPlacer` instead guarantees a budget property:
+after placement, every budgeted power node can absorb any ``Γ`` of its
+instances spiking to ``p_c + p_r`` simultaneously without breaching its
+budget (when a Γ-feasible placement exists for the heuristic to find).
+
+Two strategies share the incremental Γ-sum machinery of
+:class:`~repro.robust.headroom.RobustHeadroomIndex` (each membership
+change costs ``O(depth × log n)``):
+
+* ``"swap"`` (default) — start from the nominal workload-aware placement
+  and run a swap loop: repeatedly trade the largest radius on the most
+  protection-burdened leaf against a smaller radius of similar nominal
+  draw elsewhere.  Swapping (instead of moving) spreads spike risk while
+  preserving the balanced clean peaks the seed placement earned.
+* ``"first_fit"`` — first-fit decreasing, the classic bin-packing
+  workhorse: instances sorted by worst-case draw ``p_c + p_r`` (largest
+  first), each assigned to the leaf whose budgeted root path keeps the
+  leximin-best Γ-robust slack after the add.
+
+At ``Γ = 0`` there is nothing robust to protect, so both fall back to
+the nominal workload-aware placement and its asynchrony-aware peak
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .. import obs
+from ..core.placement import PlacementConfig, PlacementResult, WorkloadAwarePlacer
+from ..infra.assignment import Assignment, AssignmentError
+from ..infra.topology import PowerTopology
+from ..traces.instance import InstanceRecord
+from .headroom import GammaAccountant, RobustHeadroomIndex
+from .uncertainty import DEFAULT_NOMINAL_PERCENTILE, UncertainPowerModel
+
+__all__ = [
+    "STRATEGIES",
+    "RobustPlacementConfig",
+    "RobustPlacementResult",
+    "RobustPlacer",
+]
+
+
+#: Placement strategies the robust placer knows.
+STRATEGIES = ("swap", "first_fit")
+
+
+@dataclass(frozen=True)
+class RobustPlacementConfig:
+    """Tuning knobs for the Γ-robust placer.
+
+    Attributes
+    ----------
+    gamma:
+        Protection level: how many co-located instances may spike to their
+        maximum simultaneously without breaching any budget.  ``0`` falls
+        back to the nominal workload-aware placement.
+    strategy:
+        ``"swap"`` (default) seeds from the nominal workload-aware
+        placement and spreads spike radii by swapping similar-nominal
+        instances, keeping the nominal peaks the asynchrony-aware placer
+        earned; ``"first_fit"`` is the classic sorted first-fit-decreasing
+        pass over robust headroom.
+    nominal_percentile / radius_scale:
+        Forwarded to :meth:`UncertainPowerModel.from_records` when no
+        model is supplied explicitly.
+    swap_nominal_tolerance_watts:
+        Maximum nominal-draw mismatch the swap strategy accepts between
+        exchanged instances (large values spread radii faster but perturb
+        the clean peaks more).
+    max_swaps:
+        Hard cap on swap-strategy iterations.
+    nominal:
+        Configuration for the underlying workload-aware placer (the Γ=0
+        fallback, and the seed placement of the swap strategy).
+    """
+
+    gamma: int = 0
+    strategy: str = "swap"
+    nominal_percentile: float = DEFAULT_NOMINAL_PERCENTILE
+    radius_scale: float = 1.0
+    swap_nominal_tolerance_watts: float = 100.0
+    max_swaps: int = 1000
+    nominal: PlacementConfig = field(default_factory=PlacementConfig)
+
+    def __post_init__(self) -> None:
+        if self.gamma < 0:
+            raise ValueError("gamma cannot be negative")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; known: {STRATEGIES}"
+            )
+        if self.swap_nominal_tolerance_watts < 0:
+            raise ValueError("swap tolerance cannot be negative")
+        if self.max_swaps < 0:
+            raise ValueError("max_swaps cannot be negative")
+
+
+@dataclass
+class RobustPlacementResult:
+    """A placement plus the uncertainty bookkeeping that produced it."""
+
+    assignment: Assignment
+    model: UncertainPowerModel
+    gamma: int
+    #: Live Γ-accountants for every node under the final assignment.
+    index: RobustHeadroomIndex
+    #: node name → budget − Γ-robust load, for every budgeted node.
+    robust_headroom: Dict[str, float]
+    #: Instances for which no leaf kept every budgeted ancestor Γ-feasible
+    #: (they were placed on the least-bad leaf instead; first-fit strategy
+    #: only — the swap strategy always places everything).
+    infeasible: List[str] = field(default_factory=list)
+    #: Diagnostics of the nominal fallback run, present only at Γ = 0.
+    fallback: Optional[PlacementResult] = None
+    #: Swap-strategy iterations actually performed.
+    n_swaps: int = 0
+
+    @property
+    def is_feasible(self) -> bool:
+        return not self.infeasible
+
+    def min_headroom(self) -> float:
+        """Scarcest budgeted robust headroom (inf if nothing is budgeted)."""
+        if not self.robust_headroom:
+            return float("inf")
+        return min(self.robust_headroom.values())
+
+
+class RobustPlacer:
+    """First-fit-decreasing placement over Γ-robust headroom."""
+
+    def __init__(self, config: Optional[RobustPlacementConfig] = None) -> None:
+        self.config = config if config is not None else RobustPlacementConfig()
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        records: Sequence[InstanceRecord],
+        topology: PowerTopology,
+        *,
+        model: Optional[UncertainPowerModel] = None,
+    ) -> RobustPlacementResult:
+        """Derive a Γ-robust assignment of ``records`` onto ``topology``.
+
+        ``model`` overrides the trace-derived uncertainty model — useful
+        for what-if studies with hardened radii.
+        """
+        if not records:
+            raise ValueError("nothing to place")
+        if model is None:
+            model = UncertainPowerModel.from_records(
+                records,
+                nominal_percentile=self.config.nominal_percentile,
+                radius_scale=self.config.radius_scale,
+            )
+        gamma = self.config.gamma
+        if gamma == 0:
+            return self._place_nominal(records, topology, model)
+        if self.config.strategy == "swap":
+            return self._place_swap(records, topology, model)
+        return self._place_first_fit(records, topology, model)
+
+    # ------------------------------------------------------------------
+    def _place_first_fit(
+        self,
+        records: Sequence[InstanceRecord],
+        topology: PowerTopology,
+        model: UncertainPowerModel,
+    ) -> RobustPlacementResult:
+        gamma = self.config.gamma
+        capacity = topology.total_leaf_capacity()
+        if capacity is not None and len(records) > capacity:
+            raise AssignmentError(
+                f"{len(records)} instances exceed total leaf capacity {capacity}"
+            )
+        with obs.span("robust_place", instances=len(records), gamma=gamma):
+            index = RobustHeadroomIndex(topology, model, gamma)
+            budgets = {
+                node.name: node.budget_watts
+                for node in topology.nodes()
+                if node.budget_watts is not None
+            }
+            leaves = topology.leaves()
+            occupancy = {leaf.name: 0 for leaf in leaves}
+            infeasible: List[str] = []
+
+            # First-fit decreasing: the fattest worst-case draws claim
+            # headroom first, while every leaf still has slack to offer.
+            order = sorted(
+                records,
+                key=lambda r: (-model.upper(r.instance_id), r.instance_id),
+            )
+            for record in order:
+                iid = record.instance_id
+                open_leaves = [
+                    leaf
+                    for leaf in leaves
+                    if leaf.capacity is None or occupancy[leaf.name] < leaf.capacity
+                ]
+                if not open_leaves:
+                    raise AssignmentError(
+                        f"no leaf has capacity left for instance {iid!r}"
+                    )
+                fitting = [
+                    leaf for leaf in open_leaves if index.fits(iid, leaf.name, budgets)
+                ]
+                if not fitting:
+                    # Γ-infeasible: record it and take the least-bad leaf so
+                    # the rest of the fleet still gets placed sensibly.
+                    infeasible.append(iid)
+                    fitting = open_leaves
+                # Leximin over the path's post-add headrooms: maximise the
+                # scarcest level first, then the next-scarcest, and so on.
+                # A plain max-min key goes blind once a shared ancestor is
+                # the bottleneck for every candidate; the deeper vector
+                # entries keep ranking leaves by their local slack.
+                best = min(
+                    fitting,
+                    key=lambda leaf: (
+                        tuple(
+                            -s
+                            for s in index.slack_vector_if_added(
+                                iid, leaf.name, budgets
+                            )
+                        ),
+                        occupancy[leaf.name],
+                        leaf.name,
+                    ),
+                )
+                index.place(iid, best.name)
+                occupancy[best.name] += 1
+
+            assignment = Assignment(topology, index.as_mapping())
+            obs.count("robust_place.instances_placed", len(records))
+            if infeasible:
+                obs.count("robust_place.infeasible", len(infeasible))
+            headroom = {
+                name: index.accountants[name].headroom(budget)
+                for name, budget in budgets.items()
+            }
+            return RobustPlacementResult(
+                assignment=assignment,
+                model=model,
+                gamma=gamma,
+                index=index,
+                robust_headroom=headroom,
+                infeasible=infeasible,
+            )
+
+    # ------------------------------------------------------------------
+    def _place_swap(
+        self,
+        records: Sequence[InstanceRecord],
+        topology: PowerTopology,
+        model: UncertainPowerModel,
+    ) -> RobustPlacementResult:
+        """Seed from the nominal placement, then spread radii by swapping.
+
+        Moving an instance between leaves would shift its whole nominal
+        draw and unbalance the clean peaks the workload-aware seed earned;
+        *swapping* two instances of similar nominal draw moves spike risk
+        while leaving both leaves' nominal profiles nearly untouched.  Each
+        round takes the leaf with the heaviest protection burden and trades
+        its largest radius against a smaller one elsewhere.
+
+        The burden is ranked lexicographically by ``(top-Γ sum, Σ radii)``.
+        The second term matters: a leaf holding Γ+1 large radii has the same
+        top-Γ sum before and after shedding one of them, so a pure top-Γ
+        objective would call that swap worthless and strand the surplus
+        spike where it sits.
+        """
+        gamma = self.config.gamma
+        tolerance = self.config.swap_nominal_tolerance_watts
+        nominal_result = WorkloadAwarePlacer(self.config.nominal).place(
+            records, topology
+        )
+        mapping = dict(nominal_result.assignment.as_mapping())
+        with obs.span(
+            "robust_place", instances=len(records), gamma=gamma, strategy="swap"
+        ):
+            accountants: Dict[str, GammaAccountant] = {}
+            for iid, leaf_name in mapping.items():
+                accountants.setdefault(leaf_name, GammaAccountant(gamma)).add(
+                    iid, model.nominal_of(iid), model.radius_of(iid)
+                )
+
+            def burden(leaf_name: str) -> tuple:
+                acc = accountants[leaf_name]
+                return (acc.top_sum, acc.radius_sum)
+
+            n_swaps = 0
+            frozen: set = set()
+            while n_swaps < self.config.max_swaps:
+                live = [name for name in accountants if name not in frozen]
+                if not live:
+                    break
+                worst_name = max(live, key=burden)
+                worst = accountants[worst_name]
+                movers = sorted(
+                    worst.members, key=lambda m: -model.radius_of(m)
+                )[: gamma + 1]
+                best = None
+                for i in movers:
+                    radius_i = model.radius_of(i)
+                    nominal_i = model.nominal_of(i)
+                    for other_name, other in accountants.items():
+                        if other_name == worst_name:
+                            continue
+                        for j in other.members:
+                            radius_j = model.radius_of(j)
+                            if radius_j >= radius_i:
+                                continue
+                            nominal_j = model.nominal_of(j)
+                            if abs(nominal_j - nominal_i) > tolerance:
+                                continue
+                            before = max(burden(worst_name), burden(other_name))
+                            worst.remove(i)
+                            other.remove(j)
+                            worst.add(j, nominal_j, radius_j)
+                            other.add(i, nominal_i, radius_i)
+                            after = max(burden(worst_name), burden(other_name))
+                            worst.remove(j)
+                            other.remove(i)
+                            worst.add(i, nominal_i, radius_i)
+                            other.add(j, nominal_j, radius_j)
+                            if after < before:
+                                gain = (
+                                    before[0] - after[0],
+                                    before[1] - after[1],
+                                )
+                                if best is None or gain > best[0]:
+                                    best = (gain, i, other_name, j)
+                if best is None:
+                    frozen.add(worst_name)
+                    continue
+                _, i, other_name, j = best
+                other = accountants[other_name]
+                radius_i, nominal_i = model.radius_of(i), model.nominal_of(i)
+                radius_j, nominal_j = model.radius_of(j), model.nominal_of(j)
+                worst.remove(i)
+                other.remove(j)
+                worst.add(j, nominal_j, radius_j)
+                other.add(i, nominal_i, radius_i)
+                mapping[i] = other_name
+                mapping[j] = worst_name
+                n_swaps += 1
+
+            index = RobustHeadroomIndex(topology, model, gamma)
+            for iid, leaf_name in mapping.items():
+                index.place(iid, leaf_name)
+            obs.count("robust_place.instances_placed", len(records))
+            obs.count("robust_place.swaps", n_swaps)
+            headroom = {
+                node.name: index.accountants[node.name].headroom(
+                    node.budget_watts
+                )
+                for node in topology.nodes()
+                if node.budget_watts is not None
+            }
+            return RobustPlacementResult(
+                assignment=Assignment(topology, mapping),
+                model=model,
+                gamma=gamma,
+                index=index,
+                robust_headroom=headroom,
+                infeasible=[],
+                n_swaps=n_swaps,
+            )
+
+    # ------------------------------------------------------------------
+    def _place_nominal(
+        self,
+        records: Sequence[InstanceRecord],
+        topology: PowerTopology,
+        model: UncertainPowerModel,
+    ) -> RobustPlacementResult:
+        """Γ = 0: delegate to the workload-aware placer, keep the robust
+        bookkeeping so callers see one result shape at every Γ."""
+        nominal_result = WorkloadAwarePlacer(self.config.nominal).place(
+            records, topology
+        )
+        index = RobustHeadroomIndex(topology, model, 0)
+        for iid, leaf_name in nominal_result.assignment.as_mapping().items():
+            index.place(iid, leaf_name)
+        headroom = {
+            node.name: index.accountants[node.name].headroom(node.budget_watts)
+            for node in topology.nodes()
+            if node.budget_watts is not None
+        }
+        return RobustPlacementResult(
+            assignment=nominal_result.assignment,
+            model=model,
+            gamma=0,
+            index=index,
+            robust_headroom=headroom,
+            infeasible=[],
+            fallback=nominal_result,
+        )

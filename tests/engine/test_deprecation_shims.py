@@ -1,0 +1,129 @@
+"""The legacy shims must warn loudly and delegate bit-identically.
+
+``reshaping.runtime`` / ``faults.runtime`` / ``infra.capping`` survive
+only for backward compatibility; these tests pin the contract the next
+refactor needs in order to delete them safely: every shim emits a
+``DeprecationWarning``, every shim produces exactly what the engine
+produces, and a plain ``import repro`` stays silent.
+"""
+
+import importlib
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from conftest import make_demand, make_runtime_parts
+from repro.engine import Engine, ScenarioSpec, execute
+
+
+# ----------------------------------------------------------------------
+# the warnings
+# ----------------------------------------------------------------------
+def test_reshaping_runtime_init_emits_deprecation_warning():
+    from repro.reshaping.runtime import ReshapingRuntime
+
+    fleet, conversion, throttle, dvfs = make_runtime_parts()
+    with pytest.warns(DeprecationWarning, match="ReshapingRuntime"):
+        ReshapingRuntime(fleet, conversion, throttle=throttle, dvfs=dvfs)
+
+
+def test_chaos_runtime_init_emits_deprecation_warning():
+    from repro.faults.runtime import ChaosReshapingRuntime
+
+    fleet, conversion, _, _ = make_runtime_parts()
+    with pytest.warns(DeprecationWarning, match="ChaosReshapingRuntime"):
+        ChaosReshapingRuntime(fleet, conversion)
+
+
+def test_infra_capping_module_warns_on_import():
+    import repro.infra.capping as shim
+
+    with pytest.warns(DeprecationWarning, match="repro.infra.capping"):
+        shim = importlib.reload(shim)
+    # The reload must keep re-exporting the canonical objects.
+    from repro.engine.capping import CappingSimulator
+
+    assert shim.CappingSimulator is CappingSimulator
+
+
+def test_plain_import_of_repro_stays_silent():
+    """Only *using* a shim may warn — ``import repro`` must not."""
+    code = "import repro, repro.reshaping, repro.faults, repro.infra"
+    result = subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning", "-c", code],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+# ----------------------------------------------------------------------
+# bit-identical delegation
+# ----------------------------------------------------------------------
+def test_reshaping_runtime_delegates_bit_identically():
+    from repro.reshaping.runtime import ReshapingRuntime
+
+    fleet, conversion, throttle, dvfs = make_runtime_parts()
+    demand = make_demand()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        runtime = ReshapingRuntime(fleet, conversion, throttle=throttle, dvfs=dvfs)
+    via_shim = runtime.run_conversion(demand, extra_servers=8)
+
+    spec = ScenarioSpec(
+        mode="conversion",
+        fleet=fleet,
+        demand=demand,
+        conversion=conversion,
+        throttle=throttle,
+        dvfs=dvfs,
+        extra_servers=8,
+    )
+    via_engine = Engine.from_spec(spec).run(spec).result
+    assert np.array_equal(via_shim.total_power, via_engine.total_power)
+    assert np.array_equal(via_shim.lc_served, via_engine.lc_served)
+    assert np.array_equal(via_shim.batch_throughput, via_engine.batch_throughput)
+
+
+def test_chaos_runtime_delegates_bit_identically():
+    from repro.faults.runtime import ChaosReshapingRuntime
+    from repro.engine import ConversionFaultModel
+
+    fleet, conversion, _, _ = make_runtime_parts()
+    demand = make_demand()
+    faults = ConversionFaultModel(latency_steps=2, failure_prob=0.3)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        runtime = ChaosReshapingRuntime(
+            fleet, conversion, conversion_faults=faults, seed=11
+        )
+    via_shim = runtime.run_conversion_chaos(demand, extra_servers=8)
+
+    spec = ScenarioSpec(
+        mode="conversion_chaos",
+        fleet=fleet,
+        demand=demand,
+        conversion=conversion,
+        conversion_faults=faults,
+        seed=11,
+        extra_servers=8,
+    )
+    via_engine = execute(spec).result
+    assert np.array_equal(
+        via_shim.scenario.total_power, via_engine.scenario.total_power
+    )
+    assert via_shim.recovery.engaged == via_engine.recovery.engaged
+    assert np.array_equal(via_shim.raw.total_power, via_engine.raw.total_power)
+
+
+def test_infra_capping_reexports_are_the_engine_objects():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        import repro.infra.capping as shim
+    import repro.engine.capping as canonical
+
+    for name in shim.__all__:
+        assert getattr(shim, name) is getattr(canonical, name)

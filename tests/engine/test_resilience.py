@@ -1,0 +1,126 @@
+"""Regression tests: ``run_many`` survives dying workers and bad specs.
+
+A killed worker process breaks the whole ``ProcessPoolExecutor``; the
+suite must come back with per-spec results anyway — retried where the
+spec was an innocent bystander, a structured :class:`RunFailure` where it
+kept crashing.
+"""
+
+import os
+
+import pytest
+
+from conftest import make_demand, make_fleet, make_runtime_parts
+from repro.engine import RunArtifacts, RunFailure, ScenarioSpec, run_many
+
+
+# ----------------------------------------------------------------------
+# module-level callables (must pickle into fork workers)
+# ----------------------------------------------------------------------
+def well_behaved():
+    return "ok"
+
+
+def kill_worker_hard():
+    """Die the way a real casualty dies: no exception, no cleanup."""
+    os._exit(17)
+
+
+class KillOnce:
+    """Kills the first worker that runs it, succeeds afterwards.
+
+    The flag lives on the filesystem because the retry lands in a *new*
+    forked worker: process memory resets, the file survives.
+    """
+
+    def __init__(self, flag_path):
+        self.flag_path = str(flag_path)
+
+    def __call__(self):
+        if not os.path.exists(self.flag_path):
+            with open(self.flag_path, "w") as handle:
+                handle.write("died")
+            os._exit(17)
+        return "recovered"
+
+
+class AlwaysRaises:
+    def __call__(self):
+        raise ValueError("deliberate failure")
+
+
+def _scenario_spec():
+    fleet, conversion, _, _ = make_runtime_parts()
+    return ScenarioSpec(
+        mode="pre", fleet=fleet, demand=make_demand(), conversion=conversion
+    )
+
+
+# ----------------------------------------------------------------------
+# worker death
+# ----------------------------------------------------------------------
+def test_run_many_survives_a_worker_killed_mid_suite(tmp_path):
+    """One spec kills its worker once; the suite still returns everything."""
+    specs = [
+        _scenario_spec(),
+        KillOnce(tmp_path / "died.flag"),
+        well_behaved,
+    ]
+    results = run_many(specs, workers=2, retry_backoff_s=0.0)
+    assert len(results) == 3
+    assert isinstance(results[0], RunArtifacts)
+    assert results[0].result.name == "pre"
+    assert isinstance(results[1], RunArtifacts)
+    assert results[1].result == "recovered"
+    assert isinstance(results[2], RunArtifacts)
+    assert results[2].result == "ok"
+
+
+def test_run_many_reports_a_persistent_killer_as_run_failure():
+    specs = [well_behaved, kill_worker_hard, well_behaved]
+    results = run_many(
+        specs, workers=2, max_attempts=2, retry_backoff_s=0.0
+    )
+    assert len(results) == 3
+    # The innocent bystanders survive (possibly via retry) …
+    assert results[0].result == "ok"
+    assert results[2].result == "ok"
+    # … and the killer comes back as a structured failure, not a crash.
+    failure = results[1]
+    assert isinstance(failure, RunFailure)
+    assert failure.attempts == 2
+    assert failure.spec is kill_worker_hard
+    assert failure.result is None
+    assert failure.error_type and failure.error
+
+
+# ----------------------------------------------------------------------
+# plain exceptions (serial and parallel)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2])
+def test_run_many_wraps_raising_specs_without_sinking_the_suite(workers):
+    specs = [well_behaved, AlwaysRaises(), well_behaved]
+    results = run_many(
+        specs, workers=workers, max_attempts=2, retry_backoff_s=0.0
+    )
+    assert results[0].result == "ok"
+    assert results[2].result == "ok"
+    failure = results[1]
+    assert isinstance(failure, RunFailure)
+    assert failure.error_type == "ValueError"
+    assert "deliberate failure" in failure.error
+    assert failure.attempts == 2
+
+
+def test_run_many_validates_retry_parameters():
+    with pytest.raises(ValueError, match="max_attempts"):
+        run_many([well_behaved], max_attempts=0)
+    with pytest.raises(ValueError, match="backoff"):
+        run_many([well_behaved], retry_backoff_s=-1.0)
+
+
+def test_callable_specs_wrap_plain_return_values():
+    [artifacts] = run_many([well_behaved])
+    assert isinstance(artifacts, RunArtifacts)
+    assert artifacts.spec is well_behaved
+    assert artifacts.result == "ok"

@@ -1,0 +1,120 @@
+"""Unit tests for the correlated power-spike fault model and policy."""
+
+import numpy as np
+import pytest
+
+from conftest import make_demand, make_fleet, make_grid, make_runtime_parts
+from repro.engine import (
+    PowerSpikePolicy,
+    PowerSpikeSchedule,
+    ScenarioSpec,
+    SpikeEvent,
+    build_pipeline,
+    execute,
+)
+from repro.obs import events as obs_events
+
+
+# ----------------------------------------------------------------------
+# SpikeEvent / PowerSpikeSchedule
+# ----------------------------------------------------------------------
+def test_spike_event_validation():
+    with pytest.raises(ValueError, match="start_index"):
+        SpikeEvent(start_index=-1, duration_samples=1, extra_watts=1.0)
+    with pytest.raises(ValueError, match="duration"):
+        SpikeEvent(start_index=0, duration_samples=0, extra_watts=1.0)
+    with pytest.raises(ValueError, match="extra_watts"):
+        SpikeEvent(start_index=0, duration_samples=1, extra_watts=-1.0)
+
+
+def test_extra_power_stacks_overlaps_and_clips_the_tail():
+    schedule = PowerSpikeSchedule(
+        events=(
+            SpikeEvent(start_index=2, duration_samples=3, extra_watts=100.0),
+            SpikeEvent(start_index=3, duration_samples=2, extra_watts=50.0),
+            SpikeEvent(start_index=8, duration_samples=10, extra_watts=25.0),
+            SpikeEvent(start_index=99, duration_samples=5, extra_watts=1e9),
+        )
+    )
+    extra = schedule.extra_power(10)
+    assert extra.shape == (10,)
+    assert extra[2] == 100.0
+    assert extra[3] == extra[4] == 150.0  # overlapping bursts stack
+    assert extra[8] == extra[9] == 25.0  # truncated at the horizon
+    assert extra[:2].sum() == 0.0
+    # 3*100 + 2*50 + 2*25 steps of extra draw, 30 minutes each.
+    assert schedule.spike_watt_minutes(10, 30.0) == pytest.approx(450.0 * 30)
+
+
+def test_empty_schedule_is_all_zeros():
+    assert PowerSpikeSchedule().extra_power(5).sum() == 0.0
+
+
+def test_random_schedule_is_seed_deterministic():
+    grid = make_grid()
+    kwargs = dict(extra_watts_low=100.0, extra_watts_high=500.0)
+    first = PowerSpikeSchedule.random(grid, seed=3, **kwargs)
+    again = PowerSpikeSchedule.random(grid, seed=3, **kwargs)
+    other = PowerSpikeSchedule.random(grid, seed=4, **kwargs)
+    assert first == again
+    assert first != other
+    for event in first.events:
+        assert 100.0 <= event.extra_watts <= 500.0
+    with pytest.raises(ValueError, match="extra_watts"):
+        PowerSpikeSchedule.random(
+            grid, extra_watts_low=10.0, extra_watts_high=5.0
+        )
+
+
+# ----------------------------------------------------------------------
+# the spike_chaos mode end to end
+# ----------------------------------------------------------------------
+def _spike_spec(schedule, budget_watts=80_000.0):
+    fleet, conversion, _, _ = make_runtime_parts(budget_watts)
+    return ScenarioSpec(
+        mode="spike_chaos",
+        fleet=fleet,
+        demand=make_demand(),
+        conversion=conversion,
+        spikes=schedule,
+    )
+
+
+def test_spike_chaos_pipeline_contains_the_policy():
+    policies, actuators = build_pipeline(_spike_spec(PowerSpikeSchedule()))
+    assert any(isinstance(p, PowerSpikePolicy) for p in policies)
+    assert actuators  # emergency capping guards the mode
+
+
+def test_spikes_add_exactly_their_extra_power():
+    """With a generous budget the spiked run is baseline + schedule."""
+    schedule = PowerSpikeSchedule(
+        events=(SpikeEvent(start_index=5, duration_samples=4, extra_watts=2_000.0),)
+    )
+    clean = execute(_spike_spec(PowerSpikeSchedule())).result.scenario
+    spiked = execute(_spike_spec(schedule)).result
+    extra = schedule.extra_power(clean.total_power.size)
+    # The budget is generous, so the capping fallback must stay disengaged
+    # and the spiked draw is exactly baseline + schedule.
+    assert not spiked.recovery.engaged
+    assert np.allclose(
+        spiked.scenario.total_power, clean.total_power + extra
+    )
+
+
+def test_spike_policy_emits_a_fault_injection_event():
+    schedule = PowerSpikeSchedule(
+        events=(SpikeEvent(start_index=0, duration_samples=2, extra_watts=500.0),)
+    )
+    with obs_events.recording() as log:
+        execute(_spike_spec(schedule))
+    faults = log.by_kind(obs_events.FAULT_INJECTION)
+    assert len(faults) == 1
+    assert faults[0].fields["fault"] == "power_spikes"
+    assert faults[0].fields["peak_extra_watts"] == 500.0
+
+
+def test_spike_policy_without_schedule_is_inert():
+    with obs_events.recording() as log:
+        execute(_spike_spec(None))
+    assert not log.by_kind(obs_events.FAULT_INJECTION)

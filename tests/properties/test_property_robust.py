@@ -1,0 +1,112 @@
+"""Property-based tests for the Γ-robust accounting invariants.
+
+The three structural guarantees the module documents:
+
+* Γ = 0 reduces exactly to nominal accounting;
+* Γ ≥ |S| reduces exactly to worst-case (every instance at ``p_c + p_r``);
+* robust headroom is monotonically non-increasing in Γ.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infra import Assignment, build_topology, two_level_spec
+from repro.robust import (
+    GammaAccountant,
+    UncertainPowerModel,
+    gamma_sum,
+    robust_load,
+    robust_node_headroom,
+)
+
+finite_watts = st.floats(0.0, 1e4, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def power_models(draw):
+    n = draw(st.integers(1, 30))
+    nominal = [draw(finite_watts) for _ in range(n)]
+    radius = [draw(finite_watts) for _ in range(n)]
+    ids = [f"i{k}" for k in range(n)]
+    return UncertainPowerModel(ids, nominal, radius)
+
+
+@st.composite
+def placed_fleets(draw):
+    """A model plus an assignment of its instances onto a budgeted tree."""
+    model = draw(power_models())
+    leaves = draw(st.integers(1, 4))
+    topology = build_topology(
+        two_level_spec("prop", leaves=leaves, leaf_capacity=len(model))
+    )
+    leaf_names = [leaf.name for leaf in topology.leaves()]
+    mapping = {
+        iid: leaf_names[draw(st.integers(0, leaves - 1))] for iid in model.ids
+    }
+    budget = draw(st.floats(0.0, 1e6, allow_nan=False))
+    for node in topology.nodes():
+        node.budget_watts = budget
+    return model, topology, Assignment(topology, mapping)
+
+
+class TestGammaSumInvariants:
+    @given(power_models())
+    @settings(max_examples=50, deadline=None)
+    def test_gamma_zero_is_exactly_nominal(self, model):
+        assert robust_load(model.nominal, model.radius, 0) == float(
+            model.nominal.sum()
+        )
+
+    @given(power_models(), st.integers(0, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_gamma_at_least_n_is_exactly_worst_case(self, model, extra):
+        gamma = len(model) + extra
+        # Equality up to summation order: Σn + Σr vs Σ(n + r).
+        np.testing.assert_allclose(
+            robust_load(model.nominal, model.radius, gamma),
+            float((model.nominal + model.radius).sum()),
+            rtol=1e-12,
+        )
+
+    @given(power_models())
+    @settings(max_examples=50, deadline=None)
+    def test_gamma_sum_is_nondecreasing_in_gamma(self, model):
+        sums = [gamma_sum(model.radius, g) for g in range(len(model) + 2)]
+        for smaller, larger in zip(sums, sums[1:]):
+            assert larger >= smaller - 1e-9
+
+    @given(power_models(), st.integers(0, 35))
+    @settings(max_examples=50, deadline=None)
+    def test_accountant_agrees_with_the_closed_form(self, model, gamma):
+        acc = GammaAccountant(gamma)
+        for iid in model.ids:
+            acc.add(iid, model.nominal_of(iid), model.radius_of(iid))
+        expected = robust_load(model.nominal, model.radius, gamma)
+        assert abs(acc.robust_load() - expected) < 1e-6
+
+
+class TestRobustHeadroomInvariants:
+    @given(placed_fleets())
+    @settings(max_examples=25, deadline=None)
+    def test_headroom_is_monotonically_nonincreasing_in_gamma(self, fleet):
+        model, topology, assignment = fleet
+        previous = None
+        for gamma in range(len(model) + 2):
+            headroom = robust_node_headroom(topology, assignment, model, gamma)
+            if previous is not None:
+                for name, slack in headroom.items():
+                    assert slack <= previous[name] + 1e-9
+            previous = headroom
+
+    @given(placed_fleets())
+    @settings(max_examples=25, deadline=None)
+    def test_gamma_zero_headroom_is_budget_minus_nominal(self, fleet):
+        model, topology, assignment = fleet
+        headroom = robust_node_headroom(topology, assignment, model, 0)
+        for node in topology.nodes():
+            members = assignment.instances_under(node.name)
+            nominal = sum(model.nominal_of(iid) for iid in members)
+            np.testing.assert_allclose(
+                headroom[node.name], node.budget_watts - nominal, atol=1e-6
+            )

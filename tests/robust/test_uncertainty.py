@@ -1,0 +1,115 @@
+"""Unit tests for the interval power model."""
+
+import numpy as np
+import pytest
+
+from repro.robust import UncertainPowerModel
+from repro.traces.traceset import TraceSet
+
+
+def test_from_traceset_derives_percentile_nominal_and_max_radius(week_grid):
+    n = week_grid.n_samples
+    flat = np.full(n, 100.0)
+    spiky = np.full(n, 100.0)
+    spiky[:3] = 400.0  # three spike samples, above the 95th percentile
+    traces = TraceSet(week_grid, ["flat", "spiky"], np.vstack([flat, spiky]))
+    model = UncertainPowerModel.from_traceset(traces)
+
+    assert model.nominal_of("flat") == pytest.approx(100.0)
+    assert model.radius_of("flat") == pytest.approx(0.0)
+    assert model.nominal_of("spiky") == pytest.approx(100.0)
+    assert model.radius_of("spiky") == pytest.approx(300.0)
+    assert model.upper("spiky") == pytest.approx(400.0)
+
+
+def test_radius_scale_hardens_and_zero_degenerates(week_grid):
+    n = week_grid.n_samples
+    trace = np.full(n, 50.0)
+    trace[0] = 150.0
+    traces = TraceSet(week_grid, ["a"], trace[None, :])
+    hard = UncertainPowerModel.from_traceset(traces, radius_scale=2.0)
+    point = UncertainPowerModel.from_traceset(traces, radius_scale=0.0)
+    assert hard.radius_of("a") == pytest.approx(200.0)
+    assert point.radius_of("a") == 0.0
+
+
+def test_interval_floors_lower_end_at_zero():
+    model = UncertainPowerModel(["a"], [10.0], [25.0])
+    low, high = model.interval("a")
+    assert low == 0.0
+    assert high == pytest.approx(35.0)
+
+
+def test_validation_rejects_bad_shapes_and_values():
+    with pytest.raises(ValueError, match="inconsistent"):
+        UncertainPowerModel(["a", "b"], [1.0], [1.0])
+    with pytest.raises(ValueError, match="negative"):
+        UncertainPowerModel(["a"], [-1.0], [0.0])
+    with pytest.raises(ValueError, match="negative"):
+        UncertainPowerModel(["a"], [1.0], [-0.5])
+    with pytest.raises(ValueError, match="unique"):
+        UncertainPowerModel(["a", "a"], [1.0, 2.0], [0.0, 0.0])
+    with pytest.raises(ValueError, match="finite"):
+        UncertainPowerModel(["a"], [float("nan")], [0.0])
+
+
+def test_subset_preserves_order_and_values():
+    model = UncertainPowerModel(
+        ["a", "b", "c"], [1.0, 2.0, 3.0], [0.1, 0.2, 0.3]
+    )
+    sub = model.subset(["c", "a"])
+    assert sub.ids == ["c", "a"]
+    assert sub.nominal.tolist() == [3.0, 1.0]
+    assert sub.radius.tolist() == [0.3, 0.1]
+    with pytest.raises(KeyError):
+        model.subset(["nope"])
+
+
+def test_rows_and_total_upper():
+    model = UncertainPowerModel(["a", "b"], [10.0, 20.0], [1.0, 2.0])
+    nominal, radius = model.rows(["b", "a"])
+    assert nominal.tolist() == [20.0, 10.0]
+    assert radius.tolist() == [2.0, 1.0]
+    assert model.total_upper() == pytest.approx(33.0)
+    assert len(model) == 2
+    assert "a" in model and "z" not in model
+
+
+# ----------------------------------------------------------------------
+# spike minority
+# ----------------------------------------------------------------------
+def test_spike_minority_replaces_the_requested_fraction():
+    ids = [f"i{k}" for k in range(50)]
+    model = UncertainPowerModel(ids, np.full(50, 100.0), np.full(50, 5.0))
+    spiked = model.with_spike_minority(0.1, 230.0, seed=7)
+    boosted = [iid for iid in ids if spiked.radius_of(iid) == 230.0]
+    assert len(boosted) == 5
+    # Untouched instances keep their trace-derived radius …
+    for iid in set(ids) - set(boosted):
+        assert spiked.radius_of(iid) == 5.0
+    # … and nominals never change.
+    assert np.array_equal(spiked.nominal, model.nominal)
+    # The original model is not mutated.
+    assert float(model.radius.max()) == 5.0
+
+
+def test_spike_minority_is_seed_deterministic():
+    ids = [f"i{k}" for k in range(40)]
+    model = UncertainPowerModel(ids, np.full(40, 100.0), np.full(40, 5.0))
+    first = model.with_spike_minority(0.25, 300.0, seed=3)
+    second = model.with_spike_minority(0.25, 300.0, seed=3)
+    other = model.with_spike_minority(0.25, 300.0, seed=4)
+    assert np.array_equal(first.radius, second.radius)
+    assert not np.array_equal(first.radius, other.radius)
+
+
+def test_spike_minority_edge_fractions():
+    model = UncertainPowerModel(["a", "b"], [1.0, 2.0], [0.5, 0.5])
+    assert np.array_equal(
+        model.with_spike_minority(0.0, 99.0).radius, model.radius
+    )
+    assert (model.with_spike_minority(1.0, 99.0).radius == 99.0).all()
+    with pytest.raises(ValueError, match="fraction"):
+        model.with_spike_minority(1.5, 10.0)
+    with pytest.raises(ValueError, match="negative"):
+        model.with_spike_minority(0.5, -1.0)

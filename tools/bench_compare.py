@@ -21,7 +21,13 @@ documents and compares them stage by stage against the committed set:
 * on multi-CPU runners (fresh ``cpu_count >= 2``) the chaos-suite process
   pool must beat serial execution by ``--min-speedup``; single-CPU hosts
   skip that check, and a missing ``BENCH_engine.json`` baseline is
-  tolerated so old baselines keep comparing.
+  tolerated so old baselines keep comparing;
+* the robust-placement document (``BENCH_robust.json`` from
+  ``benchmarks/bench_robust.py``) carries a quality gate of its own: the
+  Γ-robust placement must avoid at least 80% of spike-induced violations
+  while provisioning at most 15% extra capacity.  A fresh document with a
+  missing committed baseline is a *new* benchmark — recorded, never a
+  failure — but the fresh gate thresholds still apply.
 
 Exit status is non-zero when any regression is found, so CI can gate on
 it.  ``--output`` writes the full diff document as JSON for artifact
@@ -58,7 +64,16 @@ DEFAULT_PEAK_TOLERANCE = 0.02
 #: a process pool cannot beat serial execution on a single CPU.
 DEFAULT_MIN_SPEEDUP = 1.3
 
-BENCH_FILES = ("BENCH_pipeline.json", "BENCH_remap.json", "BENCH_engine.json")
+#: Absolute drop in the robust suite's avoided-violation fraction that
+#: counts as a regression against a committed baseline.
+DEFAULT_AVOIDED_TOLERANCE = 0.05
+
+BENCH_FILES = (
+    "BENCH_pipeline.json",
+    "BENCH_remap.json",
+    "BENCH_engine.json",
+    "BENCH_robust.json",
+)
 
 
 def load_document(path: pathlib.Path) -> Dict:
@@ -174,6 +189,49 @@ def compare_engine_parallel(
     return row
 
 
+def compare_robust(
+    baseline: Optional[Dict],
+    current: Dict,
+    *,
+    avoided_tolerance: float = DEFAULT_AVOIDED_TOLERANCE,
+) -> Dict:
+    """The robust-placement quality row for a fresh ``BENCH_robust.json``.
+
+    The fresh document's own gate thresholds always apply (they guard the
+    robustness *claim*, not a machine-relative timing).  With a committed
+    baseline, the avoided fraction additionally must not drop more than
+    ``avoided_tolerance`` below it; without one this is a brand-new
+    benchmark — record the numbers, report ``new``, never fail.
+    """
+    gate = current["sections"].get("gate")
+    if not gate:
+        return {"check": "robust_gate", "status": "missing"}
+    row: Dict = {
+        "check": "robust_gate",
+        "avoided_fraction": gate.get("avoided_fraction"),
+        "min_avoided_fraction": gate.get("min_avoided_fraction"),
+        "max_capacity_overhead": gate.get("max_capacity_overhead"),
+        "capacity_overhead_limit": gate.get("capacity_overhead_limit"),
+    }
+    if not gate.get("passed"):
+        row["status"] = "regression"
+        return row
+    if baseline is None:
+        row["status"] = "new"
+        return row
+    base_avoided = baseline["sections"].get("gate", {}).get("avoided_fraction")
+    row["baseline_avoided_fraction"] = base_avoided
+    if (
+        base_avoided is not None
+        and gate.get("avoided_fraction") is not None
+        and gate["avoided_fraction"] < base_avoided - avoided_tolerance
+    ):
+        row["status"] = "regression"
+    else:
+        row["status"] = "ok"
+    return row
+
+
 def compare_documents(
     baseline_dir: pathlib.Path,
     current_dir: pathlib.Path,
@@ -221,6 +279,19 @@ def compare_documents(
             tolerance=tolerance,
             floor_s=floor_s,
         )
+    # Robust-placement quality gate.  A fresh document without a committed
+    # baseline is a new benchmark (record, don't fail); a committed
+    # baseline without a fresh document is lost coverage.
+    robust_base_path = baseline_dir / "BENCH_robust.json"
+    robust_cur_path = current_dir / "BENCH_robust.json"
+    robust_gate: Optional[Dict] = None
+    if robust_cur_path.exists():
+        robust_gate = compare_robust(
+            load_document(robust_base_path) if robust_base_path.exists() else None,
+            load_document(robust_cur_path),
+        )
+    elif robust_base_path.exists():
+        robust_gate = {"check": "robust_gate", "status": "missing"}
     bad_status = ("regression", "missing")
     regressions = [
         f"pipeline stage {row['stage']!r}: {row['status']}"
@@ -237,6 +308,8 @@ def compare_documents(
     ]
     if engine_parallel is not None and engine_parallel["status"] in bad_status:
         regressions.append(f"engine speedup: {engine_parallel['status']}")
+    if robust_gate is not None and robust_gate["status"] in bad_status:
+        regressions.append(f"robust gate: {robust_gate['status']}")
     return {
         "baseline_dir": str(baseline_dir),
         "current_dir": str(current_dir),
@@ -248,6 +321,7 @@ def compare_documents(
         "remap": remap_rows,
         "engine": engine_rows,
         "engine_parallel": engine_parallel,
+        "robust": robust_gate,
         "regressions": regressions,
     }
 
@@ -277,6 +351,15 @@ def render(diff: Dict) -> str:
             f"cpus={parallel.get('cpu_count')}, "
             f"min={fmt(parallel.get('min_speedup'), '.2f', 'x')}) "
             f"{parallel['status']}"
+        )
+    robust = diff.get("robust")
+    if robust is not None:
+        lines.append(
+            f"robust gate: avoided={fmt(robust.get('avoided_fraction'), '.3f')} "
+            f"(min={fmt(robust.get('min_avoided_fraction'), '.2f')}), "
+            f"capacity={fmt(robust.get('max_capacity_overhead'), '.4f')} "
+            f"(limit={fmt(robust.get('capacity_overhead_limit'), '.2f')}) "
+            f"{robust['status']}"
         )
     for row in diff["remap"]:
         lines.append(
