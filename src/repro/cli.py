@@ -201,8 +201,9 @@ def _cmd_place(args: argparse.Namespace) -> None:
     dc = experiments.get_datacenter("DC1", n_instances=args.instances)
     operator = SmoothOperator(
         SmoothOperatorConfig(
-            placement=PlacementConfig(seed=0),
+            placement=PlacementConfig(seed=0, score_workers=args.workers),
             robust=RobustPlacementConfig(gamma=args.gamma),
+            workers=args.workers,
         )
     )
     outcome = operator.optimize(dc.records, dc.topology)
@@ -463,7 +464,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--workers",
         type=int,
         default=1,
-        help="worker processes for the chaos suite (chaos command)",
+        help="worker processes for parallel stages (chaos and place commands)",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -33,6 +33,12 @@ ArrayLike = Union[np.ndarray, Sequence[float]]
 #: inputs on the configured chunk size.
 DEFAULT_SCORE_MAX_BYTES = 128 * 1024 * 1024
 
+#: Below this many instance rows a :func:`score_matrix` call ignores
+#: ``workers``: publishing shared segments and round-tripping the pool
+#: costs more than scoring a small fleet in place.  The placer's per-node
+#: recursion stays serial; only fleet-scale calls fan out.
+PARALLEL_MIN_ROWS = 4096
+
 
 def asynchrony_score(traces: Union[TraceSet, Sequence[PowerTrace]]) -> float:
     """The asynchrony score ``A_M`` of a set of power traces (Eq. 6).
@@ -69,7 +75,7 @@ def score_vector(instance: PowerTrace, basis: TraceSet) -> np.ndarray:
     I-trace and the *k*-th basis S-trace.  Shape ``(len(basis),)``.
     """
     instance.grid.require_same(basis.grid)
-    return _score_rows(instance.values[np.newaxis, :], basis)[0]
+    return _score_rows(instance.values[np.newaxis, :], basis.matrix)[0]
 
 
 def score_matrix(
@@ -78,45 +84,143 @@ def score_matrix(
     *,
     chunk_size: int = 256,
     max_bytes: Optional[int] = DEFAULT_SCORE_MAX_BYTES,
+    dtype: Optional[object] = None,
+    workers: int = 1,
+    parallel_min_rows: int = PARALLEL_MIN_ROWS,
 ) -> np.ndarray:
     """I-to-S score vectors for a whole fleet, shape ``(n_instances, n_basis)``.
 
     Vectorised and chunked: computing ``peak(PI_i + PS_k)`` for all (i, k)
-    pairs materialises an ``(chunk, n_basis, n_samples)`` float64 block at a
-    time rather than the full fleet tensor.  The effective chunk size is the
+    pairs materialises an ``(chunk, n_basis, n_samples)`` block at a time
+    rather than the full fleet tensor.  The effective chunk size is the
     smaller of ``chunk_size`` and what fits a block into ``max_bytes``
     (pass ``max_bytes=None`` to disable the bound); results are identical
     whatever the chunking, only memory and locality change.
+
+    ``dtype`` is the exactness toggle: ``None`` (default) broadcasts in
+    float64 — bit-identical to every historical result — while
+    ``np.float32`` is the fleet-scale fast path, halving the broadcast
+    block's memory traffic at the cost of float32 rounding in the peaks
+    (scores still come back float64).
+
+    ``workers > 1`` shards the rows across the persistent worker pool
+    (:mod:`repro.engine.parallel`) over shared-memory views of the two
+    matrices — tasks carry only row ranges, never trace data.  Row scores
+    are independent, so the result is identical for any worker count;
+    batches smaller than ``parallel_min_rows`` run serially regardless.
     """
     instances.grid.require_same(basis.grid)
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    work_dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
     if max_bytes is not None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
-        bytes_per_row = len(basis) * instances.grid.n_samples * 8
+        bytes_per_row = len(basis) * instances.grid.n_samples * work_dtype.itemsize
         chunk_size = max(1, min(chunk_size, max_bytes // max(bytes_per_row, 1)))
     n = len(instances)
-    with obs.span("score", instances=n, basis=len(basis), chunk_size=chunk_size):
+    with obs.span(
+        "score",
+        instances=n,
+        basis=len(basis),
+        chunk_size=chunk_size,
+        workers=workers,
+    ):
         obs.count("score.pairs", n * len(basis))
+        if workers > 1 and n >= max(parallel_min_rows, 2 * workers):
+            return _score_matrix_sharded(
+                instances, basis, work_dtype, chunk_size, workers
+            )
+        basis_block = np.asarray(basis.matrix, dtype=work_dtype)
         scores = np.empty((n, len(basis)))
         for start in range(0, n, chunk_size):
             stop = min(start + chunk_size, n)
             obs.count("score.chunks")
-            scores[start:stop] = _score_rows(instances.matrix[start:stop], basis)
+            scores[start:stop] = _score_rows(
+                np.asarray(instances.matrix[start:stop], dtype=work_dtype),
+                basis_block,
+            )
         return scores
 
 
-def _score_rows(rows: np.ndarray, basis: TraceSet) -> np.ndarray:
-    """Score each row trace against every basis trace (dense broadcast)."""
+def _score_matrix_sharded(
+    instances: TraceSet,
+    basis: TraceSet,
+    work_dtype: np.dtype,
+    chunk_size: int,
+    workers: int,
+) -> np.ndarray:
+    """Fan row shards out to the persistent pool over shared memory.
+
+    The instance and basis matrices are published once; each task is a
+    ``(handle, handle, start, stop, chunk_size, dtype)`` descriptor a few
+    hundred bytes long.  Segments are unlinked in the ``finally`` whatever
+    happens — normal return, a worker death surfacing as
+    ``BrokenProcessPool`` after retries, or a ``KeyboardInterrupt``.
+    """
+    # Lazy imports: repro.engine imports repro.core via the chaos harness,
+    # so the reverse edge must not exist at module scope.
+    from ..engine.parallel import get_pool
+    from ..engine.sharedmem import SharedMatrix, shard_ranges
+
+    n = len(instances)
+    pool = get_pool(workers)
+    with SharedMatrix.create(instances.matrix, dtype=work_dtype) as shared_rows:
+        with SharedMatrix.create(basis.matrix, dtype=work_dtype) as shared_basis:
+            tasks = [
+                (
+                    shared_rows.handle,
+                    shared_basis.handle,
+                    start,
+                    stop,
+                    chunk_size,
+                )
+                for start, stop in shard_ranges(n, workers)
+            ]
+            obs.count("score.shards", len(tasks))
+            blocks = pool.map_shards(_score_shard, tasks)
+    scores = np.empty((n, len(basis)))
+    row = 0
+    for block in blocks:
+        scores[row : row + block.shape[0]] = block
+        row += block.shape[0]
+    return scores
+
+
+def _score_shard(
+    rows_handle: object,
+    basis_handle: object,
+    start: int,
+    stop: int,
+    chunk_size: int,
+) -> np.ndarray:
+    """One worker's row range of the score matrix (runs in the pool)."""
+    from ..engine.sharedmem import attach_rows, attached_view
+
+    rows = attach_rows(rows_handle, start, stop)
+    basis_block = attached_view(basis_handle)
+    scores = np.empty((stop - start, basis_block.shape[0]))
+    for offset in range(0, rows.shape[0], chunk_size):
+        block = rows[offset : offset + chunk_size]
+        scores[offset : offset + block.shape[0]] = _score_rows(block, basis_block)
+    return scores
+
+
+def _score_rows(rows: np.ndarray, basis_matrix: np.ndarray) -> np.ndarray:
+    """Score each row trace against every basis trace (dense broadcast).
+
+    ``rows`` and ``basis_matrix`` must share a dtype; the broadcast runs in
+    that dtype (the float32 fast path halves its footprint) and the scores
+    are returned as float64 either way.
+    """
     row_peaks = rows.max(axis=1)                          # (c,)
-    basis_peaks = basis.matrix.max(axis=1)                # (m,)
+    basis_peaks = basis_matrix.max(axis=1)                # (m,)
     # (c, m, T) broadcast sum, reduced over T immediately.
-    combined_peaks = (rows[:, np.newaxis, :] + basis.matrix[np.newaxis, :, :]).max(axis=2)
+    combined_peaks = (rows[:, np.newaxis, :] + basis_matrix[np.newaxis, :, :]).max(axis=2)
     numerator = row_peaks[:, np.newaxis] + basis_peaks[np.newaxis, :]
     with np.errstate(divide="ignore", invalid="ignore"):
         scores = np.where(combined_peaks > 0, numerator / combined_peaks, 1.0)
-    return scores
+    return np.asarray(scores, dtype=np.float64)
 
 
 def averaged_group_trace(

@@ -33,11 +33,18 @@ class SmoothOperatorConfig:
     :class:`repro.robust.placement.RobustPlacer` instead of the plain
     workload-aware placer — at ``gamma = 0`` the two coincide, so the
     default pipeline output is unchanged.
+
+    ``workers`` fans the parallelizable stages out across the persistent
+    worker pool: a sharded remap pass (when ``remap.shard_level`` is set)
+    runs per-shard, and the placement scoring stage follows
+    ``placement.score_workers``.  Every stage is deterministic for any
+    worker count; 1 (the default) keeps everything in-process.
     """
 
     placement: PlacementConfig = field(default_factory=PlacementConfig)
     remap: Optional[RemapConfig] = None
     robust: Optional["RobustPlacementConfig"] = None
+    workers: int = 1
 
 
 @dataclass
@@ -111,7 +118,9 @@ class SmoothOperator:
             remap: Optional[RemapResult] = None
             if self.config.remap is not None:
                 engine = RemappingEngine(self.config.remap)
-                remap = engine.run(base, training_trace_set(records))
+                remap = engine.run(
+                    base, training_trace_set(records), workers=self.config.workers
+                )
             return OptimizationOutcome(
                 placement=placement, remap=remap, robust=robust
             )

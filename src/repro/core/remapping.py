@@ -44,6 +44,14 @@ class RemapConfig:
     min_improvement:
         A swap must raise each node's differential score by at least this
         much to be accepted (hysteresis against churn).
+    shard_level:
+        When set (e.g. ``Level.SUITE`` or ``Level.MSB``), the swap loop
+        runs independently inside each ``shard_level`` subtree: swaps never
+        cross a shard boundary, ``max_swaps`` applies per shard, and shards
+        are embarrassingly parallel (pass ``workers`` to
+        :meth:`RemappingEngine.run`).  Mirrors the operational reality that
+        migrations within a suite are cheap while cross-suite moves are
+        not.  ``None`` (default) keeps the global single-loop behaviour.
     """
 
     level: str
@@ -51,6 +59,7 @@ class RemapConfig:
     candidate_nodes: int = 4
     candidate_instances: int = 16
     min_improvement: float = 1e-3
+    shard_level: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_swaps < 0:
@@ -59,6 +68,8 @@ class RemapConfig:
             raise ValueError("candidate counts must be positive")
         if self.min_improvement < 0:
             raise ValueError("min_improvement cannot be negative")
+        if self.shard_level == self.level:
+            raise ValueError("shard_level must differ from the swap level")
 
 
 @dataclass(frozen=True)
@@ -154,26 +165,125 @@ class RemappingEngine:
     def __init__(self, config: RemapConfig) -> None:
         self.config = config
 
-    def run(self, assignment: Assignment, traces: TraceSet) -> RemapResult:
-        """Iteratively swap instances out of the most fragmented node."""
+    def run(
+        self, assignment: Assignment, traces: TraceSet, *, workers: int = 1
+    ) -> RemapResult:
+        """Iteratively swap instances out of the most fragmented node.
+
+        With :attr:`RemapConfig.shard_level` set, the loop runs per shard
+        subtree; ``workers > 1`` then fans the shards out across the
+        persistent pool over a shared-memory view of ``traces`` (shards
+        are independent, so the result is identical for any worker count).
+        ``workers`` is ignored in the unsharded global mode, whose single
+        swap loop is inherently sequential.
+        """
         with obs.span(
-            "remap", level=self.config.level, max_swaps=self.config.max_swaps
+            "remap",
+            level=self.config.level,
+            max_swaps=self.config.max_swaps,
+            workers=workers,
         ):
-            return self._run(assignment, traces)
+            return self._run(assignment, traces, workers)
 
-    def _run(self, assignment: Assignment, traces: TraceSet) -> RemapResult:
+    def _run(
+        self, assignment: Assignment, traces: TraceSet, workers: int
+    ) -> RemapResult:
         topology = assignment.topology
-        groups = {
-            node.name: _NodeGroup(
-                node.name, assignment.instances_under(node.name), traces
+        if self.config.shard_level is None:
+            groups = {
+                node.name: _NodeGroup(
+                    node.name, assignment.instances_under(node.name), traces
+                )
+                for node in topology.nodes_at_level(self.config.level)
+                if assignment.instances_under(node.name)
+            }
+            if len(groups) < 2:
+                return RemapResult(assignment=assignment)
+            swaps, node_totals = self._swap_groups(groups, traces)
+            return RemapResult(
+                assignment=_apply_swaps(assignment, swaps),
+                swaps=swaps,
+                node_totals=node_totals,
             )
-            for node in topology.nodes_at_level(self.config.level)
-            if assignment.instances_under(node.name)
-        }
-        if len(groups) < 2:
-            return RemapResult(assignment=assignment)
 
-        current = assignment
+        shards = self._shard_specs(assignment)
+        if workers <= 1 or len(shards) <= 1:
+            all_swaps: List[Swap] = []
+            node_totals: Dict[str, np.ndarray] = {}
+            for members_by_node in shards:
+                shard_swaps, shard_totals = _remap_shard_groups(
+                    self, members_by_node, traces
+                )
+                all_swaps.extend(shard_swaps)
+                node_totals.update(shard_totals)
+        else:
+            all_swaps, node_totals = self._run_shards_pooled(
+                shards, traces, workers
+            )
+        return RemapResult(
+            assignment=_apply_swaps(assignment, all_swaps),
+            swaps=all_swaps,
+            node_totals=node_totals,
+        )
+
+    # ------------------------------------------------------------------
+    def _shard_specs(self, assignment: Assignment) -> List[Dict[str, List[str]]]:
+        """Per-shard ``{level-node name: member ids}`` maps, shard order."""
+        from ..infra.topology import PowerTopology
+
+        specs = []
+        for shard in assignment.topology.nodes_at_level(self.config.shard_level):
+            subtree = PowerTopology(shard)
+            members_by_node = {
+                node.name: assignment.instances_under(node.name)
+                for node in subtree.nodes_at_level(self.config.level)
+                if assignment.instances_under(node.name)
+            }
+            if members_by_node:
+                specs.append(members_by_node)
+        return specs
+
+    def _run_shards_pooled(
+        self,
+        shards: List[Dict[str, List[str]]],
+        traces: TraceSet,
+        workers: int,
+    ) -> "tuple[List[Swap], Dict[str, np.ndarray]]":
+        """Fan shard swap loops out over a shared-memory trace view."""
+        # Lazy imports: repro.engine imports repro.core via the chaos
+        # harness, so the reverse edge must not exist at module scope.
+        from ..engine.parallel import get_pool
+        from ..engine.sharedmem import SharedMatrix
+
+        pool = get_pool(workers)
+        with SharedMatrix.create(traces.matrix) as shared:
+            tasks = []
+            for members_by_node in shards:
+                groups_spec = tuple(
+                    (
+                        name,
+                        tuple(
+                            (instance_id, traces.index_of(instance_id))
+                            for instance_id in members
+                        ),
+                    )
+                    for name, members in members_by_node.items()
+                )
+                tasks.append((shared.handle, traces.grid, groups_spec, self.config))
+            obs.count("remap.shards", len(tasks))
+            shard_results = pool.map_shards(_remap_shard_task, tasks)
+        all_swaps: List[Swap] = []
+        node_totals: Dict[str, np.ndarray] = {}
+        for shard_swaps, shard_totals in shard_results:
+            all_swaps.extend(shard_swaps)
+            node_totals.update(shard_totals)
+        return all_swaps, node_totals
+
+    # ------------------------------------------------------------------
+    def _swap_groups(
+        self, groups: Dict[str, _NodeGroup], traces: TraceSet
+    ) -> "tuple[List[Swap], Dict[str, np.ndarray]]":
+        """The Sec. 3.6 loop over one set of groups; swaps + final totals."""
         swaps: List[Swap] = []
         for _ in range(self.config.max_swaps):
             obs.count("remap.swaps_attempted")
@@ -189,7 +299,6 @@ class RemappingEngine:
                     min_improvement=self.config.min_improvement,
                 )
                 break
-            current = current.with_swap(swap.instance_a, swap.instance_b)
             groups[swap.node_a].swap_member(swap.instance_a, swap.instance_b, traces)
             groups[swap.node_b].swap_member(swap.instance_b, swap.instance_a, traces)
             swaps.append(swap)
@@ -207,11 +316,7 @@ class RemappingEngine:
         # Exact final aggregates: incremental updates drift over long runs.
         for group in groups.values():
             group.recompute(traces)
-        return RemapResult(
-            assignment=current,
-            swaps=swaps,
-            node_totals={name: group.total for name, group in groups.items()},
-        )
+        return swaps, {name: group.total for name, group in groups.items()}
 
     # ------------------------------------------------------------------
     def _best_swap(
@@ -282,3 +387,68 @@ class RemappingEngine:
         ]
         scored.sort()
         return [instance_id for _, instance_id in scored[: self.config.candidate_instances]]
+
+
+# ----------------------------------------------------------------------
+# shard execution helpers
+# ----------------------------------------------------------------------
+def _apply_swaps(assignment: Assignment, swaps: List[Swap]) -> Assignment:
+    """Replay accepted swaps onto an assignment, in acceptance order.
+
+    Shards touch disjoint instances, so replaying shard-by-shard yields
+    the same assignment whatever order the shards finished in.
+    """
+    current = assignment
+    for swap in swaps:
+        current = current.with_swap(swap.instance_a, swap.instance_b)
+    return current
+
+
+def _remap_shard_groups(
+    engine: RemappingEngine,
+    members_by_node: Dict[str, List[str]],
+    traces: TraceSet,
+) -> "tuple[List[Swap], Dict[str, np.ndarray]]":
+    """Run one shard's swap loop (or just compute totals for a lone group)."""
+    groups = {
+        name: _NodeGroup(name, members, traces)
+        for name, members in members_by_node.items()
+    }
+    if len(groups) < 2:
+        # Nothing to swap against inside this shard; totals still reported.
+        return [], {name: group.total for name, group in groups.items()}
+    return engine._swap_groups(groups, traces)
+
+
+def _remap_shard_task(
+    handle: object,
+    grid: object,
+    groups_spec: "tuple",
+    config: RemapConfig,
+) -> "tuple[List[Swap], Dict[str, np.ndarray]]":
+    """One shard of a sharded remap, run in a pool worker.
+
+    ``groups_spec`` is ``((node_name, ((instance_id, row), ...)), ...)`` —
+    names and row indices only; the trace matrix arrives through the
+    shared-memory ``handle``.  The shard's rows are gathered into a local
+    TraceSet (a copy bounded by shard size, not fleet size).
+    """
+    from ..engine.sharedmem import attached_view
+
+    view = attached_view(handle)
+    ids = [
+        instance_id
+        for _, members in groups_spec
+        for instance_id, _ in members
+    ]
+    rows = [
+        row
+        for _, members in groups_spec
+        for _, row in members
+    ]
+    traces = TraceSet(grid, ids, view[np.asarray(rows)], dtype=view.dtype)
+    members_by_node = {
+        name: [instance_id for instance_id, _ in members]
+        for name, members in groups_spec
+    }
+    return _remap_shard_groups(RemappingEngine(config), members_by_node, traces)

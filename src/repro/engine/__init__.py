@@ -59,7 +59,22 @@ from .spec import (  # noqa: F401
     chaos_spec,
 )
 from .core import Engine  # noqa: F401
-from .parallel import RunFailure, execute, run_many  # noqa: F401
+from .parallel import (  # noqa: F401
+    RunFailure,
+    WorkerPool,
+    execute,
+    get_pool,
+    run_many,
+    shutdown_pools,
+    warm_pool,
+)
+from .sharedmem import (  # noqa: F401
+    MatrixHandle,
+    SharedMatrix,
+    SharedTraceSet,
+    ShardSpec,
+    shard_ranges,
+)
 
 __all__ = [
     "Actuator",
@@ -81,6 +96,7 @@ __all__ = [
     "FleetState",
     "LC_POOL",
     "MODES",
+    "MatrixHandle",
     "NodeCappingStats",
     "Policy",
     "PowerSpikePolicy",
@@ -93,12 +109,20 @@ __all__ = [
     "ScenarioSpec",
     "ServerFailurePolicy",
     "ServerFailureSchedule",
+    "ShardSpec",
+    "SharedMatrix",
+    "SharedTraceSet",
     "SpikeEvent",
     "StaticFleetPolicy",
     "ThrottleBoostPlan",
+    "WorkerPool",
     "build_pipeline",
     "chaos_spec",
     "compare_capping",
     "execute",
+    "get_pool",
     "run_many",
+    "shard_ranges",
+    "shutdown_pools",
+    "warm_pool",
 ]

@@ -1,27 +1,46 @@
-"""Parallel scenario execution: fan specs out to worker processes.
+"""Parallel execution: a persistent worker pool + shared-memory data plane.
 
-:func:`run_many` drives a list of :class:`~repro.engine.spec.ScenarioSpec`
-/ :class:`~repro.engine.spec.ChaosSpec` through a process pool.  Specs are
-plain picklable dataclasses and every run is seeded, so results are
-bit-identical regardless of worker count — the determinism test in
-``tests/engine/test_parity.py`` pins ``workers=4 == workers=1``.
+:func:`run_many` drives :class:`~repro.engine.spec.ScenarioSpec` /
+:class:`~repro.engine.spec.ChaosSpec` lists through worker processes.  The
+original implementation built a fresh ``ProcessPoolExecutor`` per call (and
+per retry round), which made parallelism a net loss at bench scale — pool
+spawn plus per-task pickling of whole fleets cost more than the simulation
+itself (``BENCH_engine.json`` recorded a 0.74x "speedup").  Three changes
+fix that:
 
-Worker death does not sink the suite.  A killed worker breaks the whole
-``ProcessPoolExecutor`` (every outstanding future raises
-``BrokenProcessPool`` — the executor cannot tell which task was in the
-dying process), so :func:`run_many` rebuilds the pool and retries the
-unfinished specs with exponential backoff, up to ``max_attempts`` tries
-per spec.  A spec that keeps failing comes back as a :class:`RunFailure`
-in its slot of the result list — the rest of the suite's results survive.
+* **persistent pools** — :func:`get_pool` keeps one :class:`WorkerPool`
+  alive per worker count for the life of the process, so workers are
+  spawned once and reused by every subsequent ``run_many`` / sharded-stage
+  call (``fork`` start method where available: workers inherit warm dataset
+  caches instead of re-synthesizing them);
+* **pinned worker threads** — each worker's initializer pins the BLAS /
+  OpenMP thread-pool environment (``OMP_NUM_THREADS`` etc.) to
+  :data:`DEFAULT_WORKER_THREADS`, so N workers do not oversubscribe the
+  host with N × M library threads;
+* **shared-memory shards** — bulk matrix jobs go through
+  :meth:`WorkerPool.map_shards`: the matrix is published once via
+  :mod:`repro.engine.sharedmem` and tasks carry only row ranges and
+  parameters, never the data.
+
+Worker death does not sink a suite.  A killed worker breaks the whole
+executor (every outstanding future raises ``BrokenProcessPool``), so the
+pool is rebuilt and the unfinished specs are retried with exponential
+backoff, up to ``max_attempts`` tries per spec; the backoff sleep only ever
+runs when another attempt follows — a spec out of attempts fails
+immediately as a :class:`RunFailure` in its slot of the result list.
+``workers <= 1`` or a single spec short-circuits to a plain serial loop
+that never touches a pool.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .spec import ChaosSpec, ScenarioSpec
 from .state import RunArtifacts
@@ -31,6 +50,24 @@ DEFAULT_MAX_ATTEMPTS = 3
 
 #: Base delay between retry rounds (doubles per round).
 DEFAULT_RETRY_BACKOFF_S = 0.25
+
+#: Thread-pool size pinned into every worker (override with the
+#: ``REPRO_WORKER_THREADS`` environment variable).  One thread per worker
+#: is the right default: the pool already owns the cores, and letting each
+#: worker's BLAS spin up ``os.cpu_count()`` threads of its own
+#: oversubscribes the host N×M.
+DEFAULT_WORKER_THREADS = 1
+
+#: Environment knobs the worker initializer pins.  Covers OpenMP, the
+#: common BLAS builds numpy links against, and numexpr — the libraries
+#: that auto-size their pools to the whole machine.
+WORKER_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
 
 
 @dataclass
@@ -57,11 +94,10 @@ class RunFailure:
 def execute(spec: Any) -> RunArtifacts:
     """Run one spec (scenario, chaos-harness, or callable) and wrap it.
 
-    Module-level so it pickles for :func:`run_many`'s worker processes.
-    Zero-argument callables are the escape hatch for custom workloads
-    (and for fault-injection tests): the callable runs as-is, and its
-    return value is wrapped in :class:`RunArtifacts` unless it already is
-    one.
+    Module-level so it pickles for worker processes.  Zero-argument
+    callables are the escape hatch for custom workloads (and for
+    fault-injection tests): the callable runs as-is, and its return value
+    is wrapped in :class:`RunArtifacts` unless it already is one.
     """
     if isinstance(spec, ScenarioSpec):
         from .core import Engine
@@ -86,27 +122,269 @@ def execute(spec: Any) -> RunArtifacts:
     raise TypeError(f"cannot execute spec of type {type(spec).__name__}")
 
 
+# ----------------------------------------------------------------------
+# worker-side plumbing
+# ----------------------------------------------------------------------
+def worker_thread_count() -> int:
+    """The thread-pool size workers pin (env override, floor 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKER_THREADS", "")))
+    except ValueError:
+        return DEFAULT_WORKER_THREADS
+
+
+def _init_worker(n_threads: int) -> None:
+    """Pool initializer: pin library thread pools inside the worker.
+
+    Runs once per worker process, before any task.  Sets the standard
+    thread-count environment variables so any library initialised after
+    this point sizes itself to ``n_threads``, and asks already-loaded
+    pools to shrink via ``threadpoolctl`` when that package is available
+    (forked workers inherit the parent's BLAS state, which env vars alone
+    cannot retroactively change).
+    """
+    for name in WORKER_THREAD_ENV_VARS:
+        os.environ[name] = str(n_threads)
+    try:  # best-effort: not a baked-in dependency
+        import threadpoolctl
+
+        threadpoolctl.threadpool_limits(n_threads)
+    except Exception:
+        pass
+
+
+def _pool_execute(spec: Any) -> RunArtifacts:
+    """Worker-side task wrapper around :func:`execute`.
+
+    Persistent workers outlive many tasks, so an event log inherited at
+    fork time must not accumulate every task's events for the life of the
+    worker: when recording is active, each task runs under a fresh log and
+    its artifacts carry only its own events.
+    """
+    from ..obs import events as obs_events
+
+    if obs_events.get_event_log() is None:
+        return execute(spec)
+    with obs_events.recording():
+        return execute(spec)
+
+
+# ----------------------------------------------------------------------
+# the persistent pool
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A process pool spawned once and reused across calls.
+
+    Wraps a ``ProcessPoolExecutor`` whose workers pin their thread pools at
+    startup (:func:`_init_worker`).  The executor is created lazily on
+    first submit and rebuilt on demand after a ``BrokenProcessPool`` —
+    :attr:`generation` counts executor builds, so callers (and tests) can
+    observe that back-to-back batches reused one set of workers.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+        worker_threads: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        self.workers = workers
+        if mp_context is None:
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - fork unavailable (non-POSIX)
+                mp_context = multiprocessing.get_context()
+        self._mp_context = mp_context
+        self._worker_threads = (
+            worker_threads if worker_threads is not None else worker_thread_count()
+        )
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: Number of executors built over this pool's lifetime.
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        return self._executor is not None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._mp_context,
+                initializer=_init_worker,
+                initargs=(self._worker_threads,),
+            )
+            self.generation += 1
+        return self._executor
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any):
+        """Submit one task, building the executor on first use."""
+        return self._ensure_executor().submit(fn, *args, **kwargs)
+
+    def warm(self) -> None:
+        """Spawn the workers now and wait for every initializer to finish.
+
+        One no-op barrier task per worker forces the executor to actually
+        fork/spawn, so the first real batch is not charged the startup
+        cost.  Forking *after* the parent has warmed its dataset caches
+        also hands every worker those caches for free.
+        """
+        futures = [self.submit(_worker_barrier, index) for index in range(self.workers)]
+        wait(futures)
+
+    def rebuild(self) -> None:
+        """Discard a (possibly broken) executor; the next submit re-forks."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Stop the workers.  The pool object stays reusable (lazy respawn)."""
+        self.rebuild()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def map_shards(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Sequence[Any]],
+        *,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retry_backoff_s: float = 0.0,
+    ) -> List[Any]:
+        """Run ``fn(*task)`` for every task, in task order, with retries.
+
+        The sharded-stage workhorse: ``tasks`` are lightweight argument
+        tuples (shared-memory handles, row ranges, parameters — see
+        :mod:`repro.engine.sharedmem`), never bulk data.  A broken pool is
+        rebuilt and unfinished tasks retried like :func:`run_many` does for
+        specs; a task that exhausts its attempts re-raises its last error,
+        because a missing shard (unlike a missing scenario) poisons the
+        whole result matrix.
+        """
+        results: List[Any] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        errors: Dict[int, BaseException] = {}
+        attempts = [0] * len(tasks)
+        round_index = 0
+        while pending:
+            future_of = {}
+            broken = False
+            for index in pending:
+                attempts[index] += 1
+                future_of[self.submit(fn, *tasks[index])] = index
+            failed: List[int] = []
+            outstanding = set(future_of)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_of[future]
+                    try:
+                        results[index] = future.result()
+                    except BaseException as error:  # noqa: BLE001
+                        failed.append(index)
+                        errors[index] = error
+                        if _pool_is_broken(error):
+                            broken = True
+                if broken:
+                    for future in outstanding:
+                        index = future_of[future]
+                        failed.append(index)
+                        errors[index] = RuntimeError("worker pool died mid-run")
+                    break
+            if broken:
+                self.rebuild()
+            exhausted = [
+                index
+                for index in failed
+                if attempts[index] >= max_attempts
+            ]
+            if exhausted:
+                raise errors[exhausted[0]]
+            pending = sorted(set(failed))
+            if pending:
+                time.sleep(retry_backoff_s * (2**round_index))
+                round_index += 1
+        return results
+
+
+# ----------------------------------------------------------------------
+# the process-wide persistent pools
+# ----------------------------------------------------------------------
+_POOLS: Dict[int, WorkerPool] = {}
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The process-wide persistent pool for ``workers`` worker processes.
+
+    Created on first request and kept for the life of the process (one
+    pool per distinct worker count), so repeated ``run_many`` calls and
+    sharded stages reuse warm workers instead of re-spawning.
+    """
+    if workers < 1:
+        raise ValueError("a pool needs at least one worker")
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _POOLS[workers] = WorkerPool(workers)
+    return pool
+
+
+def warm_pool(workers: int) -> WorkerPool:
+    """Spawn (or re-spawn) the persistent pool's workers right now."""
+    pool = get_pool(workers)
+    pool.warm()
+    return pool
+
+
+@atexit.register
+def shutdown_pools() -> None:
+    """Stop every persistent pool (atexit hook; callable from tests)."""
+    for pool in _POOLS.values():
+        pool.shutdown()
+
+
+def _worker_barrier(index: int) -> int:
+    """No-op task used by :meth:`WorkerPool.warm` to force spawning."""
+    return index
+
+
+# ----------------------------------------------------------------------
+# run_many
+# ----------------------------------------------------------------------
 def run_many(
     specs: Sequence[Any],
     *,
     workers: int = 1,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    pool: Optional[WorkerPool] = None,
 ) -> List[Any]:
-    """Execute many specs, optionally across worker processes.
+    """Execute many specs, optionally across persistent worker processes.
 
     Results come back in spec order, one entry per spec: a
-    :class:`RunArtifacts` on success, a :class:`RunFailure` once a spec
-    has failed ``max_attempts`` times.  ``workers <= 1`` runs serially in
-    this process (cheapest for small batches and the only option on
-    single-CPU hosts); otherwise a process pool executes the specs with a
-    ``fork`` context where available, so workers inherit warm dataset
-    caches instead of re-synthesizing them.
+    :class:`RunArtifacts` on success, a :class:`RunFailure` once a spec has
+    failed ``max_attempts`` times.  ``workers <= 1`` — or a batch of one —
+    short-circuits to a serial loop in this process that creates no pool at
+    all (cheapest for small batches and the only option on single-CPU
+    hosts); otherwise the batch runs on the process-wide persistent pool
+    for ``workers`` (or the explicit ``pool``), spawning workers only on
+    first use.
 
-    A dead worker breaks the whole pool, so every spec still in flight
-    counts one failed attempt and the survivors are resubmitted to a
-    fresh pool after an exponential backoff — an innocent spec sharing a
-    pool with a crashing one is retried, not condemned.
+    A dead worker breaks the whole executor, so every spec still in flight
+    counts one failed attempt, the executor is rebuilt, and the survivors
+    are resubmitted after an exponential backoff — an innocent spec sharing
+    a pool with a crashing one is retried, not condemned.  The backoff
+    never runs after a final failure: once no spec has attempts left there
+    is nothing to wait for.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be at least 1")
@@ -119,61 +397,56 @@ def run_many(
             results[index] = _run_serial(spec, max_attempts, retry_backoff_s)
         return results
 
-    try:
-        mp_context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - fork unavailable (non-POSIX)
-        mp_context = multiprocessing.get_context()
-
+    if pool is None:
+        pool = get_pool(workers)
     attempts = [0] * len(specs)
     pending = list(range(len(specs)))
     round_index = 0
     while pending:
-        n_workers = min(workers, len(pending))
-        pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=mp_context)
         future_of = {}
         broken = False
-        try:
-            for index in pending:
-                attempts[index] += 1
-                future_of[pool.submit(execute, specs[index])] = index
-            failed: List[int] = []
-            outstanding = set(future_of)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
+        for index in pending:
+            attempts[index] += 1
+            future_of[pool.submit(_pool_execute, specs[index])] = index
+        failed: List[int] = []
+        outstanding = set(future_of)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = future_of[future]
+                try:
+                    results[index] = future.result()
+                except BaseException as error:  # noqa: BLE001
+                    # BrokenProcessPool lands here for *every* future that
+                    # shared the dead executor; record the attempt and let
+                    # the retry rounds sort survivors out.
+                    failed.append(index)
+                    results[index] = _failure(specs[index], error, attempts[index])
+                    if _pool_is_broken(error):
+                        broken = True
+            if broken:
+                # The executor is unusable; everything not yet resolved
+                # fails this round and is retried on a rebuilt one.
+                for future in outstanding:
                     index = future_of[future]
-                    try:
-                        results[index] = future.result()
-                    except BaseException as error:  # noqa: BLE001
-                        # BrokenProcessPool lands here for *every* future
-                        # that shared the dead pool; record the attempt
-                        # and let the retry rounds sort survivors out.
-                        failed.append(index)
-                        results[index] = _failure(
-                            specs[index], error, attempts[index]
-                        )
-                        if _pool_is_broken(error):
-                            broken = True
-                if broken:
-                    # The executor is unusable; everything not yet
-                    # resolved fails this round and is retried.
-                    for future in outstanding:
-                        index = future_of[future]
-                        failed.append(index)
-                        results[index] = _failure(
-                            specs[index],
-                            RuntimeError("worker pool died mid-run"),
-                            attempts[index],
-                        )
-                    break
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+                    failed.append(index)
+                    results[index] = _failure(
+                        specs[index],
+                        RuntimeError("worker pool died mid-run"),
+                        attempts[index],
+                    )
+                break
+        if broken:
+            pool.rebuild()
         pending = [
             index
             for index in sorted(set(failed))
             if attempts[index] < max_attempts
         ]
         if pending:
+            # Only sleep when a retry round actually follows: a spec out of
+            # attempts has already produced its RunFailure and waiting
+            # would delay the caller for nothing.
             time.sleep(retry_backoff_s * (2**round_index))
             round_index += 1
     return results
@@ -183,7 +456,11 @@ def run_many(
 # internals
 # ----------------------------------------------------------------------
 def _run_serial(spec: Any, max_attempts: int, retry_backoff_s: float) -> Any:
-    """One spec in-process, with the same bounded retry + backoff."""
+    """One spec in-process, with the same bounded retry + backoff.
+
+    The backoff runs between attempts, never after the last one — the
+    final failure returns immediately.
+    """
     for attempt in range(1, max_attempts + 1):
         try:
             return execute(spec)

@@ -1,0 +1,335 @@
+"""Shared-memory data plane for the persistent worker pool.
+
+The fleet matrices the hot paths operate on (a :class:`~repro.traces.traceset.TraceSet`
+is one ``(n_traces, n_samples)`` block) are far too large to pickle into
+worker processes per task — at 1M instances a single copy is gigabytes.
+Instead the parent publishes each matrix once into a POSIX shared-memory
+segment (:class:`SharedMatrix`), and tasks carry only a :class:`MatrixHandle`
+— segment name, shape, dtype — plus the row range they own
+(:class:`ShardSpec`).  Workers attach by name and build zero-copy numpy
+views, so fanning a 100k-instance scoring job across 4 workers moves a few
+hundred bytes of descriptors, not hundreds of megabytes of traces.
+
+Lifecycle is explicit and leak-proof:
+
+* every segment created in this process is tracked in a module registry and
+  unlinked by an ``atexit`` hook, so a crashed caller cannot strand blocks
+  in ``/dev/shm``;
+* :class:`SharedMatrix` is a context manager — ``with`` blocks unlink on
+  normal exit, on worker death (``BrokenProcessPool`` propagates through),
+  and on ``KeyboardInterrupt`` alike;
+* workers attach read-only and *never* unlink; on Python 3.13+ attachments
+  opt out of resource tracking (``track=False``), and on older interpreters
+  the pool's ``fork`` start method makes the worker's tracker registration
+  a harmless no-op (same tracker as the owner, set-idempotent names).
+
+Segment names carry the :data:`SEGMENT_PREFIX` so tests (and operators) can
+audit ``/dev/shm`` for leaks attributable to this package.
+"""
+
+from __future__ import annotations
+
+import atexit
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Every segment this package creates is named ``smoothop_<hex>`` so leak
+#: audits can attribute blocks in ``/dev/shm`` to us.
+SEGMENT_PREFIX = "smoothop_"
+
+#: Segments created (not merely attached) by this process, by name.  The
+#: atexit sweep unlinks whatever is still here, so even a caller that never
+#: reaches its ``finally`` cannot leak a block past interpreter exit.
+_OWNED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def _register_owned(shm: shared_memory.SharedMemory) -> None:
+    _OWNED[shm.name] = shm
+
+
+def _forget_owned(name: str) -> None:
+    _OWNED.pop(name, None)
+
+
+@atexit.register
+def _cleanup_owned_segments() -> None:
+    """Unlink every segment this process still owns (crash safety net)."""
+    for name in list(_OWNED):
+        shm = _OWNED.pop(name)
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # already gone: fine
+            pass
+
+
+def owned_segment_names() -> Tuple[str, ...]:
+    """Names of the segments currently owned (and not yet unlinked) here."""
+    return tuple(_OWNED)
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without claiming ownership of it.
+
+    On Python 3.13+ the attach opts out of resource tracking outright
+    (``track=False``): a reader must never be the reason a segment gets
+    unlinked.  On older interpreters a plain attach re-registers the name
+    with the resource tracker — harmless under the pool's ``fork`` start
+    method, where workers inherit the owner's tracker and registration is
+    set-idempotent, so the owner's unlink still deregisters exactly once.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class MatrixHandle:
+    """A picklable descriptor of one shared matrix: name + shape + dtype.
+
+    This — not the matrix — is what crosses the process boundary.  Workers
+    pass it to :func:`attach_matrix` to get a zero-copy read-only view.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's slice of a sharded job: row range + free-form params.
+
+    Lightweight by design (a few ints and strings): this is the entire
+    per-task payload of the shared-memory fast paths, replacing the pickled
+    fleets the fork-per-suite pool used to ship.
+    """
+
+    start: int
+    stop: int
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"invalid shard range [{self.start}, {self.stop})")
+
+    @property
+    def n_rows(self) -> int:
+        return self.stop - self.start
+
+
+def shard_ranges(n_rows: int, n_shards: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``n_rows`` into ``n_shards`` contiguous near-equal ranges.
+
+    Early shards take the remainder, every row lands in exactly one shard,
+    and empty ranges are dropped (fewer rows than shards).
+    """
+    if n_rows < 0:
+        raise ValueError("n_rows cannot be negative")
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    base, remainder = divmod(n_rows, n_shards)
+    ranges = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < remainder else 0)
+        if size == 0:
+            continue
+        ranges.append((start, start + size))
+        start += size
+    return tuple(ranges)
+
+
+class SharedMatrix:
+    """A 2-D numpy matrix published into POSIX shared memory.
+
+    Created by the parent (:meth:`create`), attached by workers
+    (:func:`attach_matrix` via the :attr:`handle`).  The creating process
+    owns the segment: it must :meth:`unlink` when done (the context manager
+    and the atexit sweep both do).
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: Tuple[int, ...],
+        dtype: np.dtype,
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=shm.buf)
+        if not owner:
+            self.array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, matrix: np.ndarray, dtype: Optional[object] = None) -> "SharedMatrix":
+        """Copy ``matrix`` into a fresh shared segment (optionally casting)."""
+        source = np.asarray(matrix)
+        target_dtype = np.dtype(dtype) if dtype is not None else source.dtype
+        nbytes = max(1, int(source.size) * target_dtype.itemsize)
+        shm = shared_memory.SharedMemory(
+            create=True,
+            size=nbytes,
+            name=SEGMENT_PREFIX + secrets.token_hex(8),
+        )
+        _register_owned(shm)
+        shared = cls(shm, source.shape, target_dtype, owner=True)
+        shared.array[...] = source
+        return shared
+
+    @property
+    def handle(self) -> MatrixHandle:
+        return MatrixHandle(
+            name=self._shm.name, shape=self.shape, dtype=self.dtype.str
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        # The numpy view keeps the mmap alive; release it first.
+        self.array = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only).  Safe to call twice."""
+        if not self._owner:
+            raise RuntimeError("only the creating process may unlink a segment")
+        self.close()
+        _forget_owned(self._shm.name)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedMatrix":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        # Covers normal exit, exceptions, BrokenProcessPool bubbling out of
+        # a dead worker pool, and KeyboardInterrupt equally.
+        if self._owner:
+            self.unlink()
+        else:
+            self.close()
+
+
+def attach_matrix(handle: MatrixHandle) -> SharedMatrix:
+    """Attach to a published matrix by handle (worker side, read-only)."""
+    shm = _attach_segment(handle.name)
+    return SharedMatrix(shm, handle.shape, np.dtype(handle.dtype), owner=False)
+
+
+# ----------------------------------------------------------------------
+# worker-side attachment cache
+# ----------------------------------------------------------------------
+#: Segments this worker has attached, by name.  Attaching is a syscall +
+#: mmap; shards of the same job reuse the mapping instead of re-attaching
+#: per task.
+_ATTACHED: Dict[str, SharedMatrix] = {}
+
+
+def attached_view(handle: MatrixHandle) -> np.ndarray:
+    """The cached read-only view of ``handle`` in this process."""
+    shared = _ATTACHED.get(handle.name)
+    if shared is None or shared.array is None:
+        shared = attach_matrix(handle)
+        _ATTACHED[handle.name] = shared
+    return shared.array
+
+
+def detach_all() -> None:
+    """Drop every cached worker-side attachment (test isolation hook)."""
+    for name in list(_ATTACHED):
+        _ATTACHED.pop(name).close()
+
+
+@atexit.register
+def _cleanup_attachments() -> None:
+    detach_all()
+
+
+# ----------------------------------------------------------------------
+# TraceSet publication
+# ----------------------------------------------------------------------
+class SharedTraceSet:
+    """A :class:`~repro.traces.traceset.TraceSet` published for workers.
+
+    The parent keeps using the zero-copy :meth:`view`; tasks receive
+    ``(handle, grid, ids)`` — or just the handle plus index ranges when ids
+    are not needed — and rebuild their slice from the shared block.
+    """
+
+    def __init__(self, traceset: "object", dtype: Optional[object] = None) -> None:
+        from ..traces.traceset import TraceSet
+
+        if not isinstance(traceset, TraceSet):
+            raise TypeError("SharedTraceSet wraps a TraceSet")
+        self.grid = traceset.grid
+        self.ids = list(traceset.ids)
+        self._matrix = SharedMatrix.create(traceset.matrix, dtype=dtype)
+
+    @property
+    def handle(self) -> MatrixHandle:
+        return self._matrix.handle
+
+    def view(self) -> "object":
+        """A TraceSet over the shared block (no copy; do not mutate)."""
+        from ..traces.traceset import TraceSet
+
+        return TraceSet(
+            self.grid, self.ids, self._matrix.array, dtype=self._matrix.dtype
+        )
+
+    def close(self) -> None:
+        self._matrix.unlink()
+
+    def __enter__(self) -> "SharedTraceSet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def attach_rows(handle: MatrixHandle, start: int, stop: int) -> np.ndarray:
+    """The ``[start, stop)`` row block of a shared matrix (worker side)."""
+    if not 0 <= start <= stop <= handle.shape[0]:
+        raise ValueError(
+            f"row range [{start}, {stop}) outside matrix of {handle.shape[0]} rows"
+        )
+    return attached_view(handle)[start:stop]
+
+
+__all__ = [
+    "MatrixHandle",
+    "SEGMENT_PREFIX",
+    "SharedMatrix",
+    "SharedTraceSet",
+    "ShardSpec",
+    "attach_matrix",
+    "attach_rows",
+    "attached_view",
+    "detach_all",
+    "owned_segment_names",
+    "shard_ranges",
+]

@@ -18,12 +18,27 @@ from .series import PowerTrace
 
 
 class TraceSet:
-    """An immutable matrix of power traces sharing one :class:`TimeGrid`."""
+    """An immutable matrix of power traces sharing one :class:`TimeGrid`.
+
+    Storage is float64 by default (bit-exact with every historical code
+    path).  Passing ``dtype=np.float32`` keeps a float32 matrix as-is —
+    the fleet-scale fast path, where a million-instance block at half the
+    bytes doubles effective memory bandwidth — and ``np.asarray`` makes
+    both cases zero-copy when the input already matches (e.g. a shared
+    -memory view published by :class:`repro.engine.sharedmem.SharedTraceSet`).
+    """
 
     __slots__ = ("grid", "ids", "matrix", "_index")
 
-    def __init__(self, grid: TimeGrid, ids: Sequence[str], matrix: np.ndarray) -> None:
-        matrix = np.asarray(matrix, dtype=np.float64)
+    def __init__(
+        self,
+        grid: TimeGrid,
+        ids: Sequence[str],
+        matrix: np.ndarray,
+        *,
+        dtype: object = np.float64,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=np.dtype(dtype))
         if matrix.ndim != 2:
             raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
         if matrix.shape != (len(ids), grid.n_samples):
@@ -107,7 +122,12 @@ class TraceSet:
     def subset(self, trace_ids: Sequence[str]) -> "TraceSet":
         """A new TraceSet restricted to ``trace_ids`` (order preserved)."""
         rows = [self._index[tid] for tid in trace_ids]
-        return TraceSet(self.grid, list(trace_ids), self.matrix[rows].copy())
+        return TraceSet(
+            self.grid,
+            list(trace_ids),
+            self.matrix[rows].copy(),
+            dtype=self.matrix.dtype,
+        )
 
     def mean_trace(self) -> PowerTrace:
         """The element-wise mean trace across members (Eq. 5 denominator)."""
@@ -122,7 +142,12 @@ class TraceSet:
             raise ValueError("grid does not cover whole weeks")
         weeks, per_week = self.grid.week_view_shape()
         stacked = self.matrix.reshape(len(self.ids), weeks, per_week)
-        return TraceSet(self.grid.one_week(), self.ids, stacked.mean(axis=1))
+        return TraceSet(
+            self.grid.one_week(),
+            self.ids,
+            stacked.mean(axis=1),
+            dtype=self.matrix.dtype,
+        )
 
     def week(self, week_index: int) -> "TraceSet":
         """Restrict every member to one whole week."""
@@ -136,7 +161,12 @@ class TraceSet:
             self.grid.step_minutes,
             per_week,
         )
-        return TraceSet(sub_grid, self.ids, self.matrix[:, start : start + per_week].copy())
+        return TraceSet(
+            sub_grid,
+            self.ids,
+            self.matrix[:, start : start + per_week].copy(),
+            dtype=self.matrix.dtype,
+        )
 
     def traces(self) -> Dict[str, PowerTrace]:
         """Materialise the set as an id → PowerTrace dict."""
@@ -152,4 +182,5 @@ class TraceSet:
             self.grid,
             self.ids + other.ids,
             np.vstack([self.matrix, other.matrix]),
+            dtype=np.result_type(self.matrix, other.matrix),
         )

@@ -140,6 +140,68 @@ class TestScoreVectors:
         with pytest.raises(Exception):
             score_vector(other, basis)
 
+    def test_float32_fast_path_tracks_exact_scores(self, grid, rng):
+        basis = TraceSet.from_traces(
+            {f"s{k}": PowerTrace(grid, rng.random(24)) for k in range(4)}
+        )
+        instances = TraceSet.from_traces(
+            {f"i{k}": PowerTrace(grid, rng.random(24) * 5) for k in range(32)}
+        )
+        exact = score_matrix(instances, basis)
+        fast = score_matrix(instances, basis, dtype=np.float32)
+        # Scores come back float64 either way; only rounding differs.
+        assert fast.dtype == np.float64
+        assert np.allclose(exact, fast, rtol=1e-5, atol=1e-6)
+        assert not np.array_equal(exact, fast) or exact.size == 0
+
+    def test_default_dtype_is_bit_exact_float64(self, grid, rng):
+        basis = TraceSet.from_traces(
+            {f"s{k}": PowerTrace(grid, rng.random(24)) for k in range(3)}
+        )
+        instances = TraceSet.from_traces(
+            {f"i{k}": PowerTrace(grid, rng.random(24)) for k in range(8)}
+        )
+        assert np.array_equal(
+            score_matrix(instances, basis),
+            score_matrix(instances, basis, dtype=np.float64),
+        )
+
+    def test_worker_count_never_changes_scores(self, grid, rng):
+        """Row scores are independent: the sharded pool path must be
+        bit-identical to the serial path for any worker count."""
+        from repro.engine.parallel import shutdown_pools
+
+        basis = TraceSet.from_traces(
+            {f"s{k}": PowerTrace(grid, rng.random(24)) for k in range(3)}
+        )
+        instances = TraceSet.from_traces(
+            {f"i{k}": PowerTrace(grid, rng.random(24)) for k in range(64)}
+        )
+        serial = score_matrix(instances, basis)
+        try:
+            # parallel_min_rows lowered so this small fleet actually shards.
+            sharded = score_matrix(
+                instances, basis, workers=2, parallel_min_rows=8
+            )
+        finally:
+            shutdown_pools()
+        assert np.array_equal(serial, sharded)
+
+    def test_small_batches_stay_serial_despite_workers(self, grid, rng, monkeypatch):
+        """Below parallel_min_rows the workers knob must not touch a pool."""
+        import repro.core.asynchrony as asynchrony
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("small batch reached the sharded path")
+
+        monkeypatch.setattr(asynchrony, "_score_matrix_sharded", forbidden)
+        basis = TraceSet.from_traces({"s1": up(grid)})
+        instances = TraceSet.from_traces(
+            {f"i{k}": PowerTrace(grid, rng.random(24)) for k in range(4)}
+        )
+        result = score_matrix(instances, basis, workers=8)
+        assert result.shape == (4, 1)
+
 
 class TestDifferentialScores:
     def test_averaged_group_trace(self, grid):

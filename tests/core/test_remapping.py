@@ -37,6 +37,10 @@ class TestConfig:
         with pytest.raises(ValueError):
             RemapConfig(level=Level.RPP, min_improvement=-0.1)
 
+    def test_shard_level_must_differ_from_swap_level(self):
+        with pytest.raises(ValueError):
+            RemapConfig(level=Level.RPP, shard_level=Level.RPP)
+
 
 class TestSwapLoop:
     def test_fixes_fragmented_toy(self, fragmented):
@@ -90,6 +94,78 @@ class TestSwapLoop:
         engine = RemappingEngine(RemapConfig(level=Level.RPP))
         result = engine.run(assignment, traces)
         assert result.n_swaps == 0
+
+
+@pytest.fixture
+def two_suites():
+    """Two suites, each fragmented the same way the toy fixture is: the
+    suite's rpp0 holds two 'up' ramps and its rpp1 two 'down' ramps."""
+    from repro.infra import LevelSpec, TopologySpec
+
+    grid = TimeGrid(0, 60, 24)
+    up = np.linspace(0, 10, 24)
+    down = np.linspace(10, 0, 24)
+    spec = TopologySpec(
+        name="dc",
+        levels=(LevelSpec(Level.SUITE, 2), LevelSpec(Level.RPP, 2)),
+        leaf_capacity=4,
+    )
+    topo = build_topology(spec)
+    ids, rows, mapping = [], [], {}
+    for s in range(2):
+        for k, values in enumerate((up, up, down, down)):
+            instance_id = f"s{s}_{'u' if k < 2 else 'd'}{k % 2}"
+            ids.append(instance_id)
+            rows.append(values)
+            mapping[instance_id] = f"dc/suite{s}/rpp{0 if k < 2 else 1}"
+    traces = TraceSet(grid, ids, np.vstack(rows))
+    return topo, Assignment(topo, mapping), traces
+
+
+class TestShardedRemap:
+    def config(self):
+        return RemapConfig(level=Level.RPP, max_swaps=4, shard_level=Level.SUITE)
+
+    def test_each_shard_is_fixed_and_swaps_stay_inside_it(self, two_suites):
+        topo, assignment, traces = two_suites
+        result = RemappingEngine(self.config()).run(assignment, traces)
+        assert result.n_swaps >= 2  # at least one swap per fragmented suite
+        for swap in result.swaps:
+            # Node names are hierarchical, so the shard is the name prefix.
+            suite_a = swap.node_a.rsplit("/", 1)[0]
+            suite_b = swap.node_b.rsplit("/", 1)[0]
+            assert suite_a == suite_b
+        scores = node_asynchrony_scores(result.assignment, traces, Level.RPP)
+        for score in scores.values():
+            assert score > 1.8
+
+    def test_worker_count_never_changes_the_result(self, two_suites):
+        """Shards are independent, so the pooled fan-out must reproduce the
+        serial sharded run exactly: same swaps, assignment, and totals."""
+        from repro.engine.parallel import shutdown_pools
+
+        topo, assignment, traces = two_suites
+        engine = RemappingEngine(self.config())
+        serial = engine.run(assignment, traces)
+        try:
+            pooled = engine.run(assignment, traces, workers=2)
+        finally:
+            shutdown_pools()
+        assert pooled.swaps == serial.swaps
+        assert pooled.assignment.as_mapping() == serial.assignment.as_mapping()
+        assert set(pooled.node_totals) == set(serial.node_totals)
+        for name, total in serial.node_totals.items():
+            assert np.array_equal(pooled.node_totals[name], total)
+
+    def test_workers_ignored_without_shard_level(self, fragmented):
+        topo, assignment, traces = fragmented
+        engine = RemappingEngine(RemapConfig(level=Level.RPP, max_swaps=4))
+        plain = engine.run(assignment, traces)
+        with_workers = engine.run(assignment, traces, workers=4)
+        assert with_workers.swaps == plain.swaps
+        assert (
+            with_workers.assignment.as_mapping() == plain.assignment.as_mapping()
+        )
 
 
 class TestOnRealFleet:

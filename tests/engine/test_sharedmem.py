@@ -1,0 +1,198 @@
+"""Shared-memory data plane: handles, shards, and leak-proof lifecycle.
+
+The non-negotiable here is the lifecycle: whatever way a sharded job ends
+— normal return, a worker dying under it, or a ``KeyboardInterrupt`` — no
+``smoothop_*`` segment may survive in ``/dev/shm`` and the owner registry
+must come back empty.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine.parallel import WorkerPool
+from repro.engine.sharedmem import (
+    SEGMENT_PREFIX,
+    SharedMatrix,
+    ShardSpec,
+    attach_matrix,
+    attach_rows,
+    attached_view,
+    detach_all,
+    owned_segment_names,
+    shard_ranges,
+)
+
+
+def leaked_segments():
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_segments():
+    """Every test must leave /dev/shm and the owner registry clean."""
+    assert leaked_segments() == []
+    yield
+    detach_all()
+    assert owned_segment_names() == ()
+    assert leaked_segments() == []
+
+
+# ----------------------------------------------------------------------
+# shard_ranges
+# ----------------------------------------------------------------------
+def test_shard_ranges_cover_every_row_exactly_once():
+    for n_rows in (0, 1, 7, 8, 100):
+        for n_shards in (1, 3, 8):
+            ranges = shard_ranges(n_rows, n_shards)
+            covered = [r for start, stop in ranges for r in range(start, stop)]
+            assert covered == list(range(n_rows))
+            # Near-equal: sizes differ by at most one, empties dropped.
+            sizes = [stop - start for start, stop in ranges]
+            assert all(size > 0 for size in sizes)
+            if sizes:
+                assert max(sizes) - min(sizes) <= 1
+
+
+def test_shard_ranges_validates_inputs():
+    with pytest.raises(ValueError):
+        shard_ranges(-1, 2)
+    with pytest.raises(ValueError):
+        shard_ranges(4, 0)
+
+
+def test_shard_spec_validates_range():
+    assert ShardSpec(2, 5).n_rows == 3
+    with pytest.raises(ValueError):
+        ShardSpec(5, 2)
+    with pytest.raises(ValueError):
+        ShardSpec(-1, 2)
+
+
+# ----------------------------------------------------------------------
+# handle round-trip
+# ----------------------------------------------------------------------
+def test_matrix_round_trips_through_a_handle():
+    matrix = np.arange(12, dtype=np.float64).reshape(3, 4)
+    with SharedMatrix.create(matrix) as shared:
+        handle = shared.handle
+        assert handle.name.startswith(SEGMENT_PREFIX)
+        assert handle.shape == (3, 4)
+        assert handle.nbytes == matrix.nbytes
+        attached = attach_matrix(handle)
+        try:
+            assert np.array_equal(attached.array, matrix)
+            assert not attached.array.flags.writeable
+            with pytest.raises(RuntimeError, match="creating process"):
+                attached.unlink()
+        finally:
+            attached.close()
+
+
+def test_create_casts_to_requested_dtype():
+    matrix = np.ones((2, 3), dtype=np.float64)
+    with SharedMatrix.create(matrix, dtype=np.float32) as shared:
+        assert shared.array.dtype == np.float32
+        assert shared.handle.dtype == np.dtype(np.float32).str
+
+
+def test_attach_rows_returns_the_requested_block():
+    matrix = np.arange(20, dtype=np.float64).reshape(5, 4)
+    with SharedMatrix.create(matrix) as shared:
+        block = attach_rows(shared.handle, 1, 3)
+        assert np.array_equal(block, matrix[1:3])
+        with pytest.raises(ValueError, match="row range"):
+            attach_rows(shared.handle, 3, 99)
+    detach_all()
+
+
+def test_attached_view_caches_per_handle():
+    matrix = np.zeros((2, 2))
+    with SharedMatrix.create(matrix) as shared:
+        first = attached_view(shared.handle)
+        second = attached_view(shared.handle)
+        assert first is second
+    detach_all()
+
+
+# ----------------------------------------------------------------------
+# lifecycle: normal exit, exceptions, interrupts, worker death
+# ----------------------------------------------------------------------
+def test_context_manager_unlinks_on_normal_exit():
+    with SharedMatrix.create(np.ones((4, 4))) as shared:
+        name = shared.name
+        assert owned_segment_names() == (name,)
+    assert owned_segment_names() == ()
+    assert leaked_segments() == []
+
+
+def test_context_manager_unlinks_on_exception():
+    with pytest.raises(RuntimeError, match="boom"):
+        with SharedMatrix.create(np.ones((4, 4))):
+            raise RuntimeError("boom")
+    assert owned_segment_names() == ()
+
+
+def test_context_manager_unlinks_on_keyboard_interrupt():
+    with pytest.raises(KeyboardInterrupt):
+        with SharedMatrix.create(np.ones((4, 4))):
+            raise KeyboardInterrupt
+    assert owned_segment_names() == ()
+
+
+def test_unlink_is_idempotent():
+    shared = SharedMatrix.create(np.ones((2, 2)))
+    shared.unlink()
+    shared.unlink()
+    assert owned_segment_names() == ()
+
+
+def read_shard_sum(handle, start, stop):
+    """Worker-side task: sum one row block of a shared matrix."""
+    return float(attach_rows(handle, start, stop).sum())
+
+
+class DieOnceThenSum:
+    """Kills its worker on first run (flag file), sums the shard after."""
+
+    def __init__(self, flag_path):
+        self.flag_path = str(flag_path)
+
+    def __call__(self, handle, start, stop):
+        if not os.path.exists(self.flag_path):
+            with open(self.flag_path, "w") as f:
+                f.write("died")
+            os._exit(17)
+        return read_shard_sum(handle, start, stop)
+
+
+def test_sharded_job_survives_worker_death_and_unlinks(tmp_path):
+    """A worker dying mid-shard breaks the pool; the job must still finish
+    on the rebuilt pool and the segment must still be unlinked."""
+    matrix = np.arange(40, dtype=np.float64).reshape(10, 4)
+    task = DieOnceThenSum(tmp_path / "died.flag")
+    with WorkerPool(2) as pool:
+        with SharedMatrix.create(matrix) as shared:
+            tasks = [
+                (shared.handle, start, stop)
+                for start, stop in shard_ranges(10, 2)
+            ]
+            results = pool.map_shards(task, tasks)
+        assert results == [float(matrix[s:e].sum()) for s, e in shard_ranges(10, 2)]
+        # The death forced at least one executor rebuild.
+        assert pool.generation >= 2
+    assert owned_segment_names() == ()
+    assert leaked_segments() == []
+
+
+def test_interrupted_sharded_job_unlinks(tmp_path):
+    """KeyboardInterrupt inside the publish block must not leak segments."""
+    with pytest.raises(KeyboardInterrupt):
+        with SharedMatrix.create(np.ones((8, 3))) as shared:
+            attach_rows(shared.handle, 0, 4)
+            raise KeyboardInterrupt
+    detach_all()
+    assert owned_segment_names() == ()
+    assert leaked_segments() == []

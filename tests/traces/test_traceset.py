@@ -151,3 +151,30 @@ class TestWeekOperations:
     def test_week_out_of_range(self, trio):
         with pytest.raises(Exception):
             trio.week(5)
+
+
+class TestDtype:
+    def test_default_storage_is_float64(self, trio):
+        assert trio.matrix.dtype == np.float64
+
+    def test_float32_storage_is_kept(self, grid):
+        matrix = np.random.default_rng(0).random((3, 24)).astype(np.float32)
+        ts = TraceSet(grid, ["a", "b", "c"], matrix, dtype=np.float32)
+        assert ts.matrix.dtype == np.float32
+        # Matching dtype means zero-copy: the set wraps the caller's array.
+        assert ts.matrix is matrix
+
+    def test_float32_survives_derivations(self):
+        week_grid = TimeGrid(0, 60, 7 * 24)
+        matrix = np.abs(
+            np.random.default_rng(1).random((3, week_grid.n_samples))
+        ).astype(np.float32)
+        ts = TraceSet(week_grid, ["a", "b", "c"], matrix, dtype=np.float32)
+        assert ts.subset(["a", "c"]).matrix.dtype == np.float32
+        assert ts.week(0).matrix.dtype == np.float32
+        assert ts.average_weeks().matrix.dtype == np.float32
+
+    def test_merged_with_promotes_dtype(self, grid):
+        f32 = TraceSet(grid, ["a"], np.ones((1, 24), dtype=np.float32), dtype=np.float32)
+        f64 = TraceSet(grid, ["b"], np.ones((1, 24)))
+        assert f32.merged_with(f64).matrix.dtype == np.float64

@@ -27,7 +27,12 @@ documents and compares them stage by stage against the committed set:
   Γ-robust placement must avoid at least 80% of spike-induced violations
   while provisioning at most 15% extra capacity.  A fresh document with a
   missing committed baseline is a *new* benchmark — recorded, never a
-  failure — but the fresh gate thresholds still apply.
+  failure — but the fresh gate thresholds still apply;
+* the fleet-scale document (``BENCH_scale.json`` from
+  ``benchmarks/bench_scale.py``) gates parallel scaling *efficiency*
+  (``speedup / workers >= --min-efficiency``) on multi-CPU runners; a
+  single-CPU host skips the gate, and a missing committed baseline is a
+  new benchmark, never a failure.
 
 Exit status is non-zero when any regression is found, so CI can gate on
 it.  ``--output`` writes the full diff document as JSON for artifact
@@ -68,11 +73,16 @@ DEFAULT_MIN_SPEEDUP = 1.3
 #: counts as a regression against a committed baseline.
 DEFAULT_AVOIDED_TOLERANCE = 0.05
 
+#: Minimum parallel scaling efficiency (speedup / workers) on multi-CPU
+#: runners for the fleet-scale scoring benchmark.
+DEFAULT_MIN_EFFICIENCY = 0.7
+
 BENCH_FILES = (
     "BENCH_pipeline.json",
     "BENCH_remap.json",
     "BENCH_engine.json",
     "BENCH_robust.json",
+    "BENCH_scale.json",
 )
 
 
@@ -232,6 +242,42 @@ def compare_robust(
     return row
 
 
+def compare_scale(
+    baseline: Optional[Dict],
+    current: Dict,
+    *,
+    min_efficiency: float = DEFAULT_MIN_EFFICIENCY,
+) -> Dict:
+    """The scaling-efficiency row for a fresh ``BENCH_scale.json``.
+
+    Efficiency is host-relative, so the gate judges the fresh run alone:
+    on a multi-CPU host ``speedup / workers`` must clear
+    ``min_efficiency``; a single-CPU host reports ``skipped``.  A missing
+    committed baseline marks the benchmark ``new`` (when the gate itself
+    passes) — recorded, never a failure.
+    """
+    scaling = current["sections"].get("scaling")
+    if not scaling:
+        return {"check": "scale_efficiency", "status": "missing"}
+    row: Dict = {
+        "check": "scale_efficiency",
+        "workers": scaling.get("workers"),
+        "cpu_count": scaling.get("cpu_count"),
+        "speedup": scaling.get("speedup"),
+        "efficiency": scaling.get("efficiency"),
+        "min_efficiency": min_efficiency,
+    }
+    if (scaling.get("cpu_count") or 1) < 2:
+        row["status"] = "skipped"
+    elif scaling.get("efficiency") is None:
+        row["status"] = "missing"
+    elif scaling["efficiency"] < min_efficiency:
+        row["status"] = "regression"
+    else:
+        row["status"] = "new" if baseline is None else "ok"
+    return row
+
+
 def compare_documents(
     baseline_dir: pathlib.Path,
     current_dir: pathlib.Path,
@@ -240,6 +286,7 @@ def compare_documents(
     floor_s: float = DEFAULT_FLOOR_S,
     peak_tolerance: float = DEFAULT_PEAK_TOLERANCE,
     min_speedup: float = DEFAULT_MIN_SPEEDUP,
+    min_efficiency: float = DEFAULT_MIN_EFFICIENCY,
 ) -> Dict:
     """The full diff document: stage rows, remap rows, regression list."""
     pipeline_rows = compare_pipeline(
@@ -292,6 +339,26 @@ def compare_documents(
         )
     elif robust_base_path.exists():
         robust_gate = {"check": "robust_gate", "status": "missing"}
+    # Fleet-scale scaling gate.  Same convention: fresh without baseline
+    # is new, baseline without fresh is lost coverage.
+    scale_base_path = baseline_dir / "BENCH_scale.json"
+    scale_cur_path = current_dir / "BENCH_scale.json"
+    scale_rows: List[Dict] = []
+    scale_gate: Optional[Dict] = None
+    if scale_cur_path.exists():
+        scale_cur = load_document(scale_cur_path)
+        scale_base = (
+            load_document(scale_base_path) if scale_base_path.exists() else None
+        )
+        if scale_base is not None:
+            scale_rows = compare_pipeline(
+                scale_base, scale_cur, tolerance=tolerance, floor_s=floor_s
+            )
+        scale_gate = compare_scale(
+            scale_base, scale_cur, min_efficiency=min_efficiency
+        )
+    elif scale_base_path.exists():
+        scale_gate = {"check": "scale_efficiency", "status": "missing"}
     bad_status = ("regression", "missing")
     regressions = [
         f"pipeline stage {row['stage']!r}: {row['status']}"
@@ -305,11 +372,17 @@ def compare_documents(
         f"engine stage {row['stage']!r}: {row['status']}"
         for row in engine_rows
         if row["status"] in bad_status
+    ] + [
+        f"scale stage {row['stage']!r}: {row['status']}"
+        for row in scale_rows
+        if row["status"] in bad_status
     ]
     if engine_parallel is not None and engine_parallel["status"] in bad_status:
         regressions.append(f"engine speedup: {engine_parallel['status']}")
     if robust_gate is not None and robust_gate["status"] in bad_status:
         regressions.append(f"robust gate: {robust_gate['status']}")
+    if scale_gate is not None and scale_gate["status"] in bad_status:
+        regressions.append(f"scale efficiency: {scale_gate['status']}")
     return {
         "baseline_dir": str(baseline_dir),
         "current_dir": str(current_dir),
@@ -317,11 +390,14 @@ def compare_documents(
         "floor_s": floor_s,
         "peak_tolerance": peak_tolerance,
         "min_speedup": min_speedup,
+        "min_efficiency": min_efficiency,
         "pipeline": pipeline_rows,
         "remap": remap_rows,
         "engine": engine_rows,
         "engine_parallel": engine_parallel,
         "robust": robust_gate,
+        "scale": scale_rows,
+        "scale_gate": scale_gate,
         "regressions": regressions,
     }
 
@@ -334,7 +410,7 @@ def render(diff: Dict) -> str:
     def fmt(value, spec, suffix=""):
         return "-" if value is None else format(value, spec) + suffix
 
-    for row in diff["pipeline"] + diff.get("engine", []):
+    for row in diff["pipeline"] + diff.get("engine", []) + diff.get("scale", []):
         lines.append(
             f"{row['stage']:<22} "
             f"{fmt(row.get('baseline_wall_s'), '9.3f', 's'):>10} "
@@ -351,6 +427,16 @@ def render(diff: Dict) -> str:
             f"cpus={parallel.get('cpu_count')}, "
             f"min={fmt(parallel.get('min_speedup'), '.2f', 'x')}) "
             f"{parallel['status']}"
+        )
+    scale_gate = diff.get("scale_gate")
+    if scale_gate is not None:
+        lines.append(
+            f"scale efficiency: {fmt(scale_gate.get('efficiency'), '.2f')} "
+            f"(speedup={fmt(scale_gate.get('speedup'), '.2f', 'x')}, "
+            f"workers={scale_gate.get('workers')}, "
+            f"cpus={scale_gate.get('cpu_count')}, "
+            f"min={fmt(scale_gate.get('min_efficiency'), '.2f')}) "
+            f"{scale_gate['status']}"
         )
     robust = diff.get("robust")
     if robust is not None:
@@ -418,6 +504,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="min chaos-suite parallel speedup on multi-CPU runners",
     )
     parser.add_argument(
+        "--min-efficiency",
+        type=float,
+        default=DEFAULT_MIN_EFFICIENCY,
+        help="min fleet-scale scaling efficiency on multi-CPU runners",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -432,6 +524,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         floor_s=args.floor,
         peak_tolerance=args.peak_tolerance,
         min_speedup=args.min_speedup,
+        min_efficiency=args.min_efficiency,
     )
     if args.output is not None:
         args.output.write_text(json.dumps(diff, indent=2, sort_keys=True) + "\n")
