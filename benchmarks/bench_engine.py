@@ -59,13 +59,18 @@ def _run():
     # a once-per-process cost shared by every later batch, and forking now
     # hands them the warm dataset caches.
     warm_pool(WORKERS)
+    obs.reset_report()
     parallel = _timed(specs, WORKERS)
-    return specs, serial, parallel
+    # The pooled pass records one ``run.many`` stage into the unified run
+    # report; its imbalance/per-worker shape rides along in the BENCH doc.
+    report = obs.build_report(include_spans=False)
+    stage = report["stages"][-1] if report["stages"] else None
+    return specs, serial, parallel, stage
 
 
 @pytest.mark.benchmark(group="engine")
 def test_chaos_suite_parallel_speedup(benchmark, emit_report):
-    specs, (serial, serial_s), (parallel, parallel_s) = benchmark.pedantic(
+    specs, (serial, serial_s), (parallel, parallel_s), stage = benchmark.pedantic(
         _run, rounds=1, iterations=1
     )
 
@@ -102,6 +107,9 @@ def test_chaos_suite_parallel_speedup(benchmark, emit_report):
             "serial_wall_s": serial_s,
             "parallel_wall_s": parallel_s,
             "speedup": speedup,
+            "imbalance": stage["imbalance"] if stage else None,
+            "mean_queue_s": stage["mean_queue_s"] if stage else None,
+            "per_worker": stage["per_worker"] if stage else {},
         },
     )
 
@@ -116,6 +124,8 @@ def test_chaos_suite_parallel_speedup(benchmark, emit_report):
                 f"  serial wall       {serial_s:.3f}s",
                 f"  parallel wall     {parallel_s:.3f}s",
                 f"  speedup           {speedup:.2f}x",
+                f"  task imbalance    "
+                + (f"{stage['imbalance']:.2f}x" if stage else "-"),
             ]
         ),
     )

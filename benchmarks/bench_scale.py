@@ -17,6 +17,18 @@ Scores are row-independent, so serial and parallel results must be
 ``speedup / workers >= 0.7``) only applies on multi-CPU hosts;
 single-CPU runners record the numbers and skip the assertion, and
 ``tools/bench_compare.py`` applies the same rule to the emitted document.
+
+Two observability sections ride along in ``BENCH_scale.json``:
+
+* ``run_report`` — the parallel pass's per-worker imbalance and
+  utilization harvested from the unified run report
+  (:mod:`repro.obs.report`), so BENCH documents carry the *shape* of the
+  parallel stage, not just its wall time.  The full report is also
+  written to ``run_report.json`` at the repo root for CI artifact upload;
+* ``capture`` — the same parallel pass timed again with
+  ``REPRO_OBS_CAPTURE=0``, recording worker-telemetry capture overhead as
+  a fraction.  ``tools/bench_compare.py`` gates it at 5% on multi-CPU
+  runners.
 """
 
 import os
@@ -36,6 +48,7 @@ STEP_MINUTES = 60
 N_BASIS = 8
 SEED = 0
 MIN_EFFICIENCY = 0.7
+MAX_CAPTURE_OVERHEAD = 0.05
 
 CPU_COUNT = os.cpu_count() or 1
 WORKERS = int(os.environ.get("BENCH_SCALE_WORKERS", "0")) or min(
@@ -88,19 +101,45 @@ def _run():
     # Spawn the workers outside the timed region: the committed cost of a
     # persistent pool is paid once per process, not once per batch.
     warm_pool(WORKERS)
+    obs.reset_report()
     started = time.perf_counter()
     parallel = score_matrix(instances, basis, dtype=np.float32, workers=WORKERS)
     walls["score_parallel"] = time.perf_counter() - started
 
-    return walls, serial, parallel
+    # Harvest the parallel stage's shape (imbalance, per-worker economics)
+    # from the unified run report while it covers exactly this pass.
+    report = obs.build_report(include_spans=False)
+    stage = report["stages"][-1] if report["stages"] else None
+
+    # Time the identical pass with worker-telemetry capture disabled to
+    # measure capture overhead.  Running it second hands it every warm
+    # cache the captured pass built, so the measured overhead is an upper
+    # bound on the true cost.
+    saved = os.environ.get("REPRO_OBS_CAPTURE")
+    os.environ["REPRO_OBS_CAPTURE"] = "0"
+    try:
+        started = time.perf_counter()
+        bare = score_matrix(instances, basis, dtype=np.float32, workers=WORKERS)
+        walls["score_parallel_nocapture"] = time.perf_counter() - started
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_OBS_CAPTURE", None)
+        else:
+            os.environ["REPRO_OBS_CAPTURE"] = saved
+
+    return walls, serial, parallel, bare, stage
 
 
 @pytest.mark.benchmark(group="scale")
 def test_fleet_scale_scaling(benchmark, emit_report):
-    walls, serial, parallel = benchmark.pedantic(_run, rounds=1, iterations=1)
+    walls, serial, parallel, bare, stage = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
 
-    # Worker count must not change a single score bit.
+    # Worker count must not change a single score bit — and neither may
+    # the telemetry kill switch.
     assert np.array_equal(serial, parallel)
+    assert np.array_equal(parallel, bare)
 
     speedup = (
         walls["score_serial"] / walls["score_parallel"]
@@ -108,6 +147,11 @@ def test_fleet_scale_scaling(benchmark, emit_report):
         else float("inf")
     )
     efficiency = speedup / WORKERS
+    capture_overhead = (
+        walls["score_parallel"] / walls["score_parallel_nocapture"] - 1.0
+        if walls["score_parallel_nocapture"] > 0
+        else 0.0
+    )
 
     obs.update_bench(
         "scale",
@@ -142,6 +186,33 @@ def test_fleet_scale_scaling(benchmark, emit_report):
             "min_efficiency": MIN_EFFICIENCY,
         },
     )
+    obs.update_bench(
+        "scale",
+        "run_report",
+        {
+            "stage": stage["label"] if stage else None,
+            "imbalance": stage["imbalance"] if stage else None,
+            "mean_exec_s": stage["mean_exec_s"] if stage else None,
+            "max_exec_s": stage["max_exec_s"] if stage else None,
+            "mean_queue_s": stage["mean_queue_s"] if stage else None,
+            "per_worker": stage["per_worker"] if stage else {},
+        },
+    )
+    obs.update_bench(
+        "scale",
+        "capture",
+        {
+            "workers": WORKERS,
+            "cpu_count": CPU_COUNT,
+            "capture_wall_s": walls["score_parallel"],
+            "no_capture_wall_s": walls["score_parallel_nocapture"],
+            "overhead_frac": capture_overhead,
+            "max_overhead_frac": MAX_CAPTURE_OVERHEAD,
+        },
+    )
+    # The full report goes to the repo root so CI uploads it with the
+    # BENCH documents (bench-diff artifact).
+    obs.write_report(obs.bench_path("scale").parent / "run_report.json")
 
     emit_report(
         "scale",
@@ -155,6 +226,11 @@ def test_fleet_scale_scaling(benchmark, emit_report):
                 f"  aggregate         {walls['aggregate']:.3f}s",
                 f"  score serial      {walls['score_serial']:.3f}s",
                 f"  score parallel    {walls['score_parallel']:.3f}s",
+                f"  score no-capture  {walls['score_parallel_nocapture']:.3f}s",
+                f"  capture overhead  {capture_overhead:+.1%}"
+                f" (limit {MAX_CAPTURE_OVERHEAD:.0%})",
+                f"  shard imbalance   "
+                + (f"{stage['imbalance']:.2f}x" if stage else "-"),
                 f"  speedup           {speedup:.2f}x",
                 f"  efficiency        {efficiency:.2f} (target {MIN_EFFICIENCY})",
             ]

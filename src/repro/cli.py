@@ -11,6 +11,7 @@ Usage::
     smoothoperator robust [--instances N]
     smoothoperator profile [--instances N] [--json]
     smoothoperator monitor [--scenario NAME] [--events PATH] [--instances N]
+    smoothoperator report [--report PATH] [--run --workers N] [--json]
 """
 
 from __future__ import annotations
@@ -404,10 +405,53 @@ def _cmd_monitor(args: argparse.Namespace) -> None:
     print(f"scenario passed  : {outcome.passed}")
 
 
+def _cmd_report(args: argparse.Namespace) -> None:
+    """Render a unified run report for the parallel data plane.
+
+    By default reads a previously written RunReport JSON (produced by a
+    run with ``REPRO_RUN_REPORT=<path>`` set, or by a benchmark).  With
+    ``--run``, executes the chaos suite on a worker pool right now and
+    reports on that run — the quickest way to see per-worker utilization
+    and shard imbalance on this machine.
+    """
+    import json
+    import pathlib
+
+    from . import obs
+
+    if args.run:
+        from .engine import run_many
+
+        obs.reset_report()
+        specs = _chaos_specs(args)
+        workers = max(2, args.workers)
+        with obs.tracing():
+            run_many(specs, workers=workers)
+            report = obs.build_report()
+        if args.report:
+            path = pathlib.Path(args.report)
+            path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+            print(f"run report written to {path}\n", file=sys.stderr)
+    else:
+        path = pathlib.Path(args.report)
+        if not path.exists():
+            raise SystemExit(
+                f"no run report at {path} — produce one with "
+                f"REPRO_RUN_REPORT={path} set during a parallel run, "
+                "or use 'smoothoperator report --run'"
+            )
+        report = json.loads(path.read_text())
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return
+    print(obs.render_report(report))
+
+
 _COMMANDS = {
     "chaos": _cmd_chaos,
     "monitor": _cmd_monitor,
     "profile": _cmd_profile,
+    "report": _cmd_report,
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,
     "fig10": _cmd_fig10,
@@ -464,7 +508,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--workers",
         type=int,
         default=1,
-        help="worker processes for parallel stages (chaos and place commands)",
+        help="worker processes for parallel stages (chaos, place, report commands)",
+    )
+    parser.add_argument(
+        "--report",
+        default="run_report.json",
+        help="RunReport JSON path to render or write (report command)",
+    )
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="run the chaos suite on a worker pool and report on it (report command)",
     )
     args = parser.parse_args(argv)
     if args.command == "list":

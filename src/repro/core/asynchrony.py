@@ -178,7 +178,7 @@ def _score_matrix_sharded(
                 for start, stop in shard_ranges(n, workers)
             ]
             obs.count("score.shards", len(tasks))
-            blocks = pool.map_shards(_score_shard, tasks)
+            blocks = pool.map_shards(_score_shard, tasks, label="score.shard")
     scores = np.empty((n, len(basis)))
     row = 0
     for block in blocks:

@@ -175,7 +175,9 @@ def scoped_placement(
                 )
             )
         obs.count("place.scope_shards", len(tasks))
-        for shard_mapping in pool.map_shards(_scoped_place_shard, tasks):
+        for shard_mapping in pool.map_shards(
+            _scoped_place_shard, tasks, label="place.shard"
+        ):
             mapping.update(shard_mapping)
     return Assignment(topology, mapping)
 

@@ -271,7 +271,9 @@ class RemappingEngine:
                 )
                 tasks.append((shared.handle, traces.grid, groups_spec, self.config))
             obs.count("remap.shards", len(tasks))
-            shard_results = pool.map_shards(_remap_shard_task, tasks)
+            shard_results = pool.map_shards(
+                _remap_shard_task, tasks, label="remap.shard"
+            )
         all_swaps: List[Swap] = []
         node_totals: Dict[str, np.ndarray] = {}
         for shard_swaps, shard_totals in shard_results:

@@ -30,6 +30,15 @@ runs when another attempt follows — a spec out of attempts fails
 immediately as a :class:`RunFailure` in its slot of the result list.
 ``workers <= 1`` or a single spec short-circuits to a plain serial loop
 that never touches a pool.
+
+The pool is not an observability boundary: unless ``REPRO_OBS_CAPTURE=0``
+disables it, every pooled task runs under worker-side telemetry capture
+(:mod:`repro.obs.remote`) and ships its spans, metric deltas, and events
+back with its result; the coordinator merges them into its live tracer,
+registry, and event log, records pool health metrics (dispatch/completion
+counters, roundtrip/execution/queue latency histograms, worker deaths and
+rebuilds), and feeds each stage into the unified run report
+(:mod:`repro.obs.report`).
 """
 
 from __future__ import annotations
@@ -169,6 +178,35 @@ def _pool_execute(spec: Any) -> RunArtifacts:
         return execute(spec)
 
 
+def _pool_execute_captured(spec: Any, index: int, attempt: int):
+    """Worker-side spec task with telemetry capture.
+
+    Wraps :func:`_pool_execute` in :func:`repro.obs.remote.run_captured`,
+    so the worker ships ``(artifacts, bundle)`` — the bundle carrying the
+    spec's span subtree, metric deltas, and capture-level events back to
+    the coordinator for merging.
+    """
+    from ..obs import remote as obs_remote
+
+    return obs_remote.run_captured(_pool_execute, index, "run.spec", attempt, (spec,))
+
+
+def _bundle_stats(bundle: Any, roundtrip_s: float, *, ok: bool = True):
+    """Coordinator-side: a run-report row for one shipped bundle."""
+    from ..obs.report import TaskStats
+
+    return TaskStats(
+        shard_id=bundle.shard_id,
+        worker_pid=bundle.worker_pid,
+        attempt=bundle.attempt,
+        exec_s=bundle.wall_s,
+        cpu_s=bundle.cpu_s,
+        roundtrip_s=roundtrip_s,
+        queue_s=max(0.0, roundtrip_s - bundle.wall_s),
+        ok=ok,
+    )
+
+
 # ----------------------------------------------------------------------
 # the persistent pool
 # ----------------------------------------------------------------------
@@ -225,6 +263,35 @@ class WorkerPool:
         """Submit one task, building the executor on first use."""
         return self._ensure_executor().submit(fn, *args, **kwargs)
 
+    def submit_resilient(
+        self,
+        fn: Callable[..., Any],
+        /,
+        *args: Any,
+        on_rebuild: Optional[Callable[[], None]] = None,
+    ):
+        """Submit, rebuilding first when a prior task's death broke the pool.
+
+        A worker death breaks the whole executor *asynchronously*, so a
+        submit racing that death raises ``BrokenProcessPool`` synchronously
+        instead of returning a future.  The task never reached a worker —
+        nothing ran, nothing can run twice — so the right response is to
+        rebuild and resubmit on the fresh executor rather than let the
+        exception escape and strand a broken executor in the persistent
+        pool.  Still bounded: every break burns an attempt for each task
+        that was in flight on the dead executor, so a persistent killer
+        exhausts ``max_attempts`` like any other failure.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        while True:
+            try:
+                return self.submit(fn, *args)
+            except BrokenProcessPool:
+                if on_rebuild is not None:
+                    on_rebuild()
+                self.rebuild()
+
     def warm(self) -> None:
         """Spawn the workers now and wait for every initializer to finish.
 
@@ -241,6 +308,19 @@ class WorkerPool:
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
+
+    def rebuild_if_broken(self) -> bool:
+        """Rebuild only when the live executor really is broken.
+
+        A resilient submit may already have swapped in a fresh executor
+        this round; tearing that one down again would cancel the healthy
+        tasks it is running.  Returns whether a rebuild happened.
+        """
+        executor = self._executor
+        if executor is None or not getattr(executor, "_broken", False):
+            return False
+        self.rebuild()
+        return True
 
     def shutdown(self) -> None:
         """Stop the workers.  The pool object stays reusable (lazy respawn)."""
@@ -260,6 +340,8 @@ class WorkerPool:
         *,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         retry_backoff_s: float = 0.0,
+        label: str = "shard",
+        capture: Optional[bool] = None,
     ) -> List[Any]:
         """Run ``fn(*task)`` for every task, in task order, with retries.
 
@@ -270,51 +352,170 @@ class WorkerPool:
         specs; a task that exhausts its attempts re-raises its last error,
         because a missing shard (unlike a missing scenario) poisons the
         whole result matrix.
+
+        Unless capture is disabled (the ``REPRO_OBS_CAPTURE`` kill switch,
+        or ``capture=False``), every task runs under worker-side telemetry
+        capture (:mod:`repro.obs.remote`): its spans, metric deltas, and
+        events ship back with the result and are merged into this process's
+        live tracer/registry/log — sorted by shard id, so the merged state
+        is independent of completion order.  ``label`` names the per-task
+        root span (tagged with shard id and worker pid) and the stage's
+        entry in the run report (:mod:`repro.obs.report`); the pool also
+        records its own health metrics (dispatch/completion/retry counters,
+        roundtrip/execution/queue latency histograms).
         """
+        from ..obs import metrics as obs_metrics
+        from ..obs import remote as obs_remote
+
+        do_capture = obs_remote.capture_enabled() and (capture is None or capture)
         results: List[Any] = [None] * len(tasks)
         pending = list(range(len(tasks)))
         errors: Dict[int, BaseException] = {}
         attempts = [0] * len(tasks)
         round_index = 0
+        bundles: List[Any] = []
+        stats: List[Any] = []
+        started_at = time.perf_counter()
+
+        def on_submit_rebuild() -> None:
+            if do_capture:
+                obs_metrics.count("pool.worker_deaths")
+                obs_metrics.count("pool.rebuilds")
+
+        isolate = False
         while pending:
-            future_of = {}
-            broken = False
-            for index in pending:
-                attempts[index] += 1
-                future_of[self.submit(fn, *tasks[index])] = index
             failed: List[int] = []
-            outstanding = set(future_of)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = future_of[future]
-                    try:
-                        results[index] = future.result()
-                    except BaseException as error:  # noqa: BLE001
-                        failed.append(index)
-                        errors[index] = error
-                        if _pool_is_broken(error):
-                            broken = True
-                if broken:
-                    for future in outstanding:
+            round_broken = False
+            # After a round in which the executor died, retry the survivors
+            # one at a time: a repeat killer then only breaks its own
+            # attempt, so an innocent task can lose at most one attempt as
+            # collateral however persistent the killer is.
+            groups = [[index] for index in pending] if isolate else [pending]
+            for group in groups:
+                future_of = {}
+                dispatched_at = {}
+                broken = False
+                for index in group:
+                    attempts[index] += 1
+                    if do_capture:
+                        future = self.submit_resilient(
+                            obs_remote.run_captured,
+                            fn,
+                            index,
+                            label,
+                            attempts[index],
+                            tuple(tasks[index]),
+                            on_rebuild=on_submit_rebuild,
+                        )
+                    else:
+                        future = self.submit_resilient(
+                            fn, *tasks[index], on_rebuild=on_submit_rebuild
+                        )
+                    future_of[future] = index
+                    dispatched_at[future] = time.perf_counter()
+                if do_capture:
+                    obs_metrics.count("pool.tasks_dispatched", len(future_of))
+                    if round_index > 0:
+                        obs_metrics.count("pool.tasks_retried", len(future_of))
+                outstanding = set(future_of)
+                while outstanding:
+                    done, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
                         index = future_of[future]
-                        failed.append(index)
-                        errors[index] = RuntimeError("worker pool died mid-run")
-                    break
-            if broken:
-                self.rebuild()
+                        try:
+                            outcome = future.result()
+                        except BaseException as error:  # noqa: BLE001
+                            failed.append(index)
+                            errors[index] = error
+                            if do_capture:
+                                obs_metrics.count("pool.tasks_failed")
+                                bundle = obs_remote.bundle_from_error(error)
+                                if bundle is not None:
+                                    bundles.append(bundle)
+                                    stats.append(
+                                        _bundle_stats(
+                                            bundle,
+                                            time.perf_counter()
+                                            - dispatched_at[future],
+                                            ok=False,
+                                        )
+                                    )
+                            if _pool_is_broken(error):
+                                broken = True
+                            continue
+                        if do_capture:
+                            results[index], bundle = outcome
+                            roundtrip_s = (
+                                time.perf_counter() - dispatched_at[future]
+                            )
+                            bundles.append(bundle)
+                            stats.append(_bundle_stats(bundle, roundtrip_s))
+                            obs_metrics.count("pool.tasks_completed")
+                            obs_metrics.observe(
+                                "pool.task_roundtrip_s", roundtrip_s
+                            )
+                            obs_metrics.observe("pool.task_exec_s", bundle.wall_s)
+                            obs_metrics.observe(
+                                "pool.task_queue_s",
+                                max(0.0, roundtrip_s - bundle.wall_s),
+                            )
+                        else:
+                            results[index] = outcome
+                    # No early exit on ``broken``: a dead executor resolves
+                    # every future it still holds (with BrokenProcessPool),
+                    # and futures resubmitted on a fresh executor mid-round
+                    # finish normally — condemning them here would burn
+                    # attempts on tasks that are still running fine.
+                if broken and self.rebuild_if_broken() and do_capture:
+                    obs_metrics.count("pool.worker_deaths")
+                    obs_metrics.count("pool.rebuilds")
+                round_broken = round_broken or broken
+            isolate = round_broken
             exhausted = [
                 index
                 for index in failed
                 if attempts[index] >= max_attempts
             ]
             if exhausted:
+                # The stage is lost, but its telemetry is not: merge what
+                # shipped (including failed attempts' bundles) before
+                # re-raising, so the failure is diagnosable from the
+                # coordinator's own span tree and event log.
+                if do_capture:
+                    self._finish_stage(label, started_at, bundles, stats)
                 raise errors[exhausted[0]]
             pending = sorted(set(failed))
             if pending:
                 time.sleep(retry_backoff_s * (2**round_index))
                 round_index += 1
+        if do_capture:
+            self._finish_stage(label, started_at, bundles, stats)
         return results
+
+    def _finish_stage(
+        self,
+        label: str,
+        started_at: float,
+        bundles: Sequence[Any],
+        stats: Sequence[Any],
+    ) -> None:
+        """Merge shipped telemetry and record the stage in the run report."""
+        from ..obs import metrics as obs_metrics
+        from ..obs import remote as obs_remote
+        from ..obs import report as obs_report
+
+        obs_remote.merge_bundles(bundles)
+        obs_metrics.set_gauge("pool.workers", self.workers)
+        obs_metrics.set_gauge("pool.generation", self.generation)
+        obs_report.record_stage(
+            label,
+            workers=self.workers,
+            wall_s=time.perf_counter() - started_at,
+            tasks=stats,
+            generation=self.generation,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -382,9 +583,24 @@ def run_many(
     A dead worker breaks the whole executor, so every spec still in flight
     counts one failed attempt, the executor is rebuilt, and the survivors
     are resubmitted after an exponential backoff — an innocent spec sharing
-    a pool with a crashing one is retried, not condemned.  The backoff
-    never runs after a final failure: once no spec has attempts left there
-    is nothing to wait for.
+    a pool with a crashing one is retried, not condemned.  The retry round
+    after a break runs its survivors one at a time, so a repeat killer
+    burns only its own remaining attempts, never an innocent's.  A break
+    that
+    races the submission loop itself costs nothing: the submit raises
+    instead of returning a future, and the spec — which never reached a
+    worker — is resubmitted on a rebuilt executor without burning an
+    attempt.  The backoff never runs after a final failure: once no spec
+    has attempts left there is nothing to wait for.
+
+    Pooled batches run under worker-side telemetry capture unless the
+    ``REPRO_OBS_CAPTURE`` kill switch disables it: each spec's span
+    subtree, metric deltas, and capture-level events ship back with its
+    artifacts and merge into this process's live observability surfaces,
+    the pool records its health metrics, and the batch lands in the run
+    report (:mod:`repro.obs.report`) as a ``run.many`` stage.  The serial
+    short-circuit records nothing — in-process runs are already fully
+    observable.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be at least 1")
@@ -397,47 +613,114 @@ def run_many(
             results[index] = _run_serial(spec, max_attempts, retry_backoff_s)
         return results
 
+    from ..obs import metrics as obs_metrics
+    from ..obs import remote as obs_remote
+
     if pool is None:
         pool = get_pool(workers)
+    do_capture = obs_remote.capture_enabled()
+    bundles: List[Any] = []
+    stats: List[Any] = []
+    started_at = time.perf_counter()
     attempts = [0] * len(specs)
     pending = list(range(len(specs)))
     round_index = 0
+
+    def on_submit_rebuild() -> None:
+        if do_capture:
+            obs_metrics.count("pool.worker_deaths")
+            obs_metrics.count("pool.rebuilds")
+
+    isolate = False
     while pending:
-        future_of = {}
-        broken = False
-        for index in pending:
-            attempts[index] += 1
-            future_of[pool.submit(_pool_execute, specs[index])] = index
         failed: List[int] = []
-        outstanding = set(future_of)
-        while outstanding:
-            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = future_of[future]
-                try:
-                    results[index] = future.result()
-                except BaseException as error:  # noqa: BLE001
-                    # BrokenProcessPool lands here for *every* future that
-                    # shared the dead executor; record the attempt and let
-                    # the retry rounds sort survivors out.
-                    failed.append(index)
-                    results[index] = _failure(specs[index], error, attempts[index])
-                    if _pool_is_broken(error):
-                        broken = True
-            if broken:
-                # The executor is unusable; everything not yet resolved
-                # fails this round and is retried on a rebuilt one.
-                for future in outstanding:
-                    index = future_of[future]
-                    failed.append(index)
-                    results[index] = _failure(
+        round_broken = False
+        # After a round in which the executor died, retry the survivors one
+        # at a time: a repeat killer then only breaks its own attempt, so
+        # an innocent spec can lose at most one attempt as collateral
+        # however persistent the killer is.
+        groups = [[index] for index in pending] if isolate else [pending]
+        for group in groups:
+            future_of = {}
+            dispatched_at = {}
+            broken = False
+            for index in group:
+                attempts[index] += 1
+                if do_capture:
+                    future = pool.submit_resilient(
+                        _pool_execute_captured,
                         specs[index],
-                        RuntimeError("worker pool died mid-run"),
+                        index,
                         attempts[index],
+                        on_rebuild=on_submit_rebuild,
                     )
-                break
-        if broken:
-            pool.rebuild()
+                else:
+                    future = pool.submit_resilient(
+                        _pool_execute, specs[index], on_rebuild=on_submit_rebuild
+                    )
+                future_of[future] = index
+                dispatched_at[future] = time.perf_counter()
+            if do_capture:
+                obs_metrics.count("pool.tasks_dispatched", len(future_of))
+                if round_index > 0:
+                    obs_metrics.count("pool.tasks_retried", len(future_of))
+            outstanding = set(future_of)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = future_of[future]
+                    try:
+                        outcome = future.result()
+                    except BaseException as error:  # noqa: BLE001
+                        # BrokenProcessPool lands here for *every* future
+                        # that shared the dead executor; record the attempt
+                        # and let the retry rounds sort survivors out.  A
+                        # captured failure still ships its telemetry,
+                        # attached to the exception itself.
+                        failed.append(index)
+                        results[index] = _failure(
+                            specs[index], error, attempts[index]
+                        )
+                        if do_capture:
+                            obs_metrics.count("pool.tasks_failed")
+                            bundle = obs_remote.bundle_from_error(error)
+                            if bundle is not None:
+                                bundles.append(bundle)
+                                stats.append(
+                                    _bundle_stats(
+                                        bundle,
+                                        time.perf_counter()
+                                        - dispatched_at[future],
+                                        ok=False,
+                                    )
+                                )
+                        if _pool_is_broken(error):
+                            broken = True
+                        continue
+                    if do_capture:
+                        results[index], bundle = outcome
+                        roundtrip_s = time.perf_counter() - dispatched_at[future]
+                        bundles.append(bundle)
+                        stats.append(_bundle_stats(bundle, roundtrip_s))
+                        obs_metrics.count("pool.tasks_completed")
+                        obs_metrics.observe("pool.task_roundtrip_s", roundtrip_s)
+                        obs_metrics.observe("pool.task_exec_s", bundle.wall_s)
+                        obs_metrics.observe(
+                            "pool.task_queue_s",
+                            max(0.0, roundtrip_s - bundle.wall_s),
+                        )
+                    else:
+                        results[index] = outcome
+                # No early exit on ``broken``: the dead executor resolves
+                # every future it still holds (with BrokenProcessPool), and
+                # futures resubmitted on a fresh executor mid-round finish
+                # normally — failing them here would condemn specs that are
+                # still running.
+            if broken and pool.rebuild_if_broken() and do_capture:
+                obs_metrics.count("pool.worker_deaths")
+                obs_metrics.count("pool.rebuilds")
+            round_broken = round_broken or broken
+        isolate = round_broken
         pending = [
             index
             for index in sorted(set(failed))
@@ -449,6 +732,8 @@ def run_many(
             # would delay the caller for nothing.
             time.sleep(retry_backoff_s * (2**round_index))
             round_index += 1
+    if do_capture:
+        pool._finish_stage("run.many", started_at, bundles, stats)
     return results
 
 

@@ -49,10 +49,34 @@ _OWNED: Dict[str, shared_memory.SharedMemory] = {}
 
 def _register_owned(shm: shared_memory.SharedMemory) -> None:
     _OWNED[shm.name] = shm
+    _update_shm_gauges(created=True)
 
 
 def _forget_owned(name: str) -> None:
     _OWNED.pop(name, None)
+    _update_shm_gauges()
+
+
+def _update_shm_gauges(*, created: bool = False) -> None:
+    """Publish the live-segment gauges (skipped when capture is disabled).
+
+    ``shm.segments_live`` / ``shm.bytes_live`` track what this process
+    currently owns in ``/dev/shm``; ``shm.segments_created`` counts
+    publications over the process lifetime.  Gated on the same
+    ``REPRO_OBS_CAPTURE`` switch as worker telemetry so disabling capture
+    leaves the metrics registry untouched.
+    """
+    from ..obs import metrics as obs_metrics
+    from ..obs.remote import capture_enabled
+
+    if not capture_enabled():
+        return
+    if created:
+        obs_metrics.count("shm.segments_created")
+    obs_metrics.set_gauge("shm.segments_live", len(_OWNED))
+    obs_metrics.set_gauge(
+        "shm.bytes_live", float(sum(shm.size for shm in _OWNED.values()))
+    )
 
 
 @atexit.register

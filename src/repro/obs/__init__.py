@@ -19,13 +19,23 @@ The substrate every perf-sensitive subsystem reports into:
   serialisable as JSONL.
 * :mod:`repro.obs.export` — Prometheus text exposition and a merged JSON
   document over all of the above.
+* :mod:`repro.obs.remote` — cross-process capture/ship/merge: pool tasks
+  record into a private tracer/registry/log inside the worker, ship a
+  :class:`~repro.obs.remote.TelemetryBundle` back with their result, and
+  the coordinator merges everything into its live surfaces — one coherent
+  span tree, metric set, and event log across process boundaries
+  (``REPRO_OBS_CAPTURE=0`` disables it).
+* :mod:`repro.obs.report` — the unified run report over pooled stages:
+  per-worker utilization, shard imbalance, straggler shards, queue vs
+  execution latency, rendered by ``smoothoperator report`` and
+  auto-written when ``REPRO_RUN_REPORT`` names a path.
 * :mod:`repro.obs.bench` — writes machine-readable ``BENCH_<name>.json``
   documents (stage timings, workload sizes, peak-reduction numbers) that
   CI uploads so the perf trajectory accrues per PR;
   ``tools/bench_compare.py`` gates regressions against them.
 """
 
-from . import events, export, telemetry
+from . import events, export, remote, report, telemetry
 from .bench import bench_path, stage_timings, update_bench
 from .events import Event, EventLog, emit, get_event_log
 from .metrics import (
@@ -39,6 +49,8 @@ from .metrics import (
     set_gauge,
     snapshot_metrics,
 )
+from .remote import TelemetryBundle, capture_enabled, merge_bundles
+from .report import build_report, record_stage, render_report, reset_report, write_report
 from .spans import Span, Tracer, current_span, get_tracer, span, tracing
 from .telemetry import FlightRecorder, RingBuffer, record_power, record_view
 
@@ -74,6 +86,18 @@ __all__ = [
     "telemetry",
     # export
     "export",
+    # remote (cross-process capture)
+    "TelemetryBundle",
+    "capture_enabled",
+    "merge_bundles",
+    "remote",
+    # run report
+    "build_report",
+    "record_stage",
+    "render_report",
+    "report",
+    "reset_report",
+    "write_report",
     # bench
     "bench_path",
     "stage_timings",

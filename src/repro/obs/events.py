@@ -44,6 +44,7 @@ __all__ = [
     "FAULT_INJECTION",
     "SWAP_ACCEPT",
     "SWAP_REJECT",
+    "TASK_ERROR",
     "THROTTLE",
     "VIOLATION",
     "emit",
@@ -64,6 +65,7 @@ SWAP_REJECT = "swap_reject"  # remapping found no acceptable exchange
 FAULT_INJECTION = "fault_injection"  # a chaos fault was applied
 CAPPING = "capping"  # the capping loop shed power at a node
 ADVISORY = "advisory"  # a precursor/monitoring finding, pre-violation
+TASK_ERROR = "task_error"  # a pool task raised inside a worker process
 
 
 @dataclass(frozen=True)
@@ -138,6 +140,27 @@ class EventLog:
         )
         self._events.append(event)
         return event
+
+    def append(self, event: Event) -> Event:
+        """Append a pre-built event, restamping only its sequence number.
+
+        Unlike :meth:`emit` this preserves the event's span correlation as
+        given instead of sampling the coordinator's open span — it is the
+        merge path for events shipped from worker processes, whose
+        ``span_id`` has already been remapped onto the rebuilt span tree.
+        """
+        self._seq += 1
+        stamped = Event(
+            seq=self._seq,
+            kind=event.kind,
+            severity=event.severity,
+            source=event.source,
+            fields=dict(event.fields),
+            span_id=event.span_id,
+            span_path=event.span_path,
+        )
+        self._events.append(stamped)
+        return stamped
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -18,6 +18,7 @@ from . import spans as _spans
 __all__ = [
     "Histogram",
     "MetricsRegistry",
+    "capturing",
     "count",
     "counter_value",
     "global_registry",
@@ -137,6 +138,33 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        """The full mergeable state (exact moments + reservoir).
+
+        Unlike :meth:`summary` this loses nothing: a histogram rebuilt via
+        :meth:`from_state` merges exactly like the original would.  This is
+        what worker telemetry bundles ship across process boundaries.
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "reservoir": list(self._reservoir),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_state` output."""
+        histogram = cls()
+        histogram.count = int(state["count"])
+        histogram.total = float(state["total"])
+        histogram.min = float(state["min"])
+        histogram.max = float(state["max"])
+        histogram._reservoir = [float(v) for v in state["reservoir"]]
+        return histogram
+
 
 class MetricsRegistry:
     """Named counters, gauges, and histograms for one process (or test)."""
@@ -197,39 +225,81 @@ class MetricsRegistry:
 
 # ----------------------------------------------------------------------
 # the process-global registry and convenience accessors
+#
+# ``_ACTIVE`` is the registry every module-level accessor writes to.  It is
+# the process-global ``_GLOBAL`` registry except inside a ``capturing()``
+# context, which temporarily swaps in a private registry — that is how
+# worker processes isolate one task's metric deltas into a shippable
+# telemetry bundle (see :mod:`repro.obs.remote`).
 # ----------------------------------------------------------------------
 _GLOBAL = MetricsRegistry()
+_ACTIVE = _GLOBAL
 
 
 def global_registry() -> MetricsRegistry:
-    """The process-wide registry all instrumentation writes to."""
-    return _GLOBAL
+    """The registry instrumentation currently writes to.
+
+    Normally the process-global one; inside a :class:`capturing` context it
+    is the capture registry, so instrumented code needs no awareness of
+    whether its deltas are being captured for another process.
+    """
+    return _ACTIVE
 
 
 def count(name: str, value: float = 1.0) -> None:
     """Increment a global counter, attributing it to the open span too."""
-    _GLOBAL.inc(name, value)
+    _ACTIVE.inc(name, value)
     tracer = _spans.get_tracer()
     if tracer is not None:
         tracer.add(name, value)
 
 
 def counter_value(name: str, default: float = 0.0) -> float:
-    return _GLOBAL.counter(name, default)
+    return _ACTIVE.counter(name, default)
 
 
 def set_gauge(name: str, value: float) -> None:
-    _GLOBAL.set_gauge(name, value)
+    _ACTIVE.set_gauge(name, value)
 
 
 def observe(name: str, value: float) -> None:
-    _GLOBAL.observe(name, value)
+    _ACTIVE.observe(name, value)
 
 
 def snapshot_metrics() -> Dict[str, object]:
-    return _GLOBAL.snapshot()
+    return _ACTIVE.snapshot()
 
 
 def reset_metrics(registry: Optional[MetricsRegistry] = None) -> None:
-    """Clear the given registry (default: the process-global one)."""
-    (registry if registry is not None else _GLOBAL).reset()
+    """Clear the given registry (default: the currently active one)."""
+    (registry if registry is not None else _ACTIVE).reset()
+
+
+class capturing:
+    """Route module-level metric writes into a private registry.
+
+    Worker-side primitive of the cross-process capture layer: a pool task
+    runs under ``with metrics.capturing() as registry:``, so every
+    :func:`count` / :func:`observe` / :func:`set_gauge` it triggers lands in
+    ``registry`` instead of the worker's process-global one.  The deltas are
+    then serialized into the task's telemetry bundle and merged into the
+    *coordinator's* registry, restoring parity with a serial run.  Nesting
+    restores the previously active registry on exit.
+    """
+
+    __slots__ = ("registry", "_previous")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self.registry
+        return self.registry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        return False

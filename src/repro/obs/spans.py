@@ -132,6 +132,34 @@ class Span:
             payload["children"] = [child.to_dict() for child in self.children]
         return payload
 
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Dict[str, object],
+        *,
+        id_map: Optional[Dict[int, int]] = None,
+    ) -> "Span":
+        """Rebuild a completed span subtree from :meth:`to_dict` output.
+
+        Every rebuilt span gets a *fresh* ``span_id`` from this process's
+        allocator — ids are only unique per process, and a span shipped from
+        a worker must not collide with the coordinator's.  ``id_map``
+        (optional, filled in place) records ``original id -> new id`` so
+        callers can remap event correlations shipped alongside the spans.
+        """
+        span = cls(str(payload["name"]), payload.get("meta"))  # type: ignore[arg-type]
+        if id_map is not None and "span_id" in payload:
+            id_map[int(payload["span_id"])] = span.span_id  # type: ignore[arg-type]
+        span.wall_s = float(payload.get("wall_s", 0.0))  # type: ignore[arg-type]
+        span.cpu_s = float(payload.get("cpu_s", 0.0))  # type: ignore[arg-type]
+        span.calls = int(payload.get("calls", 1))  # type: ignore[arg-type]
+        counters = payload.get("counters")
+        if counters:
+            span.counters = {str(k): float(v) for k, v in counters.items()}  # type: ignore[union-attr]
+        for child in payload.get("children", ()):  # type: ignore[union-attr]
+            span.children.append(cls.from_dict(child, id_map=id_map))
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, wall={self.wall_s:.4f}s, children={len(self.children)})"
 
@@ -237,6 +265,20 @@ class Tracer:
         stack = self._stack
         if stack:
             stack[-1].add(name, value)
+
+    def attach(self, span: Span) -> None:
+        """Graft a *completed* span subtree into the live tree.
+
+        The span becomes a child of the calling thread's innermost open
+        span (or a new root when none is open).  This is how the
+        cross-process merge layer (:mod:`repro.obs.remote`) hangs a worker
+        task's span tree under the coordinator span that dispatched it.
+        """
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
 
     def find(self, name: str) -> Optional[Span]:
         """First span named ``name`` across all recorded roots."""

@@ -12,6 +12,7 @@ import pytest
 
 from conftest import make_demand, make_fleet, make_runtime_parts
 from repro.engine import RunArtifacts, RunFailure, ScenarioSpec, run_many
+from repro.engine.parallel import WorkerPool, _worker_barrier
 
 
 # ----------------------------------------------------------------------
@@ -92,6 +93,58 @@ def test_run_many_reports_a_persistent_killer_as_run_failure():
     assert failure.spec is kill_worker_hard
     assert failure.result is None
     assert failure.error_type and failure.error
+
+
+def test_submit_resilient_retries_a_submit_that_found_a_broken_executor():
+    """A worker death can break the executor *between* two submits of the
+    same round; the racing submit then raises ``BrokenProcessPool``
+    synchronously instead of returning a future.  ``submit_resilient``
+    must absorb that: rebuild, resubmit, and hand back a working future.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    pool = WorkerPool(2)
+    try:
+        real_submit = pool.submit
+        calls = []
+        rebuilds = []
+
+        def submit_broken_once(fn, /, *args, **kwargs):
+            calls.append(fn)
+            if len(calls) == 1:
+                raise BrokenProcessPool("executor died before dispatch")
+            return real_submit(fn, *args, **kwargs)
+
+        pool.submit = submit_broken_once
+        future = pool.submit_resilient(
+            _worker_barrier, 7, on_rebuild=lambda: rebuilds.append(True)
+        )
+        assert future.result() == 7
+        assert len(calls) == 2
+        assert rebuilds == [True]
+    finally:
+        pool.submit = real_submit
+        pool.shutdown()
+
+
+def test_rebuild_if_broken_spares_a_healthy_executor():
+    """``rebuild_if_broken`` must only tear down an executor that really
+    broke — a fresh one swapped in mid-round keeps its running tasks."""
+    pool = WorkerPool(2)
+    try:
+        pool.warm()
+        generation = pool.generation
+        assert pool.rebuild_if_broken() is False
+        assert pool.generation == generation
+
+        future = pool.submit(kill_worker_hard)
+        with pytest.raises(Exception):
+            future.result()
+        assert pool.rebuild_if_broken() is True
+        assert pool.submit(_worker_barrier, 3).result() == 3
+        assert pool.generation == generation + 1
+    finally:
+        pool.shutdown()
 
 
 # ----------------------------------------------------------------------

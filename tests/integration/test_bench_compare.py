@@ -60,6 +60,37 @@ def _engine_doc(serial, parallel, *, cpu_count=4, workers=4):
     }
 
 
+def _scale_doc(serial, parallel, *, workers=4, cpu_count=4, capture=None):
+    sections = {
+        "stages": [
+            {"stage": "score_serial", "wall_s": serial, "calls": 1},
+            {"stage": "score_parallel", "wall_s": parallel, "calls": 1},
+        ],
+        "scaling": {
+            "workers": workers,
+            "cpu_count": cpu_count,
+            "serial_wall_s": serial,
+            "parallel_wall_s": parallel,
+            "speedup": serial / parallel,
+            "efficiency": serial / parallel / workers,
+        },
+    }
+    if capture is not None:
+        sections["capture"] = capture
+    return {"benchmark": "scale", "sections": sections}
+
+
+def _capture_section(capture_wall, bare_wall, *, cpu_count=4, workers=4):
+    return {
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "capture_wall_s": capture_wall,
+        "no_capture_wall_s": bare_wall,
+        "overhead_frac": capture_wall / bare_wall - 1.0,
+        "max_overhead_frac": 0.05,
+    }
+
+
 BASE_STAGES = {"synthesize": 0.2, "place": 0.19, "remap": 0.007}
 BASE_PEAKS = {"rpp": 0.15, "suite": 0.02}
 
@@ -220,6 +251,88 @@ class TestCompareEngine:
         self._write(current, _engine_doc(2.0, 1.8))
         diff = bench_compare.compare_documents(baseline, current, min_speedup=1.05)
         assert diff["engine_parallel"]["status"] == "ok"
+
+
+class TestCompareCapture:
+    def _write(self, directory, doc):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_scale.json").write_text(json.dumps(doc))
+
+    def test_small_overhead_passes(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(
+            current, _scale_doc(8.0, 2.0, capture=_capture_section(2.04, 2.0))
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["capture_gate"]["status"] == "ok"
+        assert diff["regressions"] == []
+
+    def test_large_overhead_is_regression(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        # 20% over bare and well past the 0.05s floor.
+        self._write(
+            current, _scale_doc(8.0, 2.4, capture=_capture_section(2.4, 2.0))
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["capture_gate"]["status"] == "regression"
+        assert any("capture overhead" in item for item in diff["regressions"])
+
+    def test_floor_absorbs_jitter_on_fast_passes(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        # 30% relative but only 30ms absolute: under the additive floor.
+        self._write(
+            current, _scale_doc(1.0, 0.13, capture=_capture_section(0.13, 0.1))
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["capture_gate"]["status"] == "ok"
+        assert diff["regressions"] == []
+
+    def test_single_cpu_skips_the_gate(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(
+            current,
+            _scale_doc(
+                8.0,
+                9.0,
+                cpu_count=1,
+                capture=_capture_section(9.0, 6.0, cpu_count=1),
+            ),
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["capture_gate"]["status"] == "skipped"
+        assert "capture" not in " ".join(diff["regressions"])
+
+    def test_document_without_capture_section_is_tolerated(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(current, _scale_doc(8.0, 2.0))
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["capture_gate"] is None
+        assert diff["regressions"] == []
+
+    def test_custom_overhead_threshold(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(
+            current, _scale_doc(8.0, 2.4, capture=_capture_section(2.4, 2.0))
+        )
+        diff = bench_compare.compare_documents(
+            baseline, current, max_capture_overhead=0.25
+        )
+        assert diff["capture_gate"]["status"] == "ok"
+
+    def test_rendered_in_summary(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(
+            current, _scale_doc(8.0, 2.0, capture=_capture_section(2.04, 2.0))
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert "capture overhead" in bench_compare.render(diff)
 
 
 class TestMainOutput:

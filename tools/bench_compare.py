@@ -32,7 +32,13 @@ documents and compares them stage by stage against the committed set:
   ``benchmarks/bench_scale.py``) gates parallel scaling *efficiency*
   (``speedup / workers >= --min-efficiency``) on multi-CPU runners; a
   single-CPU host skips the gate, and a missing committed baseline is a
-  new benchmark, never a failure.
+  new benchmark, never a failure;
+* the same document's ``capture`` section gates worker-telemetry capture
+  overhead: the parallel pass with capture on may cost at most
+  ``--max-capture-overhead`` (default 5%) over the identical pass with
+  ``REPRO_OBS_CAPTURE=0``, plus the additive floor so timer jitter on
+  sub-second passes cannot trip it.  Single-CPU hosts skip the gate, and
+  a fresh document without the section (an older generator) is tolerated.
 
 Exit status is non-zero when any regression is found, so CI can gate on
 it.  ``--output`` writes the full diff document as JSON for artifact
@@ -76,6 +82,11 @@ DEFAULT_AVOIDED_TOLERANCE = 0.05
 #: Minimum parallel scaling efficiency (speedup / workers) on multi-CPU
 #: runners for the fleet-scale scoring benchmark.
 DEFAULT_MIN_EFFICIENCY = 0.7
+
+#: Maximum fractional overhead of worker-telemetry capture over the same
+#: parallel pass with ``REPRO_OBS_CAPTURE=0`` (the ``capture`` section of
+#: ``BENCH_scale.json``).
+DEFAULT_MAX_CAPTURE_OVERHEAD = 0.05
 
 BENCH_FILES = (
     "BENCH_pipeline.json",
@@ -278,6 +289,46 @@ def compare_scale(
     return row
 
 
+def compare_capture(
+    current: Dict,
+    *,
+    max_overhead: float = DEFAULT_MAX_CAPTURE_OVERHEAD,
+    floor_s: float = DEFAULT_FLOOR_S,
+) -> Optional[Dict]:
+    """The telemetry-capture overhead row for a fresh ``BENCH_scale.json``.
+
+    Judged on the fresh run alone (both walls come from the same host in
+    the same process): with capture enabled the parallel pass may cost at
+    most ``no_capture_wall * (1 + max_overhead) + floor_s``.  Single-CPU
+    hosts skip the gate, and a document without the section (generated
+    before the capture layer existed) reports ``None`` — tolerated so old
+    baselines keep comparing.
+    """
+    capture = current["sections"].get("capture")
+    if not capture:
+        return None
+    row: Dict = {
+        "check": "capture_overhead",
+        "workers": capture.get("workers"),
+        "cpu_count": capture.get("cpu_count"),
+        "capture_wall_s": capture.get("capture_wall_s"),
+        "no_capture_wall_s": capture.get("no_capture_wall_s"),
+        "overhead_frac": capture.get("overhead_frac"),
+        "max_overhead_frac": max_overhead,
+    }
+    bare = capture.get("no_capture_wall_s")
+    captured = capture.get("capture_wall_s")
+    if (capture.get("cpu_count") or 1) < 2:
+        row["status"] = "skipped"
+    elif bare is None or captured is None:
+        row["status"] = "missing"
+    else:
+        limit = bare * (1.0 + max_overhead) + floor_s
+        row["limit_s"] = limit
+        row["status"] = "ok" if captured <= limit else "regression"
+    return row
+
+
 def compare_documents(
     baseline_dir: pathlib.Path,
     current_dir: pathlib.Path,
@@ -287,6 +338,7 @@ def compare_documents(
     peak_tolerance: float = DEFAULT_PEAK_TOLERANCE,
     min_speedup: float = DEFAULT_MIN_SPEEDUP,
     min_efficiency: float = DEFAULT_MIN_EFFICIENCY,
+    max_capture_overhead: float = DEFAULT_MAX_CAPTURE_OVERHEAD,
 ) -> Dict:
     """The full diff document: stage rows, remap rows, regression list."""
     pipeline_rows = compare_pipeline(
@@ -345,6 +397,7 @@ def compare_documents(
     scale_cur_path = current_dir / "BENCH_scale.json"
     scale_rows: List[Dict] = []
     scale_gate: Optional[Dict] = None
+    capture_gate: Optional[Dict] = None
     if scale_cur_path.exists():
         scale_cur = load_document(scale_cur_path)
         scale_base = (
@@ -356,6 +409,9 @@ def compare_documents(
             )
         scale_gate = compare_scale(
             scale_base, scale_cur, min_efficiency=min_efficiency
+        )
+        capture_gate = compare_capture(
+            scale_cur, max_overhead=max_capture_overhead, floor_s=floor_s
         )
     elif scale_base_path.exists():
         scale_gate = {"check": "scale_efficiency", "status": "missing"}
@@ -383,6 +439,8 @@ def compare_documents(
         regressions.append(f"robust gate: {robust_gate['status']}")
     if scale_gate is not None and scale_gate["status"] in bad_status:
         regressions.append(f"scale efficiency: {scale_gate['status']}")
+    if capture_gate is not None and capture_gate["status"] in bad_status:
+        regressions.append(f"capture overhead: {capture_gate['status']}")
     return {
         "baseline_dir": str(baseline_dir),
         "current_dir": str(current_dir),
@@ -391,6 +449,7 @@ def compare_documents(
         "peak_tolerance": peak_tolerance,
         "min_speedup": min_speedup,
         "min_efficiency": min_efficiency,
+        "max_capture_overhead": max_capture_overhead,
         "pipeline": pipeline_rows,
         "remap": remap_rows,
         "engine": engine_rows,
@@ -398,6 +457,7 @@ def compare_documents(
         "robust": robust_gate,
         "scale": scale_rows,
         "scale_gate": scale_gate,
+        "capture_gate": capture_gate,
         "regressions": regressions,
     }
 
@@ -437,6 +497,15 @@ def render(diff: Dict) -> str:
             f"cpus={scale_gate.get('cpu_count')}, "
             f"min={fmt(scale_gate.get('min_efficiency'), '.2f')}) "
             f"{scale_gate['status']}"
+        )
+    capture_gate = diff.get("capture_gate")
+    if capture_gate is not None:
+        lines.append(
+            f"capture overhead: {fmt(capture_gate.get('overhead_frac'), '+.1%')} "
+            f"(capture={fmt(capture_gate.get('capture_wall_s'), '.3f', 's')}, "
+            f"bare={fmt(capture_gate.get('no_capture_wall_s'), '.3f', 's')}, "
+            f"max={fmt(capture_gate.get('max_overhead_frac'), '.0%')}) "
+            f"{capture_gate['status']}"
         )
     robust = diff.get("robust")
     if robust is not None:
@@ -510,6 +579,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="min fleet-scale scaling efficiency on multi-CPU runners",
     )
     parser.add_argument(
+        "--max-capture-overhead",
+        type=float,
+        default=DEFAULT_MAX_CAPTURE_OVERHEAD,
+        help="max telemetry-capture overhead fraction on multi-CPU runners",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -525,6 +600,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         peak_tolerance=args.peak_tolerance,
         min_speedup=args.min_speedup,
         min_efficiency=args.min_efficiency,
+        max_capture_overhead=args.max_capture_overhead,
     )
     if args.output is not None:
         args.output.write_text(json.dumps(diff, indent=2, sort_keys=True) + "\n")
