@@ -18,7 +18,7 @@ Scores are row-independent, so serial and parallel results must be
 single-CPU runners record the numbers and skip the assertion, and
 ``tools/bench_compare.py`` applies the same rule to the emitted document.
 
-Two observability sections ride along in ``BENCH_scale.json``:
+Three observability sections ride along in ``BENCH_scale.json``:
 
 * ``run_report`` — the parallel pass's per-worker imbalance and
   utilization harvested from the unified run report
@@ -28,7 +28,12 @@ Two observability sections ride along in ``BENCH_scale.json``:
 * ``capture`` — the same parallel pass timed again with
   ``REPRO_OBS_CAPTURE=0``, recording worker-telemetry capture overhead as
   a fraction.  ``tools/bench_compare.py`` gates it at 5% on multi-CPU
-  runners.
+  runners;
+* ``recovery`` — the same pass once more under an armed (but never
+  firing) :class:`repro.engine.deadline.TaskDeadline`, recording the
+  failure-domain layer's fault-free overhead (watchdog polling +
+  straggler bookkeeping).  ``tools/bench_compare.py`` gates it at 3% on
+  multi-CPU runners.
 """
 
 import os
@@ -40,6 +45,7 @@ import pytest
 from repro import obs
 from repro.core.asynchrony import score_matrix
 from repro.engine import warm_pool
+from repro.engine.deadline import TaskDeadline, deadline_scope
 from repro.traces.grid import TimeGrid
 from repro.traces.traceset import TraceSet
 
@@ -49,6 +55,7 @@ N_BASIS = 8
 SEED = 0
 MIN_EFFICIENCY = 0.7
 MAX_CAPTURE_OVERHEAD = 0.05
+MAX_RECOVERY_OVERHEAD = 0.03
 
 CPU_COUNT = os.cpu_count() or 1
 WORKERS = int(os.environ.get("BENCH_SCALE_WORKERS", "0")) or min(
@@ -127,19 +134,28 @@ def _run():
         else:
             os.environ["REPRO_OBS_CAPTURE"] = saved
 
-    return walls, serial, parallel, bare, stage
+    # The identical pass again with the failure-domain layer armed (hard
+    # deadlines generous enough to never fire on a healthy run): measures
+    # the watchdog's polling overhead on the fault-free path.
+    with deadline_scope(TaskDeadline(soft_timeout_s=60.0, hard_timeout_s=120.0)):
+        started = time.perf_counter()
+        guarded = score_matrix(instances, basis, dtype=np.float32, workers=WORKERS)
+        walls["score_parallel_deadline"] = time.perf_counter() - started
+
+    return walls, serial, parallel, bare, guarded, stage
 
 
 @pytest.mark.benchmark(group="scale")
 def test_fleet_scale_scaling(benchmark, emit_report):
-    walls, serial, parallel, bare, stage = benchmark.pedantic(
+    walls, serial, parallel, bare, guarded, stage = benchmark.pedantic(
         _run, rounds=1, iterations=1
     )
 
     # Worker count must not change a single score bit — and neither may
-    # the telemetry kill switch.
+    # the telemetry kill switch or the failure-domain layer.
     assert np.array_equal(serial, parallel)
     assert np.array_equal(parallel, bare)
+    assert np.array_equal(parallel, guarded)
 
     speedup = (
         walls["score_serial"] / walls["score_parallel"]
@@ -150,6 +166,11 @@ def test_fleet_scale_scaling(benchmark, emit_report):
     capture_overhead = (
         walls["score_parallel"] / walls["score_parallel_nocapture"] - 1.0
         if walls["score_parallel_nocapture"] > 0
+        else 0.0
+    )
+    recovery_overhead = (
+        walls["score_parallel_deadline"] / walls["score_parallel"] - 1.0
+        if walls["score_parallel"] > 0
         else 0.0
     )
 
@@ -210,6 +231,18 @@ def test_fleet_scale_scaling(benchmark, emit_report):
             "max_overhead_frac": MAX_CAPTURE_OVERHEAD,
         },
     )
+    obs.update_bench(
+        "scale",
+        "recovery",
+        {
+            "workers": WORKERS,
+            "cpu_count": CPU_COUNT,
+            "guarded_wall_s": walls["score_parallel_deadline"],
+            "bare_wall_s": walls["score_parallel"],
+            "overhead_frac": recovery_overhead,
+            "max_overhead_frac": MAX_RECOVERY_OVERHEAD,
+        },
+    )
     # The full report goes to the repo root so CI uploads it with the
     # BENCH documents (bench-diff artifact).
     obs.write_report(obs.bench_path("scale").parent / "run_report.json")
@@ -227,8 +260,11 @@ def test_fleet_scale_scaling(benchmark, emit_report):
                 f"  score serial      {walls['score_serial']:.3f}s",
                 f"  score parallel    {walls['score_parallel']:.3f}s",
                 f"  score no-capture  {walls['score_parallel_nocapture']:.3f}s",
+                f"  score deadline    {walls['score_parallel_deadline']:.3f}s",
                 f"  capture overhead  {capture_overhead:+.1%}"
                 f" (limit {MAX_CAPTURE_OVERHEAD:.0%})",
+                f"  recovery overhead {recovery_overhead:+.1%}"
+                f" (limit {MAX_RECOVERY_OVERHEAD:.0%})",
                 f"  shard imbalance   "
                 + (f"{stage['imbalance']:.2f}x" if stage else "-"),
                 f"  speedup           {speedup:.2f}x",

@@ -6,7 +6,7 @@ Usage::
     smoothoperator fig10 [--instances N]
     smoothoperator fig13
     smoothoperator table1
-    smoothoperator chaos [--instances N] [--workers N]
+    smoothoperator chaos [--instances N] [--workers N] [--task-timeout S]
     smoothoperator place [--gamma N] [--instances N]
     smoothoperator robust [--instances N]
     smoothoperator profile [--instances N] [--json]
@@ -511,6 +511,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker processes for parallel stages (chaos, place, report commands)",
     )
     parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "hard per-task deadline in seconds for pooled stages: hung "
+            "workers are killed and the task retried; a soft (straggler) "
+            "threshold of a quarter of this is set alongside"
+        ),
+    )
+    parser.add_argument(
         "--report",
         default="run_report.json",
         help="RunReport JSON path to render or write (report command)",
@@ -525,6 +536,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(_COMMANDS):
             print(name)
         return 0
+    if args.task_timeout is not None:
+        from .engine.deadline import TaskDeadline, set_default_deadline
+
+        if args.task_timeout <= 0:
+            parser.error("--task-timeout must be positive")
+        set_default_deadline(
+            TaskDeadline(
+                hard_timeout_s=args.task_timeout,
+                soft_timeout_s=args.task_timeout / 4,
+            )
+        )
     _COMMANDS[args.command](args)
     return 0
 

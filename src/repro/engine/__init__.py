@@ -58,6 +58,18 @@ from .spec import (  # noqa: F401
     build_pipeline,
     chaos_spec,
 )
+from .chaos_infra import (  # noqa: F401
+    InfraFault,
+    InjectedFault,
+)
+from .deadline import (  # noqa: F401
+    TaskDeadline,
+    TaskTimeoutError,
+    clear_default_deadline,
+    deadline_scope,
+    get_default_deadline,
+    set_default_deadline,
+)
 from .core import Engine  # noqa: F401
 from .parallel import (  # noqa: F401
     RunFailure,
@@ -94,6 +106,8 @@ __all__ = [
     "FailureEvent",
     "FleetDescription",
     "FleetState",
+    "InfraFault",
+    "InjectedFault",
     "LC_POOL",
     "MODES",
     "MatrixHandle",
@@ -114,14 +128,20 @@ __all__ = [
     "SharedTraceSet",
     "SpikeEvent",
     "StaticFleetPolicy",
+    "TaskDeadline",
+    "TaskTimeoutError",
     "ThrottleBoostPlan",
     "WorkerPool",
     "build_pipeline",
     "chaos_spec",
+    "clear_default_deadline",
     "compare_capping",
+    "deadline_scope",
     "execute",
+    "get_default_deadline",
     "get_pool",
     "run_many",
+    "set_default_deadline",
     "shard_ranges",
     "shutdown_pools",
     "warm_pool",

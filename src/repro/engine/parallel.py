@@ -24,12 +24,29 @@ fix that:
 
 Worker death does not sink a suite.  A killed worker breaks the whole
 executor (every outstanding future raises ``BrokenProcessPool``), so the
-pool is rebuilt and the unfinished specs are retried with exponential
-backoff, up to ``max_attempts`` tries per spec; the backoff sleep only ever
-runs when another attempt follows — a spec out of attempts fails
+pool is rebuilt and the unfinished specs are retried — with decorrelated-
+jitter backoff between rounds so resubmission storms after a rebuild do not
+synchronize — up to ``max_attempts`` tries per spec; the backoff sleep only
+ever runs when another attempt follows — a spec out of attempts fails
 immediately as a :class:`RunFailure` in its slot of the result list.
 ``workers <= 1`` or a single spec short-circuits to a plain serial loop
 that never touches a pool.
+
+Worker *hangs* do not sink a suite either.  When a
+:class:`~repro.engine.deadline.TaskDeadline` is in force (per-call
+``deadline=``, the process default installed by
+:func:`repro.engine.deadline.set_default_deadline`, or the
+``REPRO_TASK_TIMEOUT`` environment variable) the dispatch loop becomes a
+watchdog: it polls instead of blocking, SIGKILLs the pool when a task
+exceeds its hard deadline (a hung worker never honours a graceful
+shutdown) and retries on a rebuilt executor, speculatively re-dispatches
+stragglers past a quantile-derived threshold (first result wins, results
+stay bit-identical), quarantines a shard whose attempts keep taking
+workers down to in-process serial execution, and degrades the whole stage
+to serial when a circuit breaker trips on the stage-wide infrastructure
+failure rate.  With no deadline configured none of this machinery runs —
+the dispatch loop blocks exactly as before.  Deterministic infrastructure
+faults for exercising all of it live in :mod:`repro.engine.chaos_infra`.
 
 The pool is not an observability boundary: unless ``REPRO_OBS_CAPTURE=0``
 disables it, every pooled task runs under worker-side telemetry capture
@@ -37,8 +54,8 @@ disables it, every pooled task runs under worker-side telemetry capture
 back with its result; the coordinator merges them into its live tracer,
 registry, and event log, records pool health metrics (dispatch/completion
 counters, roundtrip/execution/queue latency histograms, worker deaths and
-rebuilds), and feeds each stage into the unified run report
-(:mod:`repro.obs.report`).
+rebuilds, timeouts, speculation outcomes, quarantines), and feeds each
+stage into the unified run report (:mod:`repro.obs.report`).
 """
 
 from __future__ import annotations
@@ -46,19 +63,26 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
+from . import chaos_infra
+from . import deadline as deadline_mod
+from .deadline import TaskDeadline, TaskTimeoutError
 from .spec import ChaosSpec, ScenarioSpec
 from .state import RunArtifacts
 
 #: Tries per spec before it is written off as a :class:`RunFailure`.
 DEFAULT_MAX_ATTEMPTS = 3
 
-#: Base delay between retry rounds (doubles per round).
+#: Base delay between retry rounds (the floor of the jittered sleep).
 DEFAULT_RETRY_BACKOFF_S = 0.25
+
+#: Ceiling on a single decorrelated-jitter backoff sleep.
+MAX_RETRY_BACKOFF_S = 30.0
 
 #: Thread-pool size pinned into every worker (override with the
 #: ``REPRO_WORKER_THREADS`` environment variable).  One thread per worker
@@ -151,9 +175,16 @@ def _init_worker(n_threads: int) -> None:
     pools to shrink via ``threadpoolctl`` when that package is available
     (forked workers inherit the parent's BLAS state, which env vars alone
     cannot retroactively change).
+
+    Also arms the infrastructure fault injectors when the
+    ``REPRO_INFRA_FAULTS`` environment variable is set — faults fire only
+    in processes that ran this initializer, so the coordinator (and any
+    quarantined/degraded serial execution it performs) stays fault-free.
     """
     for name in WORKER_THREAD_ENV_VARS:
         os.environ[name] = str(n_threads)
+    if os.environ.get(chaos_infra.FAULTS_ENV):
+        chaos_infra.activate()
     try:  # best-effort: not a baked-in dependency
         import threadpoolctl
 
@@ -181,14 +212,40 @@ def _pool_execute(spec: Any) -> RunArtifacts:
 def _pool_execute_captured(spec: Any, index: int, attempt: int):
     """Worker-side spec task with telemetry capture.
 
-    Wraps :func:`_pool_execute` in :func:`repro.obs.remote.run_captured`,
-    so the worker ships ``(artifacts, bundle)`` — the bundle carrying the
-    spec's span subtree, metric deltas, and capture-level events back to
-    the coordinator for merging.
+    Wraps :func:`execute` in :func:`repro.obs.remote.run_captured`, so the
+    worker ships ``(artifacts, bundle)`` — the bundle carrying the spec's
+    span subtree, metric deltas, and capture-level events back to the
+    coordinator for merging.  ``execute`` is called directly, not through
+    :func:`_pool_execute`: the capture installs a fresh per-task event log
+    already, and nesting another recording inside it would swallow the
+    spec's events before the bundle could ship them.
     """
     from ..obs import remote as obs_remote
 
-    return obs_remote.run_captured(_pool_execute, index, "run.spec", attempt, (spec,))
+    return obs_remote.run_captured(execute, index, "run.spec", attempt, (spec,))
+
+
+def _pool_execute_faulty(spec: Any, index: int, attempt: int) -> RunArtifacts:
+    """:func:`_pool_execute` behind the armed infra fault injectors."""
+    return chaos_infra.call_with_faults(_pool_execute, index, attempt, spec)
+
+
+def _pool_execute_faulty_captured(spec: Any, index: int, attempt: int):
+    """:func:`_pool_execute_captured`'s fault-injected twin.
+
+    The injector runs *inside* the capture, so injected events (e.g. an
+    ``oversized_bundle`` payload) land in the shipped bundle and an
+    injected exception ships its telemetry like any real failure.
+    """
+    from ..obs import remote as obs_remote
+
+    return obs_remote.run_captured(
+        chaos_infra.call_with_faults,
+        index,
+        "run.spec",
+        attempt,
+        (execute, index, attempt, spec),
+    )
 
 
 def _bundle_stats(bundle: Any, roundtrip_s: float, *, ok: bool = True):
@@ -205,6 +262,26 @@ def _bundle_stats(bundle: Any, roundtrip_s: float, *, ok: bool = True):
         queue_s=max(0.0, roundtrip_s - bundle.wall_s),
         ok=ok,
     )
+
+
+def _decorrelated_backoff(
+    base: float,
+    previous: float,
+    rng: random.Random,
+    cap: float = MAX_RETRY_BACKOFF_S,
+) -> float:
+    """One decorrelated-jitter retry delay: uniform in ``[base, 3·prev]``.
+
+    The classic "decorrelated jitter" schedule: each sleep is drawn from
+    ``[base, previous * 3]`` and capped, so concurrent retriers that broke
+    at the same instant (every task in flight when an executor dies breaks
+    at once) spread out instead of resubmitting in lockstep, while the
+    expected delay still grows geometrically with consecutive failures.
+    ``base <= 0`` disables the backoff entirely (returns ``0.0``).
+    """
+    if base <= 0:
+        return 0.0
+    return min(cap, rng.uniform(base, max(base, previous * 3)))
 
 
 # ----------------------------------------------------------------------
@@ -322,6 +399,25 @@ class WorkerPool:
         self.rebuild()
         return True
 
+    def kill(self) -> None:
+        """SIGKILL the workers and discard the executor without waiting.
+
+        :meth:`rebuild`'s graceful ``shutdown(wait=True)`` joins the
+        workers — which never returns when one of them is *hung* rather
+        than dead.  The deadline watchdog therefore uses this path: kill
+        every worker process outright, then tear the executor down without
+        waiting on anything.  The next submit re-forks as usual.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already-reaped worker
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
     def shutdown(self) -> None:
         """Stop the workers.  The pool object stays reusable (lazy respawn)."""
         self.rebuild()
@@ -342,6 +438,7 @@ class WorkerPool:
         retry_backoff_s: float = 0.0,
         label: str = "shard",
         capture: Optional[bool] = None,
+        deadline: Optional[TaskDeadline] = None,
     ) -> List[Any]:
         """Run ``fn(*task)`` for every task, in task order, with retries.
 
@@ -352,6 +449,16 @@ class WorkerPool:
         specs; a task that exhausts its attempts re-raises its last error,
         because a missing shard (unlike a missing scenario) poisons the
         whole result matrix.
+
+        ``deadline`` bounds completion under partial failure (hang
+        watchdog, straggler speculation, poison-shard quarantine, serial
+        degradation — see :class:`~repro.engine.deadline.TaskDeadline`);
+        when ``None`` the process default
+        (:func:`repro.engine.deadline.get_default_deadline`) applies, and
+        with no default either the loop blocks unbounded exactly as
+        before.  The shard functions must be pure for speculation to be
+        sound — both copies of a shard compute the same value, so whichever
+        finishes first is *the* result.
 
         Unless capture is disabled (the ``REPRO_OBS_CAPTURE`` kill switch,
         or ``capture=False``), every task runs under worker-side telemetry
@@ -364,135 +471,66 @@ class WorkerPool:
         records its own health metrics (dispatch/completion/retry counters,
         roundtrip/execution/queue latency histograms).
         """
-        from ..obs import metrics as obs_metrics
         from ..obs import remote as obs_remote
 
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s cannot be negative")
+        tasks = [tuple(task) for task in tasks]
         do_capture = obs_remote.capture_enabled() and (capture is None or capture)
-        results: List[Any] = [None] * len(tasks)
-        pending = list(range(len(tasks)))
-        errors: Dict[int, BaseException] = {}
-        attempts = [0] * len(tasks)
-        round_index = 0
-        bundles: List[Any] = []
-        stats: List[Any] = []
-        started_at = time.perf_counter()
+        if deadline is None:
+            deadline = deadline_mod.get_default_deadline()
+        faults_on = chaos_infra.configured()
 
-        def on_submit_rebuild() -> None:
-            if do_capture:
-                obs_metrics.count("pool.worker_deaths")
-                obs_metrics.count("pool.rebuilds")
-
-        isolate = False
-        while pending:
-            failed: List[int] = []
-            round_broken = False
-            # After a round in which the executor died, retry the survivors
-            # one at a time: a repeat killer then only breaks its own
-            # attempt, so an innocent task can lose at most one attempt as
-            # collateral however persistent the killer is.
-            groups = [[index] for index in pending] if isolate else [pending]
-            for group in groups:
-                future_of = {}
-                dispatched_at = {}
-                broken = False
-                for index in group:
-                    attempts[index] += 1
-                    if do_capture:
-                        future = self.submit_resilient(
-                            obs_remote.run_captured,
-                            fn,
-                            index,
-                            label,
-                            attempts[index],
-                            tuple(tasks[index]),
-                            on_rebuild=on_submit_rebuild,
-                        )
-                    else:
-                        future = self.submit_resilient(
-                            fn, *tasks[index], on_rebuild=on_submit_rebuild
-                        )
-                    future_of[future] = index
-                    dispatched_at[future] = time.perf_counter()
+        def submit_pooled(index: int, attempt: int, on_rebuild):
+            if faults_on:
                 if do_capture:
-                    obs_metrics.count("pool.tasks_dispatched", len(future_of))
-                    if round_index > 0:
-                        obs_metrics.count("pool.tasks_retried", len(future_of))
-                outstanding = set(future_of)
-                while outstanding:
-                    done, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
+                    return self.submit_resilient(
+                        obs_remote.run_captured,
+                        chaos_infra.call_with_faults,
+                        index,
+                        label,
+                        attempt,
+                        (fn, index, attempt, *tasks[index]),
+                        on_rebuild=on_rebuild,
                     )
-                    for future in done:
-                        index = future_of[future]
-                        try:
-                            outcome = future.result()
-                        except BaseException as error:  # noqa: BLE001
-                            failed.append(index)
-                            errors[index] = error
-                            if do_capture:
-                                obs_metrics.count("pool.tasks_failed")
-                                bundle = obs_remote.bundle_from_error(error)
-                                if bundle is not None:
-                                    bundles.append(bundle)
-                                    stats.append(
-                                        _bundle_stats(
-                                            bundle,
-                                            time.perf_counter()
-                                            - dispatched_at[future],
-                                            ok=False,
-                                        )
-                                    )
-                            if _pool_is_broken(error):
-                                broken = True
-                            continue
-                        if do_capture:
-                            results[index], bundle = outcome
-                            roundtrip_s = (
-                                time.perf_counter() - dispatched_at[future]
-                            )
-                            bundles.append(bundle)
-                            stats.append(_bundle_stats(bundle, roundtrip_s))
-                            obs_metrics.count("pool.tasks_completed")
-                            obs_metrics.observe(
-                                "pool.task_roundtrip_s", roundtrip_s
-                            )
-                            obs_metrics.observe("pool.task_exec_s", bundle.wall_s)
-                            obs_metrics.observe(
-                                "pool.task_queue_s",
-                                max(0.0, roundtrip_s - bundle.wall_s),
-                            )
-                        else:
-                            results[index] = outcome
-                    # No early exit on ``broken``: a dead executor resolves
-                    # every future it still holds (with BrokenProcessPool),
-                    # and futures resubmitted on a fresh executor mid-round
-                    # finish normally — condemning them here would burn
-                    # attempts on tasks that are still running fine.
-                if broken and self.rebuild_if_broken() and do_capture:
-                    obs_metrics.count("pool.worker_deaths")
-                    obs_metrics.count("pool.rebuilds")
-                round_broken = round_broken or broken
-            isolate = round_broken
-            exhausted = [
-                index
-                for index in failed
-                if attempts[index] >= max_attempts
-            ]
-            if exhausted:
-                # The stage is lost, but its telemetry is not: merge what
-                # shipped (including failed attempts' bundles) before
-                # re-raising, so the failure is diagnosable from the
-                # coordinator's own span tree and event log.
-                if do_capture:
-                    self._finish_stage(label, started_at, bundles, stats)
-                raise errors[exhausted[0]]
-            pending = sorted(set(failed))
-            if pending:
-                time.sleep(retry_backoff_s * (2**round_index))
-                round_index += 1
-        if do_capture:
-            self._finish_stage(label, started_at, bundles, stats)
-        return results
+                return self.submit_resilient(
+                    chaos_infra.call_with_faults,
+                    fn,
+                    index,
+                    attempt,
+                    *tasks[index],
+                    on_rebuild=on_rebuild,
+                )
+            if do_capture:
+                return self.submit_resilient(
+                    obs_remote.run_captured,
+                    fn,
+                    index,
+                    label,
+                    attempt,
+                    tasks[index],
+                    on_rebuild=on_rebuild,
+                )
+            return self.submit_resilient(
+                fn, *tasks[index], on_rebuild=on_rebuild
+            )
+
+        driver = _StageDriver(
+            self,
+            len(tasks),
+            label=label,
+            do_capture=do_capture,
+            max_attempts=max_attempts,
+            retry_backoff_s=retry_backoff_s,
+            deadline=deadline,
+            submit_pooled=submit_pooled,
+            run_inline=lambda index: fn(*tasks[index]),
+            on_failure=None,
+            raise_on_exhaust=True,
+        )
+        return driver.run()
 
     def _finish_stage(
         self,
@@ -516,6 +554,556 @@ class WorkerPool:
             tasks=stats,
             generation=self.generation,
         )
+
+
+# ----------------------------------------------------------------------
+# the dispatch/retry driver
+# ----------------------------------------------------------------------
+class _StageDriver:
+    """The shared dispatch loop behind ``map_shards`` and ``run_many``.
+
+    One instance drives one stage: it owns the per-task attempt counts,
+    the retry rounds (with decorrelated-jitter backoff and one-at-a-time
+    isolation after an executor break), the telemetry bookkeeping, and —
+    when a :class:`~repro.engine.deadline.TaskDeadline` is in force — the
+    four failure domains:
+
+    * **watchdog** — the wait loop polls at ``poll_interval_s``; a task
+      older than ``hard_timeout_s`` gets the whole pool SIGKILLed (a hung
+      worker never honours a graceful shutdown), fails with
+      :class:`TaskTimeoutError`, and retries on a rebuilt executor.  Tasks
+      that were merely in flight on the killed pool fail too, but their
+      failure is collateral: it burns an attempt (as any executor break
+      does) without counting toward quarantine.
+    * **speculation** — a task older than the straggler threshold (the
+      live ``pool.task_exec_s`` quantile scaled by ``straggler_factor``,
+      floored at ``soft_timeout_s``) gets one duplicate dispatched at the
+      same attempt number.  First result wins: the loser's result and
+      bundle are dropped, so merged telemetry and results are identical to
+      an unspeculated run.
+    * **quarantine** — a task whose attempts have taken workers down
+      ``quarantine_after`` times (deaths or hard timeouts) runs in-process
+      serially from then on, where it cannot condemn the pool again.
+    * **circuit breaker** — when infrastructure failures reach both
+      ``degrade_min_failures`` and ``degrade_failure_ratio`` of dispatches,
+      the whole stage degrades to in-process serial execution.
+
+    The two callers differ only in how they submit, how they execute
+    in-process, and what an exhausted task does (``map_shards`` raises,
+    ``run_many`` records a :class:`RunFailure` slot via ``on_failure``).
+    With ``deadline=None`` the wait loop blocks unbounded and none of the
+    failure-domain machinery runs — byte-for-byte the legacy behaviour.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        n_tasks: int,
+        *,
+        label: str,
+        do_capture: bool,
+        max_attempts: int,
+        retry_backoff_s: float,
+        deadline: Optional[TaskDeadline],
+        submit_pooled: Callable[..., Any],
+        run_inline: Callable[[int], Any],
+        on_failure: Optional[Callable[[int, BaseException, int], Any]],
+        raise_on_exhaust: bool,
+    ) -> None:
+        self.pool = pool
+        self.n_tasks = n_tasks
+        self.label = label
+        self.do_capture = do_capture
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
+        self.deadline = deadline
+        self.submit_pooled = submit_pooled
+        self.run_inline = run_inline
+        self.on_failure = on_failure
+        self.raise_on_exhaust = raise_on_exhaust
+
+        self.results: List[Any] = [None] * n_tasks
+        self.attempts = [0] * n_tasks
+        self.errors: Dict[int, BaseException] = {}
+        self.failed: List[int] = []
+        self.infra_failures = [0] * n_tasks
+        self.infra_failures_total = 0
+        self.dispatched_total = 0
+        self.quarantined: Set[int] = set()
+        self.degraded = False
+        self.bundles: List[Any] = []
+        self.stats: List[Any] = []
+        self.started_at = time.perf_counter()
+        self._rng = random.Random()
+        self._backoff_prev = retry_backoff_s
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Any]:
+        pending = list(range(self.n_tasks))
+        round_index = 0
+        isolate = False
+        while pending:
+            self.failed = []
+            self._maybe_degrade()
+            inline = [
+                index
+                for index in pending
+                if self.degraded or index in self.quarantined
+            ]
+            pooled = [index for index in pending if index not in set(inline)]
+            for index in inline:
+                self._run_one_inline(index)
+            round_broken = False
+            # After a round in which the executor died, retry the pooled
+            # survivors one at a time: a repeat killer then only breaks its
+            # own attempt, so an innocent task can lose at most one attempt
+            # as collateral however persistent the killer is.
+            groups = (
+                [[index] for index in pooled]
+                if isolate
+                else ([pooled] if pooled else [])
+            )
+            for group in groups:
+                round_broken = self._run_group(group, round_index) or round_broken
+            isolate = round_broken
+            ordered_failed = sorted(set(self.failed))
+            exhausted = [
+                index
+                for index in ordered_failed
+                if self.attempts[index] >= self.max_attempts
+            ]
+            if exhausted and self.raise_on_exhaust:
+                # The stage is lost, but its telemetry is not: merge what
+                # shipped (including failed attempts' bundles) before
+                # re-raising, so the failure is diagnosable from the
+                # coordinator's own span tree and event log.
+                self.finish()
+                raise self.errors[exhausted[0]]
+            pending = [
+                index
+                for index in ordered_failed
+                if self.attempts[index] < self.max_attempts
+            ]
+            if pending:
+                # Only sleep when a retry round actually follows: a task out
+                # of attempts has already been settled and waiting would
+                # delay the caller for nothing.
+                time.sleep(self._next_backoff())
+                round_index += 1
+        self.finish()
+        return self.results
+
+    def finish(self) -> None:
+        if self.do_capture:
+            self.pool._finish_stage(
+                self.label, self.started_at, self.bundles, self.stats
+            )
+
+    # ------------------------------------------------------------------
+    def _run_one_inline(self, index: int) -> None:
+        """One quarantined/degraded task, in-process and serial."""
+        from ..obs import metrics as obs_metrics
+
+        self.attempts[index] += 1
+        if self.do_capture:
+            obs_metrics.count("pool.tasks_inline")
+        try:
+            self.results[index] = self.run_inline(index)
+        except Exception as error:  # noqa: BLE001
+            self.failed.append(index)
+            self.errors[index] = error
+            if self.on_failure is not None:
+                self.results[index] = self.on_failure(
+                    index, error, self.attempts[index]
+                )
+            if self.do_capture:
+                obs_metrics.count("pool.tasks_failed")
+
+    def _run_group(self, group: List[int], round_index: int) -> bool:
+        """Dispatch one group of pooled tasks and settle every one of them.
+
+        Returns whether the executor broke (worker death or watchdog kill)
+        while the group ran, so the next round can isolate.
+        """
+        from ..obs import metrics as obs_metrics
+
+        future_of: Dict[Any, int] = {}
+        dispatched_at: Dict[Any, float] = {}
+        attempt_of: Dict[Any, int] = {}
+        inflight: Dict[int, Set[Any]] = {index: set() for index in group}
+        spec_futures: Set[Any] = set()
+        resolved: Set[int] = set()
+        speculated: Set[int] = set()
+        broken = False
+
+        def on_submit_rebuild() -> None:
+            if self.do_capture:
+                obs_metrics.count("pool.worker_deaths")
+                obs_metrics.count("pool.rebuilds")
+
+        def dispatch(index: int, *, speculative: bool = False):
+            # A speculative twin is a *new dispatch* of the same logical
+            # attempt: it carries the next attempt number (so per-dispatch
+            # machinery — telemetry labels, deterministic fault injection —
+            # sees a fresh execution, not a replay of the straggling one)
+            # but does not consume a slot of the task's retry budget.
+            attempt = self.attempts[index] + (1 if speculative else 0)
+            future = self.submit_pooled(index, attempt, on_submit_rebuild)
+            future_of[future] = index
+            dispatched_at[future] = time.perf_counter()
+            attempt_of[future] = attempt
+            inflight[index].add(future)
+            self.dispatched_total += 1
+            if speculative:
+                spec_futures.add(future)
+            return future
+
+        for index in group:
+            self.attempts[index] += 1
+            dispatch(index)
+        if self.do_capture:
+            obs_metrics.count("pool.tasks_dispatched", len(group))
+            if round_index > 0:
+                obs_metrics.count("pool.tasks_retried", len(group))
+
+        deadline = self.deadline
+        watch = deadline is not None and deadline.watches
+        outstanding = set(future_of)
+        while outstanding:
+            done, outstanding = wait(
+                outstanding,
+                timeout=deadline.poll_interval_s if watch else None,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                index = future_of[future]
+                inflight[index].discard(future)
+                if index in resolved:
+                    # A speculation race this index already won (or a
+                    # watchdog kill already settled): drop the late copy.
+                    if self.do_capture:
+                        obs_metrics.count("pool.speculative_losses")
+                    continue
+                try:
+                    outcome = future.result()
+                except BaseException as error:  # noqa: BLE001
+                    # BrokenProcessPool lands here for *every* future that
+                    # shared the dead executor; record the attempt and let
+                    # the retry rounds sort survivors out.  A captured
+                    # failure still ships its telemetry, attached to the
+                    # exception itself.
+                    if _pool_is_broken(error):
+                        # One dead worker breaks the executor for *every*
+                        # in-flight future, so charge the stage-wide breaker
+                        # once per break, not once per collateral victim —
+                        # else a single death in a wide stage masquerades as
+                        # a stage-wide failure wave.  Per-index counts still
+                        # accrue for quarantine.
+                        self._note_infra_failure(
+                            index, charge_stage=not broken
+                        )
+                        broken = True
+                    if inflight[index]:
+                        # A speculative twin of this task is still
+                        # unsettled; let its outcome decide the index.
+                        continue
+                    self._record_failure(index, error, dispatched_at[future])
+                    resolved.add(index)
+                    continue
+                self._record_success(
+                    index,
+                    outcome,
+                    dispatched_at[future],
+                    speculative_win=future in spec_futures,
+                )
+                resolved.add(index)
+            if outstanding and resolved.issuperset(group):
+                # Every index is settled; only speculation losers remain in
+                # flight.  Abandon them — their results would be discarded
+                # anyway, and holding the stage on a straggler is exactly
+                # what speculation exists to avoid.  (The workers running
+                # them finish in the background and the executor drops the
+                # results.)
+                if self.do_capture:
+                    obs_metrics.count(
+                        "pool.speculative_losses", len(outstanding)
+                    )
+                outstanding.clear()
+                continue
+            if watch and outstanding:
+                now = time.perf_counter()
+                if self._enforce_hard_deadline(
+                    now, outstanding, future_of, dispatched_at, attempt_of,
+                    resolved,
+                ):
+                    # The pool is dead; every unresolved index has been
+                    # failed.  Nothing outstanding can ever be collected.
+                    outstanding.clear()
+                    broken = True
+                    continue
+                self._maybe_speculate(
+                    now, outstanding, future_of, dispatched_at, inflight,
+                    resolved, speculated, dispatch,
+                )
+            # No early exit on ``broken``: a dead executor resolves every
+            # future it still holds (with BrokenProcessPool), and futures
+            # resubmitted on a fresh executor mid-round finish normally —
+            # condemning them here would burn attempts on tasks that are
+            # still running fine.
+        if broken and self.pool.rebuild_if_broken() and self.do_capture:
+            obs_metrics.count("pool.worker_deaths")
+            obs_metrics.count("pool.rebuilds")
+        return broken
+
+    # ------------------------------------------------------------------
+    def _record_success(
+        self,
+        index: int,
+        outcome: Any,
+        dispatched_time: float,
+        *,
+        speculative_win: bool = False,
+    ) -> None:
+        from ..obs import metrics as obs_metrics
+        from ..obs import remote as obs_remote  # noqa: F401 - doc symmetry
+
+        if self.do_capture:
+            result, bundle = outcome
+            self.results[index] = result
+            roundtrip_s = time.perf_counter() - dispatched_time
+            self.bundles.append(bundle)
+            self.stats.append(_bundle_stats(bundle, roundtrip_s))
+            obs_metrics.count("pool.tasks_completed")
+            obs_metrics.observe("pool.task_roundtrip_s", roundtrip_s)
+            obs_metrics.observe("pool.task_exec_s", bundle.wall_s)
+            obs_metrics.observe(
+                "pool.task_queue_s", max(0.0, roundtrip_s - bundle.wall_s)
+            )
+            if speculative_win:
+                obs_metrics.count("pool.speculative_wins")
+        else:
+            self.results[index] = outcome
+
+    def _record_failure(
+        self, index: int, error: BaseException, dispatched_time: float
+    ) -> None:
+        from ..obs import metrics as obs_metrics
+        from ..obs import remote as obs_remote
+
+        self.failed.append(index)
+        self.errors[index] = error
+        if self.on_failure is not None:
+            self.results[index] = self.on_failure(
+                index, error, self.attempts[index]
+            )
+        if self.do_capture:
+            obs_metrics.count("pool.tasks_failed")
+            bundle = obs_remote.bundle_from_error(error)
+            if bundle is not None:
+                self.bundles.append(bundle)
+                self.stats.append(
+                    _bundle_stats(
+                        bundle,
+                        time.perf_counter() - dispatched_time,
+                        ok=False,
+                    )
+                )
+
+    def _note_infra_failure(self, index: int, *, charge_stage: bool = True) -> None:
+        """An attempt of ``index`` took infrastructure down with it.
+
+        ``charge_stage=False`` records the per-index failure (quarantine
+        accounting) without incrementing the stage-wide breaker total —
+        used for the collateral victims of a pool break that has already
+        been charged once.
+        """
+        from ..obs import events as obs_events
+        from ..obs import metrics as obs_metrics
+
+        self.infra_failures[index] += 1
+        if charge_stage:
+            self.infra_failures_total += 1
+        deadline = self.deadline
+        if (
+            deadline is None
+            or deadline.quarantine_after < 1
+            or index in self.quarantined
+            or self.infra_failures[index] < deadline.quarantine_after
+        ):
+            return
+        self.quarantined.add(index)
+        if self.do_capture:
+            obs_metrics.count("pool.quarantined_shards")
+        obs_events.emit(
+            obs_events.SHARD_QUARANTINE,
+            severity="warning",
+            source=self.label,
+            shard=index,
+            infra_failures=self.infra_failures[index],
+        )
+
+    def _maybe_degrade(self) -> None:
+        """Trip the stage-wide circuit breaker when failure rates warrant."""
+        from ..obs import events as obs_events
+        from ..obs import metrics as obs_metrics
+
+        deadline = self.deadline
+        if self.degraded or deadline is None or deadline.degrade_min_failures < 1:
+            return
+        if self.infra_failures_total < deadline.degrade_min_failures:
+            return
+        ratio = self.infra_failures_total / max(1, self.dispatched_total)
+        if ratio < deadline.degrade_failure_ratio:
+            return
+        self.degraded = True
+        if self.do_capture:
+            obs_metrics.count("pool.degraded")
+        obs_events.emit(
+            obs_events.POOL_DEGRADED,
+            severity="critical",
+            source=self.label,
+            infra_failures=self.infra_failures_total,
+            dispatched=self.dispatched_total,
+            failure_ratio=round(ratio, 4),
+        )
+
+    def _enforce_hard_deadline(
+        self,
+        now: float,
+        outstanding: Set[Any],
+        future_of: Dict[Any, int],
+        dispatched_at: Dict[Any, float],
+        attempt_of: Dict[Any, int],
+        resolved: Set[int],
+    ) -> bool:
+        """Kill the pool when any task has blown its hard deadline.
+
+        ``ProcessPoolExecutor`` offers no per-task cancellation once a task
+        is on a worker, and a *hung* worker never honours a graceful
+        shutdown — so enforcement is pool-wide: SIGKILL every worker, fail
+        the overdue tasks with :class:`TaskTimeoutError` (these count
+        toward quarantine), and fail the innocents that were merely in
+        flight with a collateral error (these do not).  All of them retry
+        on the rebuilt executor, subject to their remaining attempts.
+        Returns whether enforcement happened.
+        """
+        from ..obs import events as obs_events
+        from ..obs import metrics as obs_metrics
+
+        hard = self.deadline.hard_timeout_s
+        if hard is None:
+            return False
+        overdue: Dict[int, Any] = {}
+        for future in outstanding:
+            index = future_of[future]
+            if index in resolved or index in overdue:
+                continue
+            if now - dispatched_at[future] > hard:
+                overdue[index] = future
+        if not overdue:
+            return False
+        for index in sorted(overdue):
+            future = overdue[index]
+            error = TaskTimeoutError(
+                self.label, index, attempt_of[future], hard
+            )
+            if self.do_capture:
+                obs_metrics.count("pool.task_timeouts")
+            obs_events.emit(
+                obs_events.TASK_TIMEOUT,
+                severity="critical",
+                source=self.label,
+                shard=index,
+                attempt=attempt_of[future],
+                timeout_s=hard,
+            )
+            self._note_infra_failure(index)
+            self._record_failure(index, error, dispatched_at[future])
+            resolved.add(index)
+        for future in sorted(
+            outstanding, key=lambda f: (future_of[f], dispatched_at[f])
+        ):
+            index = future_of[future]
+            if index in resolved:
+                continue
+            error = RuntimeError(
+                f"task {self.label!r} shard {index} was in flight when the "
+                f"deadline watchdog killed the worker pool"
+            )
+            self._record_failure(index, error, dispatched_at[future])
+            resolved.add(index)
+        self.pool.kill()
+        if self.do_capture:
+            obs_metrics.count("pool.worker_deaths")
+            obs_metrics.count("pool.rebuilds")
+        return True
+
+    def _maybe_speculate(
+        self,
+        now: float,
+        outstanding: Set[Any],
+        future_of: Dict[Any, int],
+        dispatched_at: Dict[Any, float],
+        inflight: Dict[int, Set[Any]],
+        resolved: Set[int],
+        speculated: Set[int],
+        dispatch: Callable[..., Any],
+    ) -> None:
+        """Dispatch one speculative twin per straggling task.
+
+        The twin runs the same attempt number — it is a duplicate of the
+        attempt, not a new one — and whichever copy finishes first settles
+        the index; the loser is dropped entirely (result and telemetry
+        bundle), so speculation can never change results or merged state.
+        """
+        from ..obs import events as obs_events
+        from ..obs import metrics as obs_metrics
+
+        deadline = self.deadline
+        if not deadline.speculative:
+            return
+        histogram = None
+        if self.do_capture:
+            histogram = obs_metrics.global_registry().histograms.get(
+                "pool.task_exec_s"
+            )
+        threshold = deadline.straggler_threshold_s(histogram)
+        if threshold is None:
+            return
+        for future in sorted(
+            outstanding, key=lambda f: (future_of[f], dispatched_at[f])
+        ):
+            index = future_of[future]
+            if (
+                index in resolved
+                or index in speculated
+                or index in self.quarantined
+                or len(inflight[index]) > 1
+            ):
+                continue
+            if now - dispatched_at[future] <= threshold:
+                continue
+            speculated.add(index)
+            if self.do_capture:
+                obs_metrics.count("pool.speculative_dispatched")
+            obs_events.emit(
+                obs_events.SPECULATIVE_DISPATCH,
+                severity="info",
+                source=self.label,
+                shard=index,
+                attempt=self.attempts[index],
+                age_s=round(now - dispatched_at[future], 4),
+                threshold_s=round(threshold, 4),
+            )
+            outstanding.add(dispatch(index, speculative=True))
+
+    # ------------------------------------------------------------------
+    def _next_backoff(self) -> float:
+        delay = _decorrelated_backoff(
+            self.retry_backoff_s, self._backoff_prev, self._rng
+        )
+        self._backoff_prev = max(delay, self.retry_backoff_s)
+        return delay
 
 
 # ----------------------------------------------------------------------
@@ -568,6 +1156,7 @@ def run_many(
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     pool: Optional[WorkerPool] = None,
+    deadline: Optional[TaskDeadline] = None,
 ) -> List[Any]:
     """Execute many specs, optionally across persistent worker processes.
 
@@ -582,16 +1171,24 @@ def run_many(
 
     A dead worker breaks the whole executor, so every spec still in flight
     counts one failed attempt, the executor is rebuilt, and the survivors
-    are resubmitted after an exponential backoff — an innocent spec sharing
-    a pool with a crashing one is retried, not condemned.  The retry round
-    after a break runs its survivors one at a time, so a repeat killer
-    burns only its own remaining attempts, never an innocent's.  A break
-    that
-    races the submission loop itself costs nothing: the submit raises
-    instead of returning a future, and the spec — which never reached a
-    worker — is resubmitted on a rebuilt executor without burning an
-    attempt.  The backoff never runs after a final failure: once no spec
+    are resubmitted after a decorrelated-jitter backoff — an innocent spec
+    sharing a pool with a crashing one is retried, not condemned.  The
+    retry round after a break runs its survivors one at a time, so a repeat
+    killer burns only its own remaining attempts, never an innocent's.  A
+    break that races the submission loop itself costs nothing: the submit
+    raises instead of returning a future, and the spec — which never
+    reached a worker — is resubmitted on a rebuilt executor without burning
+    an attempt.  The backoff never runs after a final failure: once no spec
     has attempts left there is nothing to wait for.
+
+    ``deadline`` (or the process default — see
+    :mod:`repro.engine.deadline`) additionally bounds completion under
+    partial failure: hung workers are killed at ``hard_timeout_s`` and the
+    spec fails that attempt with :class:`TaskTimeoutError`; stragglers are
+    speculatively re-dispatched; a spec that keeps taking workers down is
+    quarantined to in-process execution; and a stage-wide failure-rate
+    breaker degrades the whole batch to serial.  With no deadline in force
+    the loop blocks unbounded, exactly as before.
 
     Pooled batches run under worker-side telemetry capture unless the
     ``REPRO_OBS_CAPTURE`` kill switch disables it: each spec's span
@@ -613,128 +1210,49 @@ def run_many(
             results[index] = _run_serial(spec, max_attempts, retry_backoff_s)
         return results
 
-    from ..obs import metrics as obs_metrics
     from ..obs import remote as obs_remote
 
     if pool is None:
         pool = get_pool(workers)
     do_capture = obs_remote.capture_enabled()
-    bundles: List[Any] = []
-    stats: List[Any] = []
-    started_at = time.perf_counter()
-    attempts = [0] * len(specs)
-    pending = list(range(len(specs)))
-    round_index = 0
+    if deadline is None:
+        deadline = deadline_mod.get_default_deadline()
+    faults_on = chaos_infra.configured()
 
-    def on_submit_rebuild() -> None:
+    def submit_pooled(index: int, attempt: int, on_rebuild):
+        if faults_on:
+            task = _pool_execute_faulty_captured if do_capture else _pool_execute_faulty
+            return pool.submit_resilient(
+                task, specs[index], index, attempt, on_rebuild=on_rebuild
+            )
         if do_capture:
-            obs_metrics.count("pool.worker_deaths")
-            obs_metrics.count("pool.rebuilds")
+            return pool.submit_resilient(
+                _pool_execute_captured,
+                specs[index],
+                index,
+                attempt,
+                on_rebuild=on_rebuild,
+            )
+        return pool.submit_resilient(
+            _pool_execute, specs[index], on_rebuild=on_rebuild
+        )
 
-    isolate = False
-    while pending:
-        failed: List[int] = []
-        round_broken = False
-        # After a round in which the executor died, retry the survivors one
-        # at a time: a repeat killer then only breaks its own attempt, so
-        # an innocent spec can lose at most one attempt as collateral
-        # however persistent the killer is.
-        groups = [[index] for index in pending] if isolate else [pending]
-        for group in groups:
-            future_of = {}
-            dispatched_at = {}
-            broken = False
-            for index in group:
-                attempts[index] += 1
-                if do_capture:
-                    future = pool.submit_resilient(
-                        _pool_execute_captured,
-                        specs[index],
-                        index,
-                        attempts[index],
-                        on_rebuild=on_submit_rebuild,
-                    )
-                else:
-                    future = pool.submit_resilient(
-                        _pool_execute, specs[index], on_rebuild=on_submit_rebuild
-                    )
-                future_of[future] = index
-                dispatched_at[future] = time.perf_counter()
-            if do_capture:
-                obs_metrics.count("pool.tasks_dispatched", len(future_of))
-                if round_index > 0:
-                    obs_metrics.count("pool.tasks_retried", len(future_of))
-            outstanding = set(future_of)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = future_of[future]
-                    try:
-                        outcome = future.result()
-                    except BaseException as error:  # noqa: BLE001
-                        # BrokenProcessPool lands here for *every* future
-                        # that shared the dead executor; record the attempt
-                        # and let the retry rounds sort survivors out.  A
-                        # captured failure still ships its telemetry,
-                        # attached to the exception itself.
-                        failed.append(index)
-                        results[index] = _failure(
-                            specs[index], error, attempts[index]
-                        )
-                        if do_capture:
-                            obs_metrics.count("pool.tasks_failed")
-                            bundle = obs_remote.bundle_from_error(error)
-                            if bundle is not None:
-                                bundles.append(bundle)
-                                stats.append(
-                                    _bundle_stats(
-                                        bundle,
-                                        time.perf_counter()
-                                        - dispatched_at[future],
-                                        ok=False,
-                                    )
-                                )
-                        if _pool_is_broken(error):
-                            broken = True
-                        continue
-                    if do_capture:
-                        results[index], bundle = outcome
-                        roundtrip_s = time.perf_counter() - dispatched_at[future]
-                        bundles.append(bundle)
-                        stats.append(_bundle_stats(bundle, roundtrip_s))
-                        obs_metrics.count("pool.tasks_completed")
-                        obs_metrics.observe("pool.task_roundtrip_s", roundtrip_s)
-                        obs_metrics.observe("pool.task_exec_s", bundle.wall_s)
-                        obs_metrics.observe(
-                            "pool.task_queue_s",
-                            max(0.0, roundtrip_s - bundle.wall_s),
-                        )
-                    else:
-                        results[index] = outcome
-                # No early exit on ``broken``: the dead executor resolves
-                # every future it still holds (with BrokenProcessPool), and
-                # futures resubmitted on a fresh executor mid-round finish
-                # normally — failing them here would condemn specs that are
-                # still running.
-            if broken and pool.rebuild_if_broken() and do_capture:
-                obs_metrics.count("pool.worker_deaths")
-                obs_metrics.count("pool.rebuilds")
-            round_broken = round_broken or broken
-        isolate = round_broken
-        pending = [
-            index
-            for index in sorted(set(failed))
-            if attempts[index] < max_attempts
-        ]
-        if pending:
-            # Only sleep when a retry round actually follows: a spec out of
-            # attempts has already produced its RunFailure and waiting
-            # would delay the caller for nothing.
-            time.sleep(retry_backoff_s * (2**round_index))
-            round_index += 1
-    if do_capture:
-        pool._finish_stage("run.many", started_at, bundles, stats)
-    return results
+    driver = _StageDriver(
+        pool,
+        len(specs),
+        label="run.many",
+        do_capture=do_capture,
+        max_attempts=max_attempts,
+        retry_backoff_s=retry_backoff_s,
+        deadline=deadline,
+        submit_pooled=submit_pooled,
+        run_inline=lambda index: execute(specs[index]),
+        on_failure=lambda index, error, attempts_used: _failure(
+            specs[index], error, attempts_used
+        ),
+        raise_on_exhaust=False,
+    )
+    return driver.run()
 
 
 # ----------------------------------------------------------------------

@@ -21,7 +21,14 @@ Lifecycle is explicit and leak-proof:
 * workers attach read-only and *never* unlink; on Python 3.13+ attachments
   opt out of resource tracking (``track=False``), and on older interpreters
   the pool's ``fork`` start method makes the worker's tracker registration
-  a harmless no-op (same tracker as the owner, set-idempotent names).
+  a harmless no-op (same tracker as the owner, set-idempotent names);
+* ``atexit`` does not run on SIGTERM/SIGINT-by-default, so the first
+  segment created also installs *chained* signal handlers: the sweep runs,
+  then the previously installed disposition (another handler, or the
+  default kill) proceeds.  The registry records the creator's pid, and
+  both sweeps skip entries registered by another process — a forked worker
+  that inherits the parent's handler (and registry) must never unlink the
+  parent's live segments.
 
 Segment names carry the :data:`SEGMENT_PREFIX` so tests (and operators) can
 audit ``/dev/shm`` for leaks attributable to this package.
@@ -30,7 +37,10 @@ audit ``/dev/shm`` for leaks attributable to this package.
 from __future__ import annotations
 
 import atexit
+import os
 import secrets
+import signal
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Dict, Optional, Sequence, Tuple
@@ -46,14 +56,22 @@ SEGMENT_PREFIX = "smoothop_"
 #: reaches its ``finally`` cannot leak a block past interpreter exit.
 _OWNED: Dict[str, shared_memory.SharedMemory] = {}
 
+#: The pid that registered each owned segment.  ``fork`` children inherit
+#: the registry (and the signal handlers below) by copy; the pid guard
+#: keeps their sweeps away from segments the *parent* still owns.
+_OWNED_PIDS: Dict[str, int] = {}
+
 
 def _register_owned(shm: shared_memory.SharedMemory) -> None:
     _OWNED[shm.name] = shm
+    _OWNED_PIDS[shm.name] = os.getpid()
+    _install_signal_handlers()
     _update_shm_gauges(created=True)
 
 
 def _forget_owned(name: str) -> None:
     _OWNED.pop(name, None)
+    _OWNED_PIDS.pop(name, None)
     _update_shm_gauges()
 
 
@@ -79,16 +97,90 @@ def _update_shm_gauges(*, created: bool = False) -> None:
     )
 
 
-@atexit.register
-def _cleanup_owned_segments() -> None:
-    """Unlink every segment this process still owns (crash safety net)."""
+def _sweep_owned() -> None:
+    """Unlink every segment *this process* still owns.
+
+    Shared by the atexit hook and the termination-signal handlers.  The
+    pid guard matters for the signal path: a ``fork`` child inherits both
+    the handlers and a copy of the registry, and a SIGTERM delivered to
+    the child must not unlink segments its parent is still serving.
+    """
+    pid = os.getpid()
     for name in list(_OWNED):
+        if _OWNED_PIDS.get(name, pid) != pid:
+            continue
         shm = _OWNED.pop(name)
+        _OWNED_PIDS.pop(name, None)
         try:
             shm.close()
             shm.unlink()
         except (FileNotFoundError, OSError):  # already gone: fine
             pass
+
+
+@atexit.register
+def _cleanup_owned_segments() -> None:
+    """Unlink every segment this process still owns (crash safety net)."""
+    _sweep_owned()
+
+
+#: Previously installed dispositions for the signals we chain, by signum.
+#: Present only after :func:`_install_signal_handlers` hooked that signal.
+_SIGNAL_CHAIN: Dict[int, object] = {}
+_HANDLERS_INSTALLED = False
+
+
+def _terminate_handler(signum: int, frame: object) -> None:
+    """Sweep owned segments, then defer to whatever was installed before.
+
+    ``atexit`` hooks do not run when a signal's default disposition kills
+    the process, so SIGTERM (and a SIGINT the application chose not to turn
+    into ``KeyboardInterrupt``) would strand every live segment in
+    ``/dev/shm``.  This handler closes that hole without changing the
+    process's observable death: after the sweep the previous disposition
+    proceeds — a callable previous handler is invoked (Python's default
+    SIGINT handler raises ``KeyboardInterrupt`` from here, exactly as it
+    would have), ``SIG_IGN`` returns, and ``SIG_DFL``/unknown re-raises the
+    signal under its default disposition so the exit status still says
+    "killed by signal".
+    """
+    _sweep_owned()
+    previous = _SIGNAL_CHAIN.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+        return
+    if previous is signal.SIG_IGN:
+        return
+    try:
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+    except (ValueError, OSError):  # pragma: no cover - teardown races
+        pass
+
+
+def _install_signal_handlers() -> None:
+    """Hook SIGTERM/SIGINT once, from the main thread, chaining politely.
+
+    Called on every segment registration but a no-op after the first
+    success.  Signal handlers can only be installed from the main thread —
+    a pool stage driven from a worker thread simply keeps relying on the
+    atexit sweep, as before.
+    """
+    global _HANDLERS_INSTALLED
+    if _HANDLERS_INSTALLED:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous = signal.getsignal(signum)
+            if previous is _terminate_handler:  # pragma: no cover - paranoia
+                continue
+            signal.signal(signum, _terminate_handler)
+            _SIGNAL_CHAIN[signum] = previous
+    except (ValueError, OSError):  # pragma: no cover - exotic embedding
+        return
+    _HANDLERS_INSTALLED = True
 
 
 def owned_segment_names() -> Tuple[str, ...]:

@@ -1,0 +1,155 @@
+"""Termination-safe shared-memory cleanup.
+
+``atexit`` covers normal interpreter exit, but a coordinator dying to
+SIGTERM / SIGINT (CI job cancellation, a supervisor restart, Ctrl-C)
+skips ``atexit`` unless something translates the signal.  The sharedmem
+module chains its own sweep in front of whatever handler was installed
+and re-raises the default disposition, so:
+
+* segments owned by the dying process unlink from ``/dev/shm``;
+* the process still reports "killed by signal" to its parent;
+* forked children (pool workers inherit the registry) never unlink the
+  parent's live segments — the sweep is pid-guarded.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.engine import sharedmem
+from repro.engine.sharedmem import SharedMatrix
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+)
+
+#: The import root the children need on PYTHONPATH (src layout).
+_SRC_DIR = pathlib.Path(sharedmem.__file__).resolve().parents[2]
+
+#: A child process that creates a segment, reports it, and waits to be shot.
+_CHILD = textwrap.dedent(
+    """
+    import sys, time
+    import numpy as np
+    from repro.engine.sharedmem import SharedMatrix
+
+    shared = SharedMatrix.create(np.ones((64, 64)))
+    print(shared.handle.name, flush=True)
+    time.sleep(60)  # killed long before this expires
+    """
+)
+
+
+def _spawn_child():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(_SRC_DIR), env.get("PYTHONPATH", "")])
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", _CHILD],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    name = child.stdout.readline().strip()
+    assert name, "child never reported its segment name"
+    return child, name
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_unlinks_owned_segments(signum):
+    child, name = _spawn_child()
+    try:
+        path = os.path.join("/dev/shm", name)
+        assert os.path.exists(path), "segment should be live before the signal"
+        child.send_signal(signum)
+        child.wait(timeout=30)
+        assert not os.path.exists(path), "segment leaked past the signal"
+        # the chained handler re-raises the default disposition, so the
+        # exit status still says "killed by <signal>"
+        assert child.returncode == -signum
+    finally:
+        child.stdout.close()
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+
+
+def test_sweep_skips_segments_owned_by_another_pid():
+    """A forked child inheriting the registry must not unlink for the parent."""
+    matrix = np.arange(16.0).reshape(4, 4)
+    with SharedMatrix.create(matrix) as shared:
+        name = shared.handle.name
+        assert name in sharedmem._OWNED
+        assert sharedmem._OWNED_PIDS[name] == os.getpid()
+
+        # simulate being the forked child: the registry entry is present
+        # but stamped with the parent's pid
+        sharedmem._OWNED_PIDS[name] = os.getpid() + 1
+        try:
+            sharedmem._sweep_owned()
+            # the "foreign" segment survived the sweep
+            assert os.path.exists(os.path.join("/dev/shm", name))
+            assert name in sharedmem._OWNED
+        finally:
+            sharedmem._OWNED_PIDS[name] = os.getpid()
+    assert not os.path.exists(os.path.join("/dev/shm", name))
+
+
+def test_sweep_unlinks_own_segments():
+    matrix = np.ones((4, 4))
+    shared = SharedMatrix.create(matrix)
+    name = shared.handle.name
+    assert os.path.exists(os.path.join("/dev/shm", name))
+    sharedmem._sweep_owned()
+    assert not os.path.exists(os.path.join("/dev/shm", name))
+    assert name not in sharedmem._OWNED
+
+
+def test_handlers_chain_to_a_previously_installed_python_handler():
+    """An application SIGTERM handler installed first still runs."""
+    code = textwrap.dedent(
+        """
+        import os, signal, sys, time
+        import numpy as np
+
+        fired = []
+        def app_handler(signum, frame):
+            print("app-handler-ran", flush=True)
+            sys.exit(7)
+
+        signal.signal(signal.SIGTERM, app_handler)
+        from repro.engine.sharedmem import SharedMatrix
+        shared = SharedMatrix.create(np.ones((8, 8)))
+        print(shared.handle.name, flush=True)
+        time.sleep(60)
+        """
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(_SRC_DIR), env.get("PYTHONPATH", "")])
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", code],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        name = child.stdout.readline().strip()
+        child.send_signal(signal.SIGTERM)
+        out, _ = child.communicate(timeout=30)
+        assert "app-handler-ran" in out
+        assert child.returncode == 7  # the app handler decided the exit
+        assert not os.path.exists(os.path.join("/dev/shm", name))
+    finally:
+        child.stdout.close()
+        if child.poll() is None:
+            child.kill()
+            child.wait()

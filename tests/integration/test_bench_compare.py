@@ -60,7 +60,9 @@ def _engine_doc(serial, parallel, *, cpu_count=4, workers=4):
     }
 
 
-def _scale_doc(serial, parallel, *, workers=4, cpu_count=4, capture=None):
+def _scale_doc(
+    serial, parallel, *, workers=4, cpu_count=4, capture=None, recovery=None
+):
     sections = {
         "stages": [
             {"stage": "score_serial", "wall_s": serial, "calls": 1},
@@ -77,6 +79,8 @@ def _scale_doc(serial, parallel, *, workers=4, cpu_count=4, capture=None):
     }
     if capture is not None:
         sections["capture"] = capture
+    if recovery is not None:
+        sections["recovery"] = recovery
     return {"benchmark": "scale", "sections": sections}
 
 
@@ -88,6 +92,17 @@ def _capture_section(capture_wall, bare_wall, *, cpu_count=4, workers=4):
         "no_capture_wall_s": bare_wall,
         "overhead_frac": capture_wall / bare_wall - 1.0,
         "max_overhead_frac": 0.05,
+    }
+
+
+def _recovery_section(guarded_wall, bare_wall, *, cpu_count=4, workers=4):
+    return {
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "guarded_wall_s": guarded_wall,
+        "bare_wall_s": bare_wall,
+        "overhead_frac": guarded_wall / bare_wall - 1.0,
+        "max_overhead_frac": 0.03,
     }
 
 
@@ -333,6 +348,88 @@ class TestCompareCapture:
         )
         diff = bench_compare.compare_documents(baseline, current)
         assert "capture overhead" in bench_compare.render(diff)
+
+
+class TestCompareRecovery:
+    def _write(self, directory, doc):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_scale.json").write_text(json.dumps(doc))
+
+    def test_small_overhead_passes(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(
+            current, _scale_doc(8.0, 2.0, recovery=_recovery_section(2.02, 2.0))
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["recovery_gate"]["status"] == "ok"
+        assert diff["regressions"] == []
+
+    def test_large_overhead_is_regression(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        # 15% over the unguarded pass and well past the 0.05s floor.
+        self._write(
+            current, _scale_doc(8.0, 2.0, recovery=_recovery_section(2.3, 2.0))
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["recovery_gate"]["status"] == "regression"
+        assert any("recovery overhead" in item for item in diff["regressions"])
+
+    def test_floor_absorbs_jitter_on_fast_passes(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        # 30% relative but only 30ms absolute: under the additive floor.
+        self._write(
+            current, _scale_doc(1.0, 0.1, recovery=_recovery_section(0.13, 0.1))
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["recovery_gate"]["status"] == "ok"
+        assert diff["regressions"] == []
+
+    def test_single_cpu_skips_the_gate(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(
+            current,
+            _scale_doc(
+                8.0,
+                9.0,
+                cpu_count=1,
+                recovery=_recovery_section(9.0, 6.0, cpu_count=1),
+            ),
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["recovery_gate"]["status"] == "skipped"
+        assert "recovery" not in " ".join(diff["regressions"])
+
+    def test_document_without_recovery_section_is_tolerated(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(current, _scale_doc(8.0, 2.0))
+        diff = bench_compare.compare_documents(baseline, current)
+        assert diff["recovery_gate"] is None
+        assert diff["regressions"] == []
+
+    def test_custom_overhead_threshold(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(
+            current, _scale_doc(8.0, 2.0, recovery=_recovery_section(2.3, 2.0))
+        )
+        diff = bench_compare.compare_documents(
+            baseline, current, max_recovery_overhead=0.25
+        )
+        assert diff["recovery_gate"]["status"] == "ok"
+
+    def test_rendered_in_summary(self, dirs):
+        baseline, current = dirs
+        _write_pair(current, _pipeline_doc(BASE_STAGES), _remap_doc(BASE_PEAKS))
+        self._write(
+            current, _scale_doc(8.0, 2.0, recovery=_recovery_section(2.02, 2.0))
+        )
+        diff = bench_compare.compare_documents(baseline, current)
+        assert "recovery overhead" in bench_compare.render(diff)
 
 
 class TestMainOutput:

@@ -38,7 +38,11 @@ documents and compares them stage by stage against the committed set:
   ``--max-capture-overhead`` (default 5%) over the identical pass with
   ``REPRO_OBS_CAPTURE=0``, plus the additive floor so timer jitter on
   sub-second passes cannot trip it.  Single-CPU hosts skip the gate, and
-  a fresh document without the section (an older generator) is tolerated.
+  a fresh document without the section (an older generator) is tolerated;
+* its ``recovery`` section gates the failure-domain layer the same way:
+  the parallel pass under an armed (never firing) deadline may cost at
+  most ``--max-recovery-overhead`` (default 3%) over the identical
+  unguarded pass, plus the floor.  Same skip rules as ``capture``.
 
 Exit status is non-zero when any regression is found, so CI can gate on
 it.  ``--output`` writes the full diff document as JSON for artifact
@@ -87,6 +91,12 @@ DEFAULT_MIN_EFFICIENCY = 0.7
 #: parallel pass with ``REPRO_OBS_CAPTURE=0`` (the ``capture`` section of
 #: ``BENCH_scale.json``).
 DEFAULT_MAX_CAPTURE_OVERHEAD = 0.05
+
+#: Maximum fractional overhead of the failure-domain layer (armed but
+#: never-firing deadlines: watchdog polling + straggler bookkeeping) over
+#: the identical unguarded parallel pass (the ``recovery`` section of
+#: ``BENCH_scale.json``).
+DEFAULT_MAX_RECOVERY_OVERHEAD = 0.03
 
 BENCH_FILES = (
     "BENCH_pipeline.json",
@@ -329,6 +339,46 @@ def compare_capture(
     return row
 
 
+def compare_recovery(
+    current: Dict,
+    *,
+    max_overhead: float = DEFAULT_MAX_RECOVERY_OVERHEAD,
+    floor_s: float = DEFAULT_FLOOR_S,
+) -> Optional[Dict]:
+    """The failure-domain overhead row for a fresh ``BENCH_scale.json``.
+
+    Judged on the fresh run alone, like :func:`compare_capture`: the
+    parallel pass under an armed (never firing) deadline may cost at most
+    ``bare_wall * (1 + max_overhead) + floor_s`` over the identical
+    unguarded pass.  Single-CPU hosts skip the gate, and a document
+    without the section (generated before the deadline layer existed)
+    reports ``None`` — tolerated so old baselines keep comparing.
+    """
+    recovery = current["sections"].get("recovery")
+    if not recovery:
+        return None
+    row: Dict = {
+        "check": "recovery_overhead",
+        "workers": recovery.get("workers"),
+        "cpu_count": recovery.get("cpu_count"),
+        "guarded_wall_s": recovery.get("guarded_wall_s"),
+        "bare_wall_s": recovery.get("bare_wall_s"),
+        "overhead_frac": recovery.get("overhead_frac"),
+        "max_overhead_frac": max_overhead,
+    }
+    bare = recovery.get("bare_wall_s")
+    guarded = recovery.get("guarded_wall_s")
+    if (recovery.get("cpu_count") or 1) < 2:
+        row["status"] = "skipped"
+    elif bare is None or guarded is None:
+        row["status"] = "missing"
+    else:
+        limit = bare * (1.0 + max_overhead) + floor_s
+        row["limit_s"] = limit
+        row["status"] = "ok" if guarded <= limit else "regression"
+    return row
+
+
 def compare_documents(
     baseline_dir: pathlib.Path,
     current_dir: pathlib.Path,
@@ -339,6 +389,7 @@ def compare_documents(
     min_speedup: float = DEFAULT_MIN_SPEEDUP,
     min_efficiency: float = DEFAULT_MIN_EFFICIENCY,
     max_capture_overhead: float = DEFAULT_MAX_CAPTURE_OVERHEAD,
+    max_recovery_overhead: float = DEFAULT_MAX_RECOVERY_OVERHEAD,
 ) -> Dict:
     """The full diff document: stage rows, remap rows, regression list."""
     pipeline_rows = compare_pipeline(
@@ -398,6 +449,7 @@ def compare_documents(
     scale_rows: List[Dict] = []
     scale_gate: Optional[Dict] = None
     capture_gate: Optional[Dict] = None
+    recovery_gate: Optional[Dict] = None
     if scale_cur_path.exists():
         scale_cur = load_document(scale_cur_path)
         scale_base = (
@@ -412,6 +464,9 @@ def compare_documents(
         )
         capture_gate = compare_capture(
             scale_cur, max_overhead=max_capture_overhead, floor_s=floor_s
+        )
+        recovery_gate = compare_recovery(
+            scale_cur, max_overhead=max_recovery_overhead, floor_s=floor_s
         )
     elif scale_base_path.exists():
         scale_gate = {"check": "scale_efficiency", "status": "missing"}
@@ -441,6 +496,8 @@ def compare_documents(
         regressions.append(f"scale efficiency: {scale_gate['status']}")
     if capture_gate is not None and capture_gate["status"] in bad_status:
         regressions.append(f"capture overhead: {capture_gate['status']}")
+    if recovery_gate is not None and recovery_gate["status"] in bad_status:
+        regressions.append(f"recovery overhead: {recovery_gate['status']}")
     return {
         "baseline_dir": str(baseline_dir),
         "current_dir": str(current_dir),
@@ -450,6 +507,7 @@ def compare_documents(
         "min_speedup": min_speedup,
         "min_efficiency": min_efficiency,
         "max_capture_overhead": max_capture_overhead,
+        "max_recovery_overhead": max_recovery_overhead,
         "pipeline": pipeline_rows,
         "remap": remap_rows,
         "engine": engine_rows,
@@ -458,6 +516,7 @@ def compare_documents(
         "scale": scale_rows,
         "scale_gate": scale_gate,
         "capture_gate": capture_gate,
+        "recovery_gate": recovery_gate,
         "regressions": regressions,
     }
 
@@ -506,6 +565,16 @@ def render(diff: Dict) -> str:
             f"bare={fmt(capture_gate.get('no_capture_wall_s'), '.3f', 's')}, "
             f"max={fmt(capture_gate.get('max_overhead_frac'), '.0%')}) "
             f"{capture_gate['status']}"
+        )
+    recovery_gate = diff.get("recovery_gate")
+    if recovery_gate is not None:
+        lines.append(
+            f"recovery overhead: "
+            f"{fmt(recovery_gate.get('overhead_frac'), '+.1%')} "
+            f"(guarded={fmt(recovery_gate.get('guarded_wall_s'), '.3f', 's')}, "
+            f"bare={fmt(recovery_gate.get('bare_wall_s'), '.3f', 's')}, "
+            f"max={fmt(recovery_gate.get('max_overhead_frac'), '.0%')}) "
+            f"{recovery_gate['status']}"
         )
     robust = diff.get("robust")
     if robust is not None:
@@ -585,6 +654,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="max telemetry-capture overhead fraction on multi-CPU runners",
     )
     parser.add_argument(
+        "--max-recovery-overhead",
+        type=float,
+        default=DEFAULT_MAX_RECOVERY_OVERHEAD,
+        help="max failure-domain (deadline) overhead fraction on multi-CPU runners",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -601,6 +676,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         min_speedup=args.min_speedup,
         min_efficiency=args.min_efficiency,
         max_capture_overhead=args.max_capture_overhead,
+        max_recovery_overhead=args.max_recovery_overhead,
     )
     if args.output is not None:
         args.output.write_text(json.dumps(diff, indent=2, sort_keys=True) + "\n")
