@@ -1,0 +1,21 @@
+"""Shared plumbing for the legacy deprecation shims.
+
+The shim modules (``repro.reshaping.runtime``, ``repro.faults.runtime``,
+``repro.infra.capping``) each delegate bit-identically to their canonical
+engine home; the only behaviour they add is one :class:`DeprecationWarning`.
+That warning is emitted through the single helper here so every shim is a
+one-liner and the warning category/stacklevel policy lives in one place.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def _deprecated(message: str, *, stacklevel: int = 3) -> None:
+    """Emit the canonical shim DeprecationWarning.
+
+    ``stacklevel=3`` points at the shim's *caller* when invoked from inside
+    a shim ``__init__``; module-level shims pass ``stacklevel=2``.
+    """
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)

@@ -15,10 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..core.metrics import node_asynchrony_scores
+from .. import obs
+from ..core.metrics import AsynchronyIndex
 from ..infra.aggregation import NodePowerView
 from ..infra.assignment import Assignment
 from ..obs import events as obs_events
+from ..obs import telemetry as obs_telemetry
 from ..traces.traceset import TraceSet
 
 
@@ -77,12 +79,25 @@ class Snapshot:
 
 
 class FragmentationMonitor:
-    """Tracks a placement's fragmentation over successive trace snapshots."""
+    """Tracks a placement's fragmentation over successive trace snapshots.
+
+    Two feeds are supported.  Snapshot mode (:meth:`observe`) ingests a
+    whole new trace set and re-measures the fleet.  Delta mode
+    (:meth:`observe_delta`) ingests a
+    :class:`~repro.engine.delta.FleetDelta` — one swap, move, or in-place
+    trace refresh — and re-scores only the dirtied nodes through the
+    monitor's persistent incremental view and
+    :class:`~repro.core.metrics.AsynchronyIndex`, so
+    :meth:`needs_remapping` stays current at O(affected subtree) per
+    placement action instead of O(fleet).
+    """
 
     def __init__(self, assignment: Assignment, config: MonitorConfig) -> None:
         self.assignment = assignment
         self.config = config
         self._reference_sum_of_peaks: Optional[float] = None
+        self._view: Optional[NodePowerView] = None
+        self._index: Optional[AsynchronyIndex] = None
         self.history: List[Snapshot] = []
 
     # ------------------------------------------------------------------
@@ -99,6 +114,34 @@ class FragmentationMonitor:
             raise RuntimeError("monitor must be calibrated before observing")
         snapshot = self._measure(label, traces, check=True)
         self.history.append(snapshot)
+        self._emit_advisories(label, snapshot)
+        return snapshot
+
+    def observe_delta(self, label: str, delta) -> Snapshot:
+        """Ingest one placement delta and re-evaluate drift incrementally.
+
+        Applies the delta to the persistent view/score index (touching
+        only the dirty subtree), evaluates the same thresholds as
+        :meth:`observe`, and feeds the dirtied budgeted nodes' aggregate
+        traces to the active flight recorder — so precursor detection and
+        violation events keep flowing without re-scoring the fleet.
+        """
+        if self._reference_sum_of_peaks is None or self._index is None:
+            raise RuntimeError("monitor must be calibrated before observing")
+        self._index.apply_delta(delta)  # drives the shared view
+        snapshot = self._snapshot_from_cache(label, check=True)
+        self.history.append(snapshot)
+        self._emit_advisories(label, snapshot)
+        assert self._view is not None
+        obs_telemetry.record_delta(self._view, self._view.last_dirty)
+        obs.count("monitor.delta_observations")
+        return snapshot
+
+    def apply_delta(self, delta) -> None:
+        """Subscriber-protocol hook for :class:`~repro.engine.delta.PlacementState`."""
+        self.observe_delta(f"delta:{len(self.history)}", delta)
+
+    def _emit_advisories(self, label: str, snapshot: Snapshot) -> None:
         # Mirror the findings into the structured event log (no-op unless
         # recording), so monitoring drift shows up alongside violations and
         # swaps instead of living only in returned Snapshot objects.
@@ -115,7 +158,6 @@ class FragmentationMonitor:
                 reference=advisory.reference,
                 drift_severity=advisory.severity,
             )
-        return snapshot
 
     def needs_remapping(self) -> bool:
         """True if the most recent snapshot raised any advisory."""
@@ -123,9 +165,19 @@ class FragmentationMonitor:
 
     # ------------------------------------------------------------------
     def _measure(self, label: str, traces: TraceSet, *, check: bool) -> Snapshot:
-        view = NodePowerView(self.assignment.topology, self.assignment, traces)
-        sum_of_peaks = view.sum_of_peaks(self.config.level)
-        scores = node_asynchrony_scores(self.assignment, traces, self.config.level)
+        # A whole-fleet snapshot rebuilds the persistent incremental state
+        # (the traces changed wholesale).  If deltas moved instances since
+        # the last snapshot, carry the *current* placement forward.
+        if self._view is not None:
+            self.assignment = self._view.materialized_assignment()
+        self._view = NodePowerView(self.assignment.topology, self.assignment, traces)
+        self._index = AsynchronyIndex(self._view, self.config.level)
+        return self._snapshot_from_cache(label, check=check)
+
+    def _snapshot_from_cache(self, label: str, *, check: bool) -> Snapshot:
+        assert self._view is not None and self._index is not None
+        sum_of_peaks = self._view.sum_of_peaks(self.config.level)
+        scores = self._index.scores()
         worst = min(scores, key=scores.get) if scores else None
         min_score = min(scores.values()) if scores else 1.0
 

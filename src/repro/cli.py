@@ -292,7 +292,11 @@ def _cmd_profile(args: argparse.Namespace) -> None:
             operator = SmoothOperator(
                 SmoothOperatorConfig(
                     placement=PlacementConfig(seed=0),
-                    remap=RemapConfig(level=Level.RPP, max_swaps=20),
+                    remap=RemapConfig(
+                        level=Level.RPP,
+                        max_swaps=20,
+                        verify_every=args.verify_every,
+                    ),
                 )
             )
             outcome = operator.optimize(dc.records, dc.topology)
@@ -519,6 +523,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             "hard per-task deadline in seconds for pooled stages: hung "
             "workers are killed and the task retried; a soft (straggler) "
             "threshold of a quarter of this is set alongside"
+        ),
+    )
+    parser.add_argument(
+        "--verify-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "opt-in remapping verification knob: every N accepted swaps "
+            "touching a node, cross-check its exactly-maintained aggregate "
+            "against a from-scratch recomputation (profile command)"
         ),
     )
     parser.add_argument(

@@ -18,6 +18,7 @@ from .clustering import ClusteringResult, balanced_kmeans, kmeans
 from .greedy import GreedyConfig, GreedyPeakPlacer
 from .optimal import OptimalResult, optimal_leaf_placement
 from .metrics import (
+    AsynchronyIndex,
     LevelFragmentation,
     fragmentation_report,
     node_asynchrony_scores,
@@ -55,6 +56,7 @@ __all__ = [
     "RemappingEngine",
     "RemapResult",
     "Swap",
+    "AsynchronyIndex",
     "LevelFragmentation",
     "fragmentation_report",
     "node_asynchrony_scores",

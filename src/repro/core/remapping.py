@@ -20,8 +20,12 @@ from ..obs import events as obs_events
 from ..infra.assignment import Assignment
 from ..traces.traceset import TraceSet
 
-#: Incremental ``total`` updates accumulate float drift; every this many
-#: swaps a group recomputes its aggregate exactly from member rows.
+#: Conventional period for the opt-in verification knob
+#: (``RemapConfig.verify_every``).  Historically this forced a periodic
+#: exact recomputation to correct the float drift of incremental ``+=``
+#: aggregate patches; ``_NodeGroup.swap_member`` now applies each swap
+#: exactly (a group-scoped recompute from member rows), so the period
+#: only controls how often the optional cross-check harness runs.
 RECOMPUTE_EVERY = 64
 
 
@@ -52,6 +56,14 @@ class RemapConfig:
         :meth:`RemappingEngine.run`).  Mirrors the operational reality that
         migrations within a suite are cheap while cross-suite moves are
         not.  ``None`` (default) keeps the global single-loop behaviour.
+    verify_every:
+        Opt-in verification knob.  Every this many accepted swaps touching
+        a group, cross-check the group's exactly-maintained aggregate and
+        score caches against an independent from-scratch recomputation and
+        raise if they diverge.  Swap application is exact, so this is a
+        debugging/auditing harness, not a correctness requirement;
+        :data:`RECOMPUTE_EVERY` is the conventional period.  ``None``
+        (default) disables the checks.
     """
 
     level: str
@@ -60,6 +72,7 @@ class RemapConfig:
     candidate_instances: int = 16
     min_improvement: float = 1e-3
     shard_level: Optional[str] = None
+    verify_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_swaps < 0:
@@ -70,6 +83,8 @@ class RemapConfig:
             raise ValueError("min_improvement cannot be negative")
         if self.shard_level == self.level:
             raise ValueError("shard_level must differ from the swap level")
+        if self.verify_every is not None and self.verify_every <= 0:
+            raise ValueError("verify_every must be positive when set")
 
 
 @dataclass(frozen=True)
@@ -90,8 +105,9 @@ class RemapResult:
 
     assignment: Assignment
     swaps: List[Swap] = field(default_factory=list)
-    #: Final per-node aggregate value vectors, recomputed exactly from
-    #: member rows after the last swap (drift-free).
+    #: Final per-node aggregate value vectors.  Swap application is exact
+    #: (each swap rebuilds the two touched groups from member rows), so
+    #: these equal a from-scratch recomputation bit-for-bit.
     node_totals: Dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
@@ -100,30 +116,86 @@ class RemapResult:
 
 
 class _NodeGroup:
-    """Mutable per-node state: member ids and the aggregate value vector."""
+    """Mutable per-node state: member ids, the aggregate, and score caches.
 
-    __slots__ = ("name", "members", "total", "_swaps_since_recompute")
+    Swaps are applied *exactly*: :meth:`swap_member` rebuilds ``total``
+    from the new member rows (a recompute scoped to this one group), so
+    there is no incremental-patch drift to correct, and the asynchrony /
+    differential caches are simply invalidated for the two groups a swap
+    touches.  Everything derived is lazy and cached — the swap loop's
+    per-iteration cost depends on the two affected groups, not the fleet.
+    """
+
+    __slots__ = (
+        "name",
+        "members",
+        "total",
+        "_asynchrony",
+        "_self_diffs",
+        "_swaps_since_verify",
+    )
 
     def __init__(self, name: str, members: List[str], traces: TraceSet) -> None:
         self.name = name
         self.members = list(members)
-        self._swaps_since_recompute = 0
+        self._swaps_since_verify = 0
         self.recompute(traces)
 
     def recompute(self, traces: TraceSet) -> None:
-        """Rebuild ``total`` exactly from member rows (drift reset)."""
+        """Rebuild ``total`` exactly from member rows; drop derived caches."""
         total = np.zeros(traces.grid.n_samples)
         for instance_id in self.members:
             total += traces.row(instance_id)
         self.total = total
-        self._swaps_since_recompute = 0
+        self._asynchrony: Optional[float] = None
+        self._self_diffs: Optional[Dict[str, float]] = None
+
+    def verify(self, traces: TraceSet) -> None:
+        """Cross-check cached state against an independent recomputation.
+
+        The opt-in ``RemapConfig.verify_every`` harness: raises if the
+        exactly-maintained ``total`` or the cached asynchrony diverge from
+        a from-scratch rebuild.
+        """
+        expected = np.zeros(traces.grid.n_samples)
+        for instance_id in self.members:
+            expected += traces.row(instance_id)
+        if not np.array_equal(self.total, expected):
+            raise RuntimeError(
+                f"group {self.name}: aggregate diverged from member rows"
+            )
+        cached_asynchrony = self._asynchrony
+        self._asynchrony = None
+        fresh = self.asynchrony(traces)
+        if cached_asynchrony is not None and cached_asynchrony != fresh:
+            raise RuntimeError(
+                f"group {self.name}: cached asynchrony diverged "
+                f"({cached_asynchrony} != {fresh})"
+            )
+        obs.count("remap.verifications")
 
     def asynchrony(self, traces: TraceSet) -> float:
-        if not self.members:
-            return 1.0
-        sum_peaks = sum(float(traces.row(i).max()) for i in self.members)
-        aggregate_peak = float(self.total.max())
-        return sum_peaks / aggregate_peak if aggregate_peak > 0 else 1.0
+        if self._asynchrony is None:
+            if not self.members:
+                self._asynchrony = 1.0
+            else:
+                sum_peaks = sum(float(traces.row(i).max()) for i in self.members)
+                aggregate_peak = float(self.total.max())
+                self._asynchrony = (
+                    sum_peaks / aggregate_peak if aggregate_peak > 0 else 1.0
+                )
+        return self._asynchrony
+
+    def self_differentials(self, traces: TraceSet) -> Dict[str, float]:
+        """AD of every member against its own group, cached until it changes."""
+        if self._self_diffs is None:
+            self._self_diffs = {
+                instance_id: self.differential(
+                    traces.row(instance_id), exclude=instance_id, traces=traces
+                )
+                for instance_id in self.members
+            }
+        return self._self_diffs
 
     def differential(self, instance_values: np.ndarray, *, exclude: Optional[str], traces: TraceSet) -> float:
         """AD of a (possibly external) instance against this node.
@@ -150,13 +222,11 @@ class _NodeGroup:
         return numerator / combined_peak if combined_peak > 0 else 1.0
 
     def swap_member(self, outgoing: str, incoming: str, traces: TraceSet) -> None:
+        """Apply a swap exactly: new membership, aggregate rebuilt from rows."""
         self.members.remove(outgoing)
         self.members.append(incoming)
-        self._swaps_since_recompute += 1
-        if self._swaps_since_recompute >= RECOMPUTE_EVERY:
-            self.recompute(traces)
-        else:
-            self.total += traces.row(incoming) - traces.row(outgoing)
+        self._swaps_since_verify += 1
+        self.recompute(traces)
 
 
 class RemappingEngine:
@@ -303,6 +373,11 @@ class RemappingEngine:
                 break
             groups[swap.node_a].swap_member(swap.instance_a, swap.instance_b, traces)
             groups[swap.node_b].swap_member(swap.instance_b, swap.instance_a, traces)
+            if self.config.verify_every is not None:
+                for group in (groups[swap.node_a], groups[swap.node_b]):
+                    if group._swaps_since_verify >= self.config.verify_every:
+                        group.verify(traces)
+                        group._swaps_since_verify = 0
             swaps.append(swap)
             obs.count("remap.swaps_accepted")
             obs_events.emit(
@@ -315,27 +390,24 @@ class RemappingEngine:
                 gain_a=swap.gain_a,
                 gain_b=swap.gain_b,
             )
-        # Exact final aggregates: incremental updates drift over long runs.
-        for group in groups.values():
-            group.recompute(traces)
+        # No final recompute pass: swap application is exact, so every
+        # group's ``total`` already equals a from-scratch rebuild.
         return swaps, {name: group.total for name, group in groups.items()}
 
     # ------------------------------------------------------------------
     def _best_swap(
         self, groups: Dict[str, _NodeGroup], traces: TraceSet
     ) -> Optional[Swap]:
+        # Cached per-group scores: only the two groups the previous swap
+        # touched were invalidated, so ranking the fleet costs O(groups),
+        # not O(instances).
         ranked = sorted(groups.values(), key=lambda g: g.asynchrony(traces))
         worst = ranked[0]
         if len(worst.members) < 2:
             return None
 
         # Worst-fitting member of the worst node.
-        diffs = {
-            instance_id: worst.differential(
-                traces.row(instance_id), exclude=instance_id, traces=traces
-            )
-            for instance_id in worst.members
-        }
+        diffs = worst.self_differentials(traces)
         outgoing = min(diffs.items(), key=lambda item: item[1])[0]
         outgoing_values = traces.row(outgoing)
         outgoing_score_here = diffs[outgoing]
@@ -348,9 +420,7 @@ class RemappingEngine:
             for incoming in candidates:
                 obs.count("remap.candidates_evaluated")
                 incoming_values = traces.row(incoming)
-                incoming_score_there = partner.differential(
-                    incoming_values, exclude=incoming, traces=traces
-                )
+                incoming_score_there = partner.self_differentials(traces)[incoming]
                 # Scores after the hypothetical exchange.
                 incoming_at_worst = worst.differential(
                     incoming_values, exclude=outgoing, traces=traces
@@ -378,14 +448,12 @@ class RemappingEngine:
         """Partner-node members most synchronous with their own node first.
 
         Those contribute most to the partner's peak, so moving them out is
-        likeliest to help both sides.
+        likeliest to help both sides.  Rides the group's cached
+        self-differentials, so an unchanged partner costs nothing to rank.
         """
         scored = [
-            (
-                group.differential(traces.row(i), exclude=i, traces=traces),
-                i,
-            )
-            for i in group.members
+            (score, instance_id)
+            for instance_id, score in group.self_differentials(traces).items()
         ]
         scored.sort()
         return [instance_id for _, instance_id in scored[: self.config.candidate_instances]]

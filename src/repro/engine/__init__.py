@@ -13,7 +13,13 @@ bit-identical results (pinned by the golden parity suite in
 ``tests/engine/``).
 """
 
-from .state import (  # noqa: F401  (import order: leaf modules first)
+from .delta import (  # noqa: F401  (import order: leaf modules first)
+    FleetDelta,
+    Move,
+    PlacementState,
+    dirty_nodes,
+)
+from .state import (  # noqa: F401
     FleetDescription,
     FleetState,
     RunArtifacts,
@@ -104,6 +110,7 @@ __all__ = [
     "EmergencyCapping",
     "Engine",
     "FailureEvent",
+    "FleetDelta",
     "FleetDescription",
     "FleetState",
     "InfraFault",
@@ -111,7 +118,9 @@ __all__ = [
     "LC_POOL",
     "MODES",
     "MatrixHandle",
+    "Move",
     "NodeCappingStats",
+    "PlacementState",
     "Policy",
     "PowerSpikePolicy",
     "PowerSpikeSchedule",
@@ -137,6 +146,7 @@ __all__ = [
     "clear_default_deadline",
     "compare_capping",
     "deadline_scope",
+    "dirty_nodes",
     "execute",
     "get_default_deadline",
     "get_pool",

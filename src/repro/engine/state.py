@@ -21,6 +21,11 @@ from ..sim.power_model import ServerPowerModel
 from ..traces.grid import TimeGrid
 from ..traces.series import PowerTrace
 
+# The placement-side state owner lives in repro.engine.delta (with the
+# FleetDelta value objects it fans out); re-exported here because it is
+# the placement counterpart of the scenario-run FleetState below.
+from .delta import FleetDelta, Move, PlacementState  # noqa: F401
+
 
 @dataclass(frozen=True)
 class FleetDescription:

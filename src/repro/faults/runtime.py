@@ -31,9 +31,9 @@ modes a production fleet actually has:
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
+from .._compat import _deprecated
 from ..engine.faults import (  # noqa: F401  (re-export)
     BATCH_POOL,
     LC_POOL,
@@ -80,12 +80,10 @@ class ChaosReshapingRuntime(_EngineBackedRuntime):
         capping_policy=None,
         seed: int = 0,
     ) -> None:
-        warnings.warn(
+        _deprecated(
             "ChaosReshapingRuntime is deprecated; build a chaos-mode "
             "ScenarioSpec and run it through repro.engine.Engine "
-            "(results are bit-identical)",
-            DeprecationWarning,
-            stacklevel=2,
+            "(results are bit-identical)"
         )
         super().__init__(
             fleet,

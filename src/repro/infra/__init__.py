@@ -38,7 +38,7 @@ from .budget import (
     provision_hierarchical,
 )
 from .builder import LevelSpec, TopologySpec, build_topology, ocp_spec, two_level_spec
-from .headroom import ExpansionPlan, node_headroom, plan_expansion
+from .headroom import ExpansionPlan, HeadroomIndex, node_headroom, plan_expansion
 from .topology import Level, PowerNode, PowerTopology, TopologyError
 
 __all__ = [
@@ -74,6 +74,7 @@ __all__ = [
     "provision_from_view",
     "provision_hierarchical",
     "ExpansionPlan",
+    "HeadroomIndex",
     "node_headroom",
     "plan_expansion",
     "BreakerModel",

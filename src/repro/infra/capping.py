@@ -10,12 +10,11 @@
 
 from __future__ import annotations
 
-import warnings
+from .._compat import _deprecated
 
-warnings.warn(
+_deprecated(
     "repro.infra.capping is deprecated; import the capping loop from "
     "repro.engine (its canonical home) instead",
-    DeprecationWarning,
     stacklevel=2,
 )
 

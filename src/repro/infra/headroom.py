@@ -70,6 +70,77 @@ def node_headroom(
     return headroom
 
 
+class HeadroomIndex:
+    """Per-node nominal headroom maintained under deltas.
+
+    The incremental counterpart of :func:`node_headroom`: instead of a
+    full ``recompute()`` after every placement action, call
+    :meth:`apply` with the :class:`~repro.engine.delta.FleetDelta` that
+    describes the action and only the dirtied budgeted nodes' entries are
+    refreshed — with the identical expression the full pass uses, so
+    :meth:`headroom` stays bit-identical to ``node_headroom`` over a
+    freshly rebuilt view.
+
+    The index drives its view, but shares it safely with other
+    subscribers via the view's delta version (whoever sees the delta
+    first advances the view; later subscribers reuse ``last_dirty``).
+    """
+
+    def __init__(
+        self,
+        view: NodePowerView,
+        *,
+        reserve: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.view = view
+        self.reserve = dict(reserve) if reserve else {}
+        self._seen_version = view.version
+        self._budgets: Dict[str, float] = {
+            node.name: node.budget_watts
+            for node in view.topology.nodes()
+            if node.budget_watts is not None
+        }
+        self._values: Dict[str, float] = {
+            name: self._entry(name) for name in self._budgets
+        }
+
+    def _entry(self, node_name: str) -> float:
+        reserved = self.reserve.get(node_name, 0.0) if self.reserve else 0.0
+        return max(
+            0.0, self._budgets[node_name] - self.view.node_peak(node_name) - reserved
+        )
+
+    # ------------------------------------------------------------------
+    def apply(self, delta) -> None:
+        """Apply a delta: refresh headroom for the dirtied budgeted nodes."""
+        if self.view.version == self._seen_version:
+            dirty = self.view.apply_delta(delta)
+        elif self.view.version == self._seen_version + 1:
+            dirty = list(self.view.last_dirty)
+        else:
+            raise RuntimeError(
+                "view advanced more than one delta ahead of this index"
+            )
+        self._seen_version = self.view.version
+        for name in dirty:
+            if name in self._values:
+                self._values[name] = self._entry(name)
+
+    #: Subscriber-protocol alias — :class:`~repro.engine.delta.PlacementState`
+    #: fan-out calls ``apply_delta``.
+    apply_delta = apply
+
+    def headroom(self) -> Dict[str, float]:
+        """Current headroom of every budgeted node (topology node order)."""
+        return dict(self._values)
+
+    def verify(self) -> None:
+        """Cross-check against a full :func:`node_headroom` pass; raise on drift."""
+        fresh = node_headroom(self.view, reserve=self.reserve or None)
+        if fresh != self._values:
+            raise RuntimeError("incremental headroom diverged from full recompute")
+
+
 def plan_expansion(
     view: NodePowerView,
     per_server_watts: float,

@@ -52,7 +52,7 @@ from .metrics import (
 from .remote import TelemetryBundle, capture_enabled, merge_bundles
 from .report import build_report, record_stage, render_report, reset_report, write_report
 from .spans import Span, Tracer, current_span, get_tracer, span, tracing
-from .telemetry import FlightRecorder, RingBuffer, record_power, record_view
+from .telemetry import FlightRecorder, RingBuffer, record_delta, record_power, record_view
 
 __all__ = [
     # spans
@@ -81,6 +81,7 @@ __all__ = [
     # telemetry
     "FlightRecorder",
     "RingBuffer",
+    "record_delta",
     "record_power",
     "record_view",
     "telemetry",

@@ -374,6 +374,42 @@ def record_view(view, *, prefix: str = "", precursors: Optional[PrecursorConfig]
     return recorded
 
 
+def record_delta(
+    view,
+    dirty_nodes,
+    *,
+    prefix: str = "",
+    precursors: Optional[PrecursorConfig] = None,
+) -> int:
+    """Record only the nodes a delta dirtied, instead of the whole tree.
+
+    The incremental companion of :func:`record_view`: after a
+    :class:`~repro.engine.delta.FleetDelta` is applied to a view, feeding
+    the flight recorder (and precursor/violation detection) only needs
+    the refreshed aggregates — ``dirty_nodes`` is typically the view's
+    ``last_dirty``.  Unbudgeted dirty nodes are skipped, like in
+    :func:`record_view`.  Returns the number of nodes recorded; a cheap
+    no-op (returning 0) when nothing is installed.
+    """
+    if _RECORDER is None and _events.get_event_log() is None:
+        return 0
+    recorded = 0
+    step_minutes = view.traces.grid.step_minutes
+    for name in dirty_nodes:
+        node = view.topology.node(name)
+        if node.budget_watts is None:
+            continue
+        record_power(
+            f"{prefix}{node.name}",
+            view._node_values[node.name],
+            node.budget_watts,
+            step_minutes=step_minutes,
+            precursors=precursors,
+        )
+        recorded += 1
+    return recorded
+
+
 # ----------------------------------------------------------------------
 # module-level API: a process-global active recorder
 # ----------------------------------------------------------------------

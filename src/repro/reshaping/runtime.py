@@ -24,12 +24,12 @@ Simulates a datacenter's test week under four scenarios:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
 
+from .._compat import _deprecated
 from ..engine.spec import ScenarioSpec
 from ..engine.state import FleetDescription, ScenarioResult  # noqa: F401  (re-export)
 from ..sim.demand import DemandTrace
@@ -163,11 +163,9 @@ class ReshapingRuntime(_EngineBackedRuntime):
         throttle: Optional[ThrottleBoostPolicy] = None,
         dvfs: Optional[DVFSModel] = None,
     ) -> None:
-        warnings.warn(
+        _deprecated(
             "ReshapingRuntime is deprecated; build a ScenarioSpec and run it "
-            "through repro.engine.Engine (results are bit-identical)",
-            DeprecationWarning,
-            stacklevel=2,
+            "through repro.engine.Engine (results are bit-identical)"
         )
         super().__init__(fleet, conversion, throttle=throttle, dvfs=dvfs)
 

@@ -238,6 +238,61 @@ class RobustHeadroomIndex:
         except KeyError:
             raise KeyError(f"{instance_id!r} is not placed")
 
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta) -> None:
+        """Apply a :class:`~repro.engine.delta.FleetDelta` to the index.
+
+        Moves map directly onto :meth:`place` / :meth:`remove` /
+        :meth:`move` (each O(depth × log n)).  Trace updates re-read the
+        uncertainty model for the named instances (remove + place), so a
+        refreshed nominal/radius takes effect along the whole root path.
+        """
+        for mv in delta.moves:
+            instance_id = mv.instance_id
+            if mv.src_leaf is None:
+                self.place(instance_id, mv.dst_leaf)
+                continue
+            current = self.leaf_of(instance_id)
+            if current != mv.src_leaf:
+                raise ValueError(
+                    f"{instance_id!r} is on {current!r}, not {mv.src_leaf!r}"
+                )
+            if mv.dst_leaf is None:
+                self.remove(instance_id)
+            else:
+                self.move(instance_id, mv.dst_leaf)
+        for instance_id in delta.trace_updates:
+            leaf_name = self.remove(instance_id)
+            self.place(instance_id, leaf_name)
+
+    #: :func:`repro.infra.headroom.HeadroomIndex`-style alias.
+    apply = apply_delta
+
+    def verify(self) -> None:
+        """Cross-check every accountant against an exact recomputation.
+
+        The Γ-accounting analogue of the remapping engine's
+        ``verify_every`` harness: rebuilds each node's nominal sum and
+        top-Γ radius sum from the membership and raises on divergence.
+        """
+        for name, accountant in self.accountants.items():
+            values = list(accountant._members.values())
+            nominal_sum = float(sum(v[0] for v in values))
+            top_sum = gamma_sum(
+                np.asarray(sorted(v[1] for v in values)), accountant.gamma
+            )
+            # The accountant's O(1) patches reorder float additions, so
+            # compare within accumulation tolerance, not bit-exactly.
+            scale = max(1.0, abs(nominal_sum), abs(top_sum))
+            if (
+                abs(accountant._nominal_sum - nominal_sum) > 1e-9 * scale
+                or abs(accountant._top_sum - top_sum) > 1e-9 * scale
+            ):
+                raise RuntimeError(
+                    f"node {name}: incremental Γ-accounting diverged "
+                    "from exact recomputation"
+                )
+
     def as_mapping(self) -> Dict[str, str]:
         """instance id → leaf name for everything currently placed."""
         return dict(self._leaf_of)

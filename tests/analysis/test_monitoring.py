@@ -167,3 +167,74 @@ class TestEventLogMirroring:
             snapshot = monitor.observe("quiet-week", traces)
         assert snapshot.healthy
         assert len(log) == 0
+
+
+class TestMonitorDeltaFeed:
+    def _delta(self):
+        from repro.engine.delta import FleetDelta
+
+        return FleetDelta
+
+    def test_requires_calibration(self, setting):
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(assignment, MonitorConfig(level=Level.RPP))
+        with pytest.raises(RuntimeError):
+            monitor.observe_delta("d0", self._delta().swap("u1", "dc/rpp0", "u2", "dc/rpp1"))
+
+    def test_delta_observation_matches_full_snapshot(self, setting):
+        """Consuming the swap as a delta yields the same snapshot numbers as
+        re-measuring the swapped placement from scratch."""
+        _, assignment, traces = setting
+        config = MonitorConfig(level=Level.RPP, min_asynchrony=1.0)
+        incremental = FragmentationMonitor(assignment, config)
+        incremental.calibrate(traces)
+        swap = self._delta().swap("d1", "dc/rpp0", "u2", "dc/rpp1")
+        from_delta = incremental.observe_delta("after-swap", swap)
+
+        swapped = assignment.with_swap("d1", "u2")
+        full = FragmentationMonitor(swapped, config)
+        reference = full.calibrate(traces)
+        assert from_delta.sum_of_peaks == reference.sum_of_peaks
+        assert from_delta.min_asynchrony == reference.min_asynchrony
+        assert from_delta.worst_node == reference.worst_node
+
+    def test_bad_swap_raises_advisory_and_needs_remapping(self, setting):
+        """Pairing the synchronous instances via a delta drops both nodes'
+        asynchrony to 1.0 — the monitor must flag it without a re-score."""
+        _, assignment, traces = setting
+        monitor = FragmentationMonitor(
+            assignment, MonitorConfig(level=Level.RPP, min_asynchrony=1.05)
+        )
+        monitor.calibrate(traces)
+        assert not monitor.needs_remapping()
+        # u1+d1 / u2+d2 are anti-phase (healthy); swapping d1 and u2 pairs
+        # u1+u2 and d1+d2 — perfectly synchronous nodes.
+        monitor.observe_delta("bad-swap", self._delta().swap("d1", "dc/rpp0", "u2", "dc/rpp1"))
+        assert monitor.needs_remapping()
+        kinds = {a.kind for a in monitor.history[-1].advisories}
+        assert "node_asynchrony" in kinds
+
+    def test_snapshot_after_deltas_carries_placement_forward(self, setting):
+        """A whole-trace observe() after deltas re-measures the *moved*
+        placement, not the calibrated one."""
+        _, assignment, traces = setting
+        config = MonitorConfig(level=Level.RPP, min_asynchrony=1.05)
+        monitor = FragmentationMonitor(assignment, config)
+        monitor.calibrate(traces)
+        monitor.observe_delta("bad-swap", self._delta().swap("d1", "dc/rpp0", "u2", "dc/rpp1"))
+        snapshot = monitor.observe("same-traces", traces)
+        assert not snapshot.healthy
+        assert monitor.assignment.as_mapping() == assignment.with_swap("d1", "u2").as_mapping()
+
+    def test_registers_as_placement_state_subscriber(self, setting):
+        from repro.engine.delta import PlacementState
+
+        topo, assignment, traces = setting
+        monitor = FragmentationMonitor(
+            assignment, MonitorConfig(level=Level.RPP, min_asynchrony=1.05)
+        )
+        monitor.calibrate(traces)
+        state = PlacementState(topo, traces, assignment)
+        state.register(monitor)
+        state.swap("d1", "u2")
+        assert monitor.needs_remapping()

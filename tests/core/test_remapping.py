@@ -229,8 +229,9 @@ class TestNodeGroupInternals:
         assert 1.0 <= anti_phase <= 2.0
         assert empty <= 2.0 + 1e-12
 
-    def test_periodic_exact_recompute(self):
-        """Every RECOMPUTE_EVERY swaps the aggregate is rebuilt from rows."""
+    def test_swap_member_is_exact(self):
+        """Every swap rebuilds the aggregate from member rows: after any
+        number of swaps the total equals the exact sum bit-for-bit."""
         rng = np.random.default_rng(0)
         grid = TimeGrid(0, 60, 24)
         ids = [f"x{k}" for k in range(4)]
@@ -240,9 +241,43 @@ class TestNodeGroupInternals:
             outgoing = group.members[0]
             incoming = next(i for i in ids if i not in group.members)
             group.swap_member(outgoing, incoming, traces)
-        assert group._swaps_since_recompute == 0
-        exact = sum(traces.row(i) for i in group.members)
-        np.testing.assert_allclose(group.total, exact, rtol=0, atol=1e-12)
+            exact = np.zeros(grid.n_samples)
+            for i in group.members:
+                exact += traces.row(i)
+            assert np.array_equal(group.total, exact)
+
+    def test_verify_knob_passes_on_exact_state(self):
+        """The opt-in verify harness accepts exactly-maintained groups and
+        rejects a tampered aggregate."""
+        grid = TimeGrid(0, 60, 24)
+        rng = np.random.default_rng(1)
+        ids = [f"x{k}" for k in range(4)]
+        traces = TraceSet(grid, ids, rng.random((4, 24)))
+        group = _NodeGroup("n", ["x0", "x1"], traces)
+        group.swap_member("x0", "x2", traces)
+        group.verify(traces)  # exact state: no raise
+        group.total[0] += 1.0
+        with pytest.raises(RuntimeError, match="diverged"):
+            group.verify(traces)
+
+    def test_verify_every_runs_during_swap_loop(self, fragmented):
+        """verify_every periodically cross-checks the touched groups; with
+        exact swap application the loop result is unchanged."""
+        topo, assignment, traces = fragmented
+        baseline = RemappingEngine(RemapConfig(level=Level.RPP)).run(
+            assignment, traces
+        )
+        verified = RemappingEngine(
+            RemapConfig(level=Level.RPP, verify_every=1)
+        ).run(assignment, traces)
+        assert [
+            (s.instance_a, s.instance_b) for s in verified.swaps
+        ] == [(s.instance_a, s.instance_b) for s in baseline.swaps]
+        assert verified.assignment.as_mapping() == baseline.assignment.as_mapping()
+
+    def test_verify_every_validation(self):
+        with pytest.raises(ValueError):
+            RemapConfig(level=Level.RPP, verify_every=0)
 
     def test_swap_member_tracks_membership(self):
         grid = TimeGrid(0, 60, 24)

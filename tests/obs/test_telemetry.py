@@ -236,3 +236,44 @@ class TestRecordView:
                 raise AssertionError("record_view touched a disabled view")
 
         assert telemetry.record_view(_Boom()) == 0
+
+
+class TestRecordDelta:
+    def _fleet(self):
+        import numpy as np
+
+        from repro.infra import Assignment, NodePowerView, build_topology, two_level_spec
+        from repro.infra.budget import provision_from_view
+        from repro.traces import TimeGrid, TraceSet
+
+        grid = TimeGrid(0, 60, 24)
+        rng = np.random.default_rng(3)
+        topo = build_topology(two_level_spec("dc", leaves=3, leaf_capacity=4))
+        ids = [f"i{k}" for k in range(9)]
+        traces = TraceSet(grid, ids, rng.uniform(1, 10, size=(9, 24)))
+        mapping = {ids[k]: topo.leaf_names()[k % 3] for k in range(9)}
+        view = NodePowerView(topo, Assignment(topo, mapping), traces)
+        provision_from_view(view, margin=0.1)
+        return topo, view
+
+    def test_records_only_dirty_budgeted_nodes(self):
+        from repro.engine.delta import FleetDelta
+
+        topo, view = self._fleet()
+        dirty = view.apply_delta(FleetDelta.swap("i0", "dc/rpp0", "i1", "dc/rpp1"))
+        with telemetry.recording() as recorder:
+            recorded = telemetry.record_delta(view, dirty)
+        budgeted_dirty = [
+            name for name in dirty if topo.node(name).budget_watts is not None
+        ]
+        assert recorded == len(budgeted_dirty)
+        assert set(recorder.paths()) == set(budgeted_dirty)
+        # The untouched leaf stays out of the feed.
+        assert "dc/rpp2" not in recorder.paths()
+
+    def test_noop_when_nothing_installed(self):
+        class _Boom:
+            def __getattr__(self, name):
+                raise AssertionError("record_delta touched a disabled view")
+
+        assert telemetry.record_delta(_Boom(), ["x"]) == 0

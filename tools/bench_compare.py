@@ -42,7 +42,16 @@ documents and compares them stage by stage against the committed set:
 * its ``recovery`` section gates the failure-domain layer the same way:
   the parallel pass under an armed (never firing) deadline may cost at
   most ``--max-recovery-overhead`` (default 3%) over the identical
-  unguarded pass, plus the floor.  Same skip rules as ``capture``.
+  unguarded pass, plus the floor.  Same skip rules as ``capture``;
+* the incremental-state document (``BENCH_incremental.json`` from
+  ``benchmarks/bench_incremental.py``) gates the delta layer's headline
+  claim: applying a placement delta through the incremental indices must
+  beat a full view-rebuild-and-rescore by ``--min-incremental-speedup``
+  (default 5x) at the 100k-instance point.  The speedup is host-relative
+  (both walls from the same process), so the gate judges the fresh run
+  alone; a document whose gate records ``skipped`` (the fixture did not
+  fit in memory) is tolerated, and a missing committed baseline is a new
+  benchmark, never a failure.
 
 Exit status is non-zero when any regression is found, so CI can gate on
 it.  ``--output`` writes the full diff document as JSON for artifact
@@ -98,12 +107,18 @@ DEFAULT_MAX_CAPTURE_OVERHEAD = 0.05
 #: ``BENCH_scale.json``).
 DEFAULT_MAX_RECOVERY_OVERHEAD = 0.03
 
+#: Minimum incremental-vs-full-recompute speedup per placement delta at
+#: the 100k-instance point (the ``gate`` section of
+#: ``BENCH_incremental.json``).
+DEFAULT_MIN_INCREMENTAL_SPEEDUP = 5.0
+
 BENCH_FILES = (
     "BENCH_pipeline.json",
     "BENCH_remap.json",
     "BENCH_engine.json",
     "BENCH_robust.json",
     "BENCH_scale.json",
+    "BENCH_incremental.json",
 )
 
 
@@ -379,6 +394,42 @@ def compare_recovery(
     return row
 
 
+def compare_incremental(
+    baseline: Optional[Dict],
+    current: Dict,
+    *,
+    min_speedup: float = DEFAULT_MIN_INCREMENTAL_SPEEDUP,
+) -> Dict:
+    """The incremental-speedup row for a fresh ``BENCH_incremental.json``.
+
+    The speedup is host-relative (incremental and full-recompute walls
+    come from the same process), so the gate judges the fresh run alone:
+    the delta path must beat a full rebuild by ``min_speedup``.  A gate
+    that records ``skipped: true`` (the 100k-instance fixture did not fit
+    in the runner's memory) is tolerated, and a missing committed
+    baseline marks the benchmark ``new`` — recorded, never a failure.
+    """
+    gate = current["sections"].get("gate")
+    if not gate:
+        return {"check": "incremental_speedup", "status": "missing"}
+    row: Dict = {
+        "check": "incremental_speedup",
+        "speedup": gate.get("speedup"),
+        "min_speedup": min_speedup,
+        "n_instances": current["sections"].get("workload", {}).get("n_instances"),
+    }
+    if gate.get("skipped"):
+        row["status"] = "skipped"
+        row["reason"] = gate.get("reason")
+    elif gate.get("speedup") is None:
+        row["status"] = "missing"
+    elif gate["speedup"] < min_speedup:
+        row["status"] = "regression"
+    else:
+        row["status"] = "new" if baseline is None else "ok"
+    return row
+
+
 def compare_documents(
     baseline_dir: pathlib.Path,
     current_dir: pathlib.Path,
@@ -390,6 +441,7 @@ def compare_documents(
     min_efficiency: float = DEFAULT_MIN_EFFICIENCY,
     max_capture_overhead: float = DEFAULT_MAX_CAPTURE_OVERHEAD,
     max_recovery_overhead: float = DEFAULT_MAX_RECOVERY_OVERHEAD,
+    min_incremental_speedup: float = DEFAULT_MIN_INCREMENTAL_SPEEDUP,
 ) -> Dict:
     """The full diff document: stage rows, remap rows, regression list."""
     pipeline_rows = compare_pipeline(
@@ -470,6 +522,19 @@ def compare_documents(
         )
     elif scale_base_path.exists():
         scale_gate = {"check": "scale_efficiency", "status": "missing"}
+    # Incremental-state speedup gate.  Fresh without baseline is new,
+    # baseline without fresh is lost coverage.
+    incr_base_path = baseline_dir / "BENCH_incremental.json"
+    incr_cur_path = current_dir / "BENCH_incremental.json"
+    incremental_gate: Optional[Dict] = None
+    if incr_cur_path.exists():
+        incremental_gate = compare_incremental(
+            load_document(incr_base_path) if incr_base_path.exists() else None,
+            load_document(incr_cur_path),
+            min_speedup=min_incremental_speedup,
+        )
+    elif incr_base_path.exists():
+        incremental_gate = {"check": "incremental_speedup", "status": "missing"}
     bad_status = ("regression", "missing")
     regressions = [
         f"pipeline stage {row['stage']!r}: {row['status']}"
@@ -498,6 +563,8 @@ def compare_documents(
         regressions.append(f"capture overhead: {capture_gate['status']}")
     if recovery_gate is not None and recovery_gate["status"] in bad_status:
         regressions.append(f"recovery overhead: {recovery_gate['status']}")
+    if incremental_gate is not None and incremental_gate["status"] in bad_status:
+        regressions.append(f"incremental speedup: {incremental_gate['status']}")
     return {
         "baseline_dir": str(baseline_dir),
         "current_dir": str(current_dir),
@@ -508,6 +575,7 @@ def compare_documents(
         "min_efficiency": min_efficiency,
         "max_capture_overhead": max_capture_overhead,
         "max_recovery_overhead": max_recovery_overhead,
+        "min_incremental_speedup": min_incremental_speedup,
         "pipeline": pipeline_rows,
         "remap": remap_rows,
         "engine": engine_rows,
@@ -517,6 +585,7 @@ def compare_documents(
         "scale_gate": scale_gate,
         "capture_gate": capture_gate,
         "recovery_gate": recovery_gate,
+        "incremental_gate": incremental_gate,
         "regressions": regressions,
     }
 
@@ -575,6 +644,14 @@ def render(diff: Dict) -> str:
             f"bare={fmt(recovery_gate.get('bare_wall_s'), '.3f', 's')}, "
             f"max={fmt(recovery_gate.get('max_overhead_frac'), '.0%')}) "
             f"{recovery_gate['status']}"
+        )
+    incremental = diff.get("incremental_gate")
+    if incremental is not None:
+        lines.append(
+            f"incremental speedup: {fmt(incremental.get('speedup'), '.1f', 'x')} "
+            f"(instances={incremental.get('n_instances')}, "
+            f"min={fmt(incremental.get('min_speedup'), '.0f', 'x')}) "
+            f"{incremental['status']}"
         )
     robust = diff.get("robust")
     if robust is not None:
@@ -660,6 +737,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="max failure-domain (deadline) overhead fraction on multi-CPU runners",
     )
     parser.add_argument(
+        "--min-incremental-speedup",
+        type=float,
+        default=DEFAULT_MIN_INCREMENTAL_SPEEDUP,
+        help="min incremental-vs-full-recompute speedup per placement delta",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -677,6 +760,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         min_efficiency=args.min_efficiency,
         max_capture_overhead=args.max_capture_overhead,
         max_recovery_overhead=args.max_recovery_overhead,
+        min_incremental_speedup=args.min_incremental_speedup,
     )
     if args.output is not None:
         args.output.write_text(json.dumps(diff, indent=2, sort_keys=True) + "\n")
